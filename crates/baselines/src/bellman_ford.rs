@@ -1,0 +1,139 @@
+//! Bellman-Ford relaxation, sequential and shared-memory parallel.
+//!
+//! The "just relax everything until it stops changing" extreme of the SSSP
+//! design space: no priority structure at all, so it wastes relaxations on
+//! vertices whose distances are not final — the inefficiency delta-stepping's
+//! buckets exist to avoid. Experiment F5 quantifies the gap.
+
+use g500_graph::{types::weight_to_bits, Csr, ShortestPaths, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Frontier-based sequential Bellman-Ford (a.k.a. SPFA without the queue
+/// tricks): each round relaxes the out-edges of vertices whose distance
+/// changed last round.
+pub fn bellman_ford(graph: &Csr, root: VertexId) -> ShortestPaths {
+    let n = graph.num_vertices();
+    let mut sp = ShortestPaths::with_root(n, root);
+    let mut frontier = vec![root as usize];
+    let mut next = Vec::new();
+    let mut in_next = vec![false; n];
+
+    while !frontier.is_empty() {
+        next.clear();
+        in_next.iter_mut().for_each(|b| *b = false);
+        for &u in &frontier {
+            let du = sp.dist[u];
+            for (v, w) in graph.arcs(u) {
+                let v = v as usize;
+                let nd = du + w;
+                if nd < sp.dist[v] {
+                    sp.dist[v] = nd;
+                    sp.parent[v] = u as u64;
+                    if !in_next[v] {
+                        in_next[v] = true;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    sp
+}
+
+/// Shared-memory parallel Bellman-Ford using atomic fetch-min on distance
+/// bits (non-negative `f32` orders identically to its bit pattern).
+///
+/// Rounds are synchronous: all relaxations of round `k` read the distances
+/// of round `k − 1` or better; monotonicity of `fetch_min` keeps the result
+/// exact regardless of interleaving.
+pub fn bellman_ford_parallel(graph: &Csr, root: VertexId) -> ShortestPaths {
+    let n = graph.num_vertices();
+    let dist: Vec<AtomicU32> =
+        (0..n).map(|_| AtomicU32::new(weight_to_bits(f32::INFINITY))).collect();
+    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    dist[root as usize].store(weight_to_bits(0.0), Ordering::Relaxed);
+    parent[root as usize].store(root, Ordering::Relaxed);
+
+    let mut active: Vec<usize> = vec![root as usize];
+    let changed_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    while !active.is_empty() {
+        active.par_iter().for_each(|&u| {
+            let du = f32::from_bits(dist[u].load(Ordering::Relaxed));
+            for (v, w) in graph.arcs(u) {
+                let v = v as usize;
+                let nd_bits = weight_to_bits(du + w);
+                let prev = dist[v].fetch_min(nd_bits, Ordering::Relaxed);
+                if nd_bits < prev {
+                    parent[v].store(u as u64, Ordering::Relaxed);
+                    changed_flags[v].store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        active = (0..n)
+            .into_par_iter()
+            .filter(|&v| changed_flags[v].swap(false, Ordering::Relaxed))
+            .collect();
+    }
+
+    ShortestPaths {
+        dist: dist.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+        parent: parent.into_iter().map(AtomicU64::into_inner).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use g500_graph::{Directedness, EdgeList};
+
+    fn random_graph(seed: u64) -> Csr {
+        let el = g500_gen::simple::erdos_renyi(60, 240, seed);
+        Csr::from_edges(60, &el, Directedness::Undirected)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_graph(seed);
+            let exact = dijkstra(&g, 0);
+            let bf = bellman_ford(&g, 0);
+            assert!(bf.distances_match(&exact, 1e-5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_dijkstra() {
+        for seed in 0..5 {
+            let g = random_graph(seed);
+            let exact = dijkstra(&g, 0);
+            let bf = bellman_ford_parallel(&g, 0);
+            assert!(bf.distances_match(&exact, 1e-5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_frontier_terminates_immediately() {
+        let g = Csr::from_edges(3, &EdgeList::new(), Directedness::Directed);
+        let sp = bellman_ford(&g, 1);
+        assert_eq!(sp.reached_count(), 1);
+        let sp = bellman_ford_parallel(&g, 1);
+        assert_eq!(sp.reached_count(), 1);
+    }
+
+    #[test]
+    fn parent_tree_consistent() {
+        let g = random_graph(9);
+        let sp = bellman_ford(&g, 0);
+        for v in 0..60 {
+            if sp.dist[v].is_finite() && v != 0 {
+                let p = sp.parent[v] as usize;
+                assert!(sp.dist[p].is_finite());
+                assert!(sp.dist[p] <= sp.dist[v] + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Sequential Dijkstra — the exactness oracle.
+
+use g500_graph::{Csr, ShortestPaths, VertexId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Totally ordered wrapper so `f32` distances can live in a `BinaryHeap`.
+/// Graph500 weights are non-negative and never NaN, which `total_cmp`
+/// handles without panics either way.
+#[derive(PartialEq)]
+struct OrdW(Weight);
+
+impl Eq for OrdW {}
+
+impl PartialOrd for OrdW {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdW {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Exact single-source shortest paths with a binary heap and lazy deletion.
+///
+/// `O((n + m) log n)`; the gold standard the benchmark kernels are verified
+/// against. `graph` must contain both directions of each undirected edge.
+pub fn dijkstra(graph: &Csr, root: VertexId) -> ShortestPaths {
+    let n = graph.num_vertices();
+    let mut sp = ShortestPaths::with_root(n, root);
+    let mut heap: BinaryHeap<Reverse<(OrdW, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((OrdW(0.0), root)));
+    let mut settled = vec![false; n];
+
+    while let Some(Reverse((OrdW(d), u))) = heap.pop() {
+        let u_idx = u as usize;
+        if settled[u_idx] {
+            continue; // lazy deletion: stale heap entry
+        }
+        settled[u_idx] = true;
+        debug_assert!(d >= sp.dist[u_idx], "heap entry fresher than dist array");
+        for (v, w) in graph.arcs(u_idx) {
+            let v_idx = v as usize;
+            let nd = d + w;
+            if nd < sp.dist[v_idx] {
+                sp.dist[v_idx] = nd;
+                sp.parent[v_idx] = u;
+                heap.push(Reverse((OrdW(nd), v)));
+            }
+        }
+    }
+    sp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_graph::{Directedness, EdgeList, WEdge, INF_WEIGHT};
+
+    fn csr(edges: &[(u64, u64, f32)], n: usize) -> Csr {
+        let el = EdgeList::from_edges(edges.iter().map(|&(u, v, w)| WEdge::new(u, v, w)));
+        Csr::from_edges(n, &el, Directedness::Undirected)
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = csr(&[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)], 4);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist, vec![0.0, 1.0, 3.0, 6.0]);
+        assert_eq!(sp.parent, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shortcut_is_taken() {
+        // direct edge 0-2 is heavier than the two-hop path
+        let g = csr(&[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 3.0)], 3);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], 2.0);
+        assert_eq!(sp.parent[2], 1);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = csr(&[(0, 1, 1.0)], 4);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], INF_WEIGHT);
+        assert_eq!(sp.reached_count(), 2);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = csr(&[(0, 1, 0.0), (1, 2, 0.0)], 3);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn root_choice_matters() {
+        let g = csr(&[(0, 1, 1.0), (1, 2, 1.0)], 3);
+        let sp = dijkstra(&g, 2);
+        assert_eq!(sp.dist, vec![2.0, 1.0, 0.0]);
+        assert_eq!(sp.parent[2], 2);
+    }
+
+    #[test]
+    fn parallel_edges_use_lightest() {
+        let g = csr(&[(0, 1, 5.0), (0, 1, 2.0)], 2);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[1], 2.0);
+    }
+
+    #[test]
+    fn self_loop_harmless() {
+        let g = csr(&[(0, 0, 0.5), (0, 1, 1.0)], 2);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist, vec![0.0, 1.0]);
+    }
+}

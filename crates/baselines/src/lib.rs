@@ -1,0 +1,28 @@
+//! # g500-baselines — reference shortest-path algorithms
+//!
+//! The paper's contribution is an optimized distributed delta-stepping; its
+//! evaluation (and any honest reproduction) needs the algorithms it is
+//! measured against:
+//!
+//! * [`dijkstra`] — the exact sequential oracle (binary heap with lazy
+//!   deletion). Every other implementation in the workspace is
+//!   property-tested against it.
+//! * [`bellman_ford`] — round-based relaxation, sequential and
+//!   shared-memory parallel; the asymptotically wasteful extreme.
+//! * [`nearfar`] — the near-far worklist method, a delta-stepping relative
+//!   with exactly two buckets; locates delta-stepping in its design space.
+//! * [`dist_bf`] — *distributed* Bellman-Ford over `simnet`: the naive
+//!   one-frontier-superstep-per-round baseline the optimized kernel is
+//!   compared to in experiment F9.
+#![warn(missing_docs)]
+
+
+pub mod bellman_ford;
+pub mod dijkstra;
+pub mod dist_bf;
+pub mod nearfar;
+
+pub use bellman_ford::{bellman_ford, bellman_ford_parallel};
+pub use dijkstra::dijkstra;
+pub use dist_bf::distributed_bellman_ford;
+pub use nearfar::near_far;

@@ -1,0 +1,112 @@
+//! The near-far worklist method (Davidson et al.).
+//!
+//! A two-bucket relative of delta-stepping: maintain a *near* worklist of
+//! vertices whose tentative distance falls below a moving threshold and a
+//! *far* list for the rest. Drain near to fixpoint, then advance the
+//! threshold by Δ and split far again. With an infinite Δ this degenerates
+//! to Bellman-Ford; with Δ → 0 it approaches Dijkstra — bracketing exactly
+//! the trade-off the Δ-sweep experiment (F3) explores for the real kernel.
+
+use g500_graph::{Csr, ShortestPaths, VertexId, Weight};
+
+/// Near-far single-source shortest paths with threshold step `delta`.
+pub fn near_far(graph: &Csr, root: VertexId, delta: Weight) -> ShortestPaths {
+    assert!(delta > 0.0, "delta must be positive");
+    let n = graph.num_vertices();
+    let mut sp = ShortestPaths::with_root(n, root);
+    let mut threshold = delta;
+    let mut near: Vec<usize> = vec![root as usize];
+    let mut far: Vec<usize> = Vec::new();
+
+    loop {
+        // Drain the near set to fixpoint under the current threshold.
+        while let Some(u) = near.pop() {
+            let du = sp.dist[u];
+            if du >= threshold {
+                far.push(u); // demoted: improved past the threshold earlier
+                continue;
+            }
+            for (v, w) in graph.arcs(u) {
+                let v = v as usize;
+                let nd = du + w;
+                if nd < sp.dist[v] {
+                    sp.dist[v] = nd;
+                    sp.parent[v] = u as u64;
+                    if nd < threshold {
+                        near.push(v);
+                    } else {
+                        far.push(v);
+                    }
+                }
+            }
+        }
+        if far.is_empty() {
+            return sp;
+        }
+        // Advance the threshold and split the far list. Entries are stale
+        // (a vertex may appear multiple times or have improved); filter by the
+        // *current* distance.
+        let min_far = far
+            .iter()
+            .map(|&v| sp.dist[v])
+            .fold(f32::INFINITY, f32::min);
+        threshold = (min_far + delta).max(threshold + delta);
+        let mut new_far = Vec::with_capacity(far.len());
+        for v in far.drain(..) {
+            if sp.dist[v] < threshold {
+                near.push(v);
+            } else {
+                new_far.push(v);
+            }
+        }
+        far = new_far;
+        if near.is_empty() && far.is_empty() {
+            return sp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use g500_graph::Directedness;
+
+    #[test]
+    fn matches_dijkstra_across_deltas() {
+        let el = g500_gen::simple::erdos_renyi(80, 400, 11);
+        let g = Csr::from_edges(80, &el, Directedness::Undirected);
+        let exact = dijkstra(&g, 0);
+        for delta in [0.01f32, 0.1, 0.5, 10.0] {
+            let nf = near_far(&g, 0, delta);
+            assert!(nf.distances_match(&exact, 1e-5), "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn path_graph_small_delta() {
+        let el = g500_gen::simple::path(20, 0.3);
+        let g = Csr::from_edges(20, &el, Directedness::Undirected);
+        let sp = near_far(&g, 0, 0.1);
+        for v in 0..20 {
+            assert!((sp.dist[v] - 0.3 * v as f32).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn star_graph_one_round() {
+        let el = g500_gen::simple::star(50, 0.9);
+        let g = Csr::from_edges(50, &el, Directedness::Undirected);
+        let sp = near_far(&g, 0, 1.0);
+        assert_eq!(sp.reached_count(), 50);
+        assert!(sp.dist[1..].iter().all(|&d| (d - 0.9).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn zero_delta_rejected() {
+        let el = g500_gen::simple::path(2, 1.0);
+        let g = Csr::from_edges(2, &el, Directedness::Undirected);
+        near_far(&g, 0, 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion microbenchmarks for the hot kernels: generator throughput,
+//! CSR construction, bucket-queue operations, the update codec, sequential
+//! SSSP kernels, and simnet collectives.
+//!
+//! These complement the experiment harnesses (`src/bin/*`): the harnesses
+//! measure *simulated* time on the modeled machine, these measure *host*
+//! time of the real Rust kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use g500_baselines::dijkstra;
+use g500_gen::{KroneckerGenerator, KroneckerParams};
+use g500_graph::{compress, Csr, Directedness};
+use g500_sssp::codec::{decode_updates, dedup_min, encode_updates, Update};
+use g500_sssp::{delta_stepping, parallel_delta_stepping, BucketQueue};
+use graph500::simnet::{Machine, MachineConfig};
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.sample_size(10);
+    for scale in [14u32, 16] {
+        let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
+        let m = gen.params().num_edges();
+        g.throughput(Throughput::Elements(m));
+        g.bench_with_input(BenchmarkId::new("kronecker_all", scale), &gen, |b, gen| {
+            b.iter(|| black_box(gen.generate_all().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr");
+    g.sample_size(10);
+    for scale in [14u32, 16] {
+        let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
+        let el = gen.generate_all();
+        let n = gen.params().num_vertices() as usize;
+        g.throughput(Throughput::Elements(el.len() as u64));
+        g.bench_with_input(BenchmarkId::new("build_undirected", scale), &el, |b, el| {
+            b.iter(|| black_box(Csr::from_edges(n, el, Directedness::Undirected).num_arcs()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bucket_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bucket_queue");
+    g.sample_size(20);
+    let n = 100_000u32;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("insert_drain_100k", |b| {
+        b.iter(|| {
+            let mut q = BucketQueue::new(0.1);
+            for i in 0..n {
+                q.insert(i, (i % 977) as f32 * 0.01);
+            }
+            let mut popped = 0usize;
+            while let Some(k) = q.min_bucket() {
+                popped += q.take_bucket(k).len();
+            }
+            black_box(popped)
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_codec");
+    let updates: Vec<Update> =
+        (0..10_000u64).map(|i| (1_000_000 + i * 3, 0.5 + (i % 7) as f32, i)).collect();
+    g.throughput(Throughput::Elements(updates.len() as u64));
+    g.bench_function("encode_10k", |b| {
+        b.iter(|| black_box(encode_updates(&updates, true).len()))
+    });
+    let enc = encode_updates(&updates, true);
+    g.bench_function("decode_10k", |b| {
+        b.iter(|| black_box(decode_updates(&enc).expect("well-formed").len()))
+    });
+    g.bench_function("dedup_10k_half_dup", |b| {
+        b.iter_with_setup(
+            || {
+                let mut v = updates.clone();
+                v.extend(updates.iter().map(|&(t, d, p)| (t, d + 0.1, p)));
+                v
+            },
+            |mut v| black_box(dedup_min(&mut v)),
+        )
+    });
+    g.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("varint");
+    let adj: Vec<u64> = (0..10_000u64).map(|i| i * 7 + 1_000_000).collect();
+    g.throughput(Throughput::Elements(adj.len() as u64));
+    g.bench_function("encode_adjacency_10k", |b| {
+        b.iter(|| black_box(compress::encode_adjacency(&adj).len()))
+    });
+    let enc = compress::encode_adjacency(&adj);
+    g.bench_function("decode_adjacency_10k", |b| {
+        b.iter(|| black_box(compress::decode_adjacency(&enc).expect("well-formed").len()))
+    });
+    g.finish();
+}
+
+fn bench_sssp_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sssp_seq");
+    g.sample_size(10);
+    let gen = KroneckerGenerator::new(KroneckerParams::graph500(14, 1));
+    let el = gen.generate_all();
+    let n = gen.params().num_vertices() as usize;
+    let csr = Csr::from_edges(n, &el, Directedness::Undirected);
+    let root = (0..n).find(|&v| csr.degree(v) > 0).unwrap_or(0) as u64;
+    g.throughput(Throughput::Elements(el.len() as u64));
+    g.bench_function("dijkstra_s14", |b| b.iter(|| black_box(dijkstra(&csr, root).reached_count())));
+    g.bench_function("delta_stepping_s14", |b| {
+        b.iter(|| black_box(delta_stepping(&csr, root, 0.125).reached_count()))
+    });
+    g.bench_function("parallel_delta_s14", |b| {
+        b.iter(|| black_box(parallel_delta_stepping(&csr, root, 0.125).reached_count()))
+    });
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet_collectives");
+    g.sample_size(10);
+    for ranks in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("allreduce_x100", ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                    let mut acc = 0u64;
+                    for i in 0..100 {
+                        acc += ctx.allreduce_sum(i);
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("alltoallv_1k_records", ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                    let out: Vec<Vec<u64>> =
+                        (0..ctx.size()).map(|d| vec![d as u64; 1024 / ctx.size()]).collect();
+                    black_box(ctx.alltoallv(out).len())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generator,
+    bench_csr_build,
+    bench_bucket_queue,
+    bench_codec,
+    bench_varint,
+    bench_sssp_kernels,
+    bench_collectives
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! F14 — 1D vs 2D kernel, measured.
+//!
+//! The companion analytic experiment (F13) bounds per-vertex fan-out; this
+//! one runs both kernels on the same graphs and machine and reports what
+//! the bound buys and costs: simulated time, messages, bytes, supersteps.
+//! 1D is the paper family's choice for SSSP; 2D caps fan-out but
+//! replicates every frontier record √p ways — the crossover depends on
+//! frontier density and machine latency.
+//!
+//! Overrides: `G500_MAX_SCALE` (15), `G500_RANKS` (16, must be square),
+//! `G500_ROOTS` (2).
+
+use g500_bench::{banner, param, secs, Table};
+use g500_gen::{KroneckerGenerator, KroneckerParams};
+use g500_partition::{assemble_local_graph, Block1D};
+use g500_sssp::{distributed_delta_stepping, Grid2DSssp, OptConfig};
+use graph500::simnet::{Machine, MachineConfig, NetStats};
+
+struct Point {
+    time: f64,
+    msgs: u64,
+    mbytes: f64,
+    supersteps: u64,
+}
+
+fn run_1d(gen: &KroneckerGenerator, ranks: usize, roots: &[u64]) -> Point {
+    let n = gen.params().num_vertices();
+    let m = gen.params().num_edges();
+    let opts = OptConfig::all_on();
+    let rep = Machine::new(MachineConfig::with_ranks(ranks)).run(|ctx| {
+        let part = Block1D::new(n, ranks);
+        let (lo, hi) = (
+            ctx.rank() as u64 * m / ranks as u64,
+            (ctx.rank() as u64 + 1) * m / ranks as u64,
+        );
+        let mine = gen.edge_block(lo..hi);
+        let g = assemble_local_graph(ctx, mine.iter(), part);
+        let start = ctx.now();
+        let mut steps = 0u64;
+        for &r in roots {
+            let (_, s) = distributed_delta_stepping(ctx, &g, r, &opts);
+            steps += s.supersteps;
+        }
+        let t = ctx.allreduce(ctx.now() - start, |a, b| if a > b { *a } else { *b });
+        (t, steps)
+    });
+    summarize(rep.results[0].0, rep.results[0].1, &rep.stats)
+}
+
+fn run_2d(gen: &KroneckerGenerator, ranks: usize, roots: &[u64]) -> Point {
+    let n = gen.params().num_vertices();
+    let m = gen.params().num_edges();
+    let rep = Machine::new(MachineConfig::with_ranks(ranks)).run(|ctx| {
+        let (lo, hi) = (
+            ctx.rank() as u64 * m / ranks as u64,
+            (ctx.rank() as u64 + 1) * m / ranks as u64,
+        );
+        let mine = gen.edge_block(lo..hi);
+        let mut g = Grid2DSssp::build(ctx, n, mine.iter(), 0.125);
+        let start = ctx.now();
+        let mut steps = 0u64;
+        for &r in roots {
+            let s = g.run(ctx, r);
+            steps += s.supersteps;
+        }
+        let t = ctx.allreduce(ctx.now() - start, |a, b| if a > b { *a } else { *b });
+        (t, steps)
+    });
+    summarize(rep.results[0].0, rep.results[0].1, &rep.stats)
+}
+
+fn summarize(time: f64, supersteps: u64, stats: &[NetStats]) -> Point {
+    let total = graph500::simnet::stats::aggregate(stats);
+    Point {
+        time,
+        msgs: total.total_msgs(),
+        mbytes: total.total_bytes() as f64 / 1e6,
+        supersteps,
+    }
+}
+
+fn main() {
+    let max_scale = param("G500_MAX_SCALE", 15) as u32;
+    let ranks = param("G500_RANKS", 16) as usize;
+    let nroots = param("G500_ROOTS", 2) as usize;
+    banner("F14", "1D vs 2D kernel (measured)", &[("ranks", ranks.to_string())]);
+
+    let t = Table::new(&["scale", "kernel", "sim_time", "supersteps", "msgs", "MB"]);
+    for scale in (11..=max_scale).step_by(2) {
+        let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
+        // roots with edges, deterministic
+        let sample = gen.edge_block(0..1024);
+        let mut roots: Vec<u64> = Vec::new();
+        for e in sample.iter() {
+            if roots.len() < nroots && !roots.contains(&e.u) {
+                roots.push(e.u);
+            }
+        }
+        let one = run_1d(&gen, ranks, &roots);
+        let two = run_2d(&gen, ranks, &roots);
+        t.row(&[
+            scale.to_string(),
+            "1D (paper)".into(),
+            secs(one.time),
+            one.supersteps.to_string(),
+            one.msgs.to_string(),
+            format!("{:.2}", one.mbytes),
+        ]);
+        t.row(&[
+            scale.to_string(),
+            "2D grid".into(),
+            secs(two.time),
+            two.supersteps.to_string(),
+            two.msgs.to_string(),
+            format!("{:.2}", two.mbytes),
+        ]);
+    }
+    println!("\nexpected shape: 2D trades lower peak fan-out for frontier replication; 1D with coalescing+hub partition wins at these densities, consistent with the paper family's 1D choice for SSSP");
+}

@@ -1,0 +1,61 @@
+//! F1 — Weak-scaling curve (the series behind T2's table).
+//!
+//! Fixed per-rank problem (2^`G500_SCALE_PER_RANK` vertices/rank), rank
+//! count doubling, three interconnect topologies overlaid so the curve also
+//! shows how much shape the network model contributes.
+//!
+//! Overrides: `G500_SCALE_PER_RANK` (default 14), `G500_MAX_RANKS` (32),
+//! `G500_ROOTS` (4).
+
+use g500_bench::{banner, gteps, param, Table};
+use graph500::simnet::Topology;
+use graph500::{run_sssp_benchmark, BenchmarkConfig};
+
+fn main() {
+    let spr = param("G500_SCALE_PER_RANK", 14) as u32;
+    let max_ranks = param("G500_MAX_RANKS", 32) as usize;
+    let roots = param("G500_ROOTS", 4) as usize;
+    banner(
+        "F1",
+        "weak scaling across topologies",
+        &[("vertices/rank", format!("2^{spr}")), ("max ranks", max_ranks.to_string())],
+    );
+
+    let topos: Vec<(&str, fn(usize) -> Topology)> = vec![
+        ("crossbar", |_| Topology::Crossbar),
+        ("fat-tree(r4)", |_| Topology::FatTree { radix: 4 }),
+        ("torus2d", |p| {
+            let w = (p as f64).sqrt().ceil() as u32;
+            Topology::Torus2D { w: w.max(1), h: (p as u32).div_ceil(w.max(1)) }
+        }),
+    ];
+
+    let t = Table::new(&["topology", "ranks", "scale", "hmean_GTEPS", "GTEPS/rank", "eff%"]);
+    for (name, mk) in topos {
+        let mut base = 0.0f64;
+        let mut ranks = 1usize;
+        while ranks <= max_ranks {
+            let scale = spr + ranks.trailing_zeros();
+            let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+            cfg.num_roots = roots;
+            cfg.machine = cfg.machine.topology(mk(ranks));
+            cfg.validate = false; // the exactness suite covers correctness
+            let rep = run_sssp_benchmark(&cfg);
+            let g = rep.teps.harmonic_mean;
+            let per = g / ranks as f64;
+            if ranks == 1 {
+                base = per;
+            }
+            t.row(&[
+                name.to_string(),
+                ranks.to_string(),
+                scale.to_string(),
+                gteps(g),
+                gteps(per),
+                format!("{:.1}", 100.0 * per / base),
+            ]);
+            ranks *= 2;
+        }
+    }
+    println!("\nexpected shape: efficiency declines gently with log(ranks); torus decays fastest (hop counts grow), crossbar slowest");
+}

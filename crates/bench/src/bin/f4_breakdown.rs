@@ -1,0 +1,60 @@
+//! F4 — Per-bucket time breakdown: where an SSSP run spends its life.
+//!
+//! One root, per-bucket phase records: frontier volume, compute seconds,
+//! communication seconds. The early buckets carry almost all the work
+//! (dense frontiers); the long tail of late buckets is tiny but each still
+//! pays full superstep latency — the figure that motivates bucket fusion.
+//! Printed twice: fusion off (the problem) and fusion on (the fix).
+//!
+//! Overrides: `G500_SCALE` (15), `G500_RANKS` (8).
+
+use g500_bench::{banner, param, secs, Table};
+use g500_sssp::OptConfig;
+use graph500::{run_sssp_benchmark, BenchmarkConfig};
+
+fn show(label: &str, opts: OptConfig, scale: u32, ranks: usize) {
+    let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+    cfg.num_roots = 1;
+    cfg.validate = false;
+    cfg.opts = opts.with_phases();
+    let rep = run_sssp_benchmark(&cfg);
+    let run = &rep.runs[0];
+    println!("--- {label}: {} supersteps, {} buckets ---", run.stats.supersteps, run.stats.buckets);
+    let t = Table::new(&["bucket", "frontier", "compute", "comm", "comm_share%"]);
+    let phases = &run.stats.phases;
+    // print the first 8 buckets and aggregate the tail
+    for ph in phases.iter().take(8) {
+        let total = ph.compute_s + ph.comm_s;
+        t.row(&[
+            ph.bucket.to_string(),
+            ph.frontier.to_string(),
+            secs(ph.compute_s),
+            secs(ph.comm_s),
+            format!("{:.1}", if total > 0.0 { 100.0 * ph.comm_s / total } else { 0.0 }),
+        ]);
+    }
+    if phases.len() > 8 {
+        let (f, c, m) = phases.iter().skip(8).fold((0u64, 0.0, 0.0), |acc, p| {
+            (acc.0 + p.frontier, acc.1 + p.compute_s, acc.2 + p.comm_s)
+        });
+        let total = c + m;
+        t.row(&[
+            format!("tail({})", phases.len() - 8),
+            f.to_string(),
+            secs(c),
+            secs(m),
+            format!("{:.1}", if total > 0.0 { 100.0 * m / total } else { 0.0 }),
+        ]);
+    }
+    println!();
+}
+
+fn main() {
+    let scale = param("G500_SCALE", 15) as u32;
+    let ranks = param("G500_RANKS", 8) as usize;
+    banner("F4", "per-bucket time breakdown", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+
+    show("fusion OFF", OptConfig::all_on().without_fusion(), scale, ranks);
+    show("fusion ON", OptConfig::all_on(), scale, ranks);
+    println!("expected shape: early buckets compute-heavy; the tail is comm/sync-dominated and fusion collapses it");
+}

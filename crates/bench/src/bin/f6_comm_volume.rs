@@ -1,0 +1,51 @@
+//! F6 — Communication volume: what each traffic optimization saves.
+//!
+//! Messages and bytes on the wire for one SSSP run under the four
+//! combinations of {coalescing, dedup+compression}, measured exactly by
+//! the simulated network layer. The paper's coalescing/compression claims
+//! are about precisely these counters.
+//!
+//! Overrides: `G500_SCALE` (14), `G500_RANKS` (8).
+
+use g500_bench::{banner, gteps, param, Table};
+use g500_sssp::OptConfig;
+use graph500::{run_sssp_benchmark, BenchmarkConfig};
+
+fn main() {
+    let scale = param("G500_SCALE", 14) as u32;
+    let ranks = param("G500_RANKS", 8) as usize;
+    banner("F6", "communication volume", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+
+    let variants: Vec<(&str, OptConfig)> = vec![
+        ("naive (no coalesce, raw)", OptConfig::all_on().without_coalescing().without_dedup().without_compression()),
+        ("coalesced, raw", OptConfig::all_on().without_dedup().without_compression()),
+        ("coalesced + dedup", OptConfig::all_on().without_compression()),
+        ("coalesced + dedup + compress", OptConfig::all_on()),
+    ];
+
+    let t = Table::new(&[
+        "variant", "msgs", "MB", "updates_sent", "bytes/update", "hmean_GTEPS",
+    ]);
+    let mut base_msgs = 0u64;
+    for (name, opts) in variants {
+        let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+        cfg.num_roots = 2;
+        cfg.validate = false;
+        cfg.opts = opts;
+        let rep = run_sssp_benchmark(&cfg);
+        let msgs = rep.net.total_msgs();
+        if base_msgs == 0 {
+            base_msgs = msgs;
+        }
+        let updates: u64 = rep.runs.iter().map(|r| r.stats.updates_sent).sum();
+        t.row(&[
+            name.to_string(),
+            format!("{msgs} ({:.0}x less)", base_msgs as f64 / msgs as f64),
+            format!("{:.2}", rep.net.total_bytes() as f64 / 1e6),
+            updates.to_string(),
+            format!("{:.1}", rep.net.user_bytes.max(rep.net.coll_bytes) as f64 / updates.max(1) as f64),
+            gteps(rep.teps.harmonic_mean),
+        ]);
+    }
+    println!("\nexpected shape: coalescing collapses message count by orders of magnitude; dedup cuts update records; compression cuts bytes/update toward ~10");
+}

@@ -1,0 +1,43 @@
+//! F8 — Direction optimization: push vs pull vs hybrid.
+//!
+//! Runs the same workload under the three direction policies and reports
+//! TEPS, per-iteration mix, and traffic. Pull pays a frontier broadcast
+//! but saves per-edge updates on dense frontiers; hybrid should track the
+//! better of the two at each density — the min-envelope claim.
+//!
+//! Overrides: `G500_SCALE` (15), `G500_RANKS` (8), `G500_ROOTS` (4).
+
+use g500_bench::{banner, gteps, param, Table};
+use g500_sssp::{Direction, OptConfig};
+use graph500::{run_sssp_benchmark, BenchmarkConfig};
+
+fn main() {
+    let scale = param("G500_SCALE", 15) as u32;
+    let ranks = param("G500_RANKS", 8) as usize;
+    let roots = param("G500_ROOTS", 4) as usize;
+    banner("F8", "direction optimization", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+
+    let t = Table::new(&[
+        "policy", "hmean_GTEPS", "push_iters", "pull_iters", "msgs", "MB", "validated",
+    ]);
+    for (name, dir) in
+        [("push", Direction::Push), ("pull", Direction::Pull), ("hybrid", Direction::Hybrid)]
+    {
+        let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+        cfg.num_roots = roots;
+        cfg.opts = OptConfig::all_on().with_direction(dir);
+        let rep = run_sssp_benchmark(&cfg);
+        let push: u64 = rep.runs.iter().map(|r| r.stats.push_iterations).sum();
+        let pull: u64 = rep.runs.iter().map(|r| r.stats.pull_iterations).sum();
+        t.row(&[
+            name.to_string(),
+            gteps(rep.teps.harmonic_mean),
+            push.to_string(),
+            pull.to_string(),
+            rep.net.total_msgs().to_string(),
+            format!("{:.2}", rep.net.total_bytes() as f64 / 1e6),
+            rep.all_validated().to_string(),
+        ]);
+    }
+    println!("\nexpected shape: hybrid >= max(push, pull); pull-only loses on the sparse tail, push-only on the dense crest");
+}

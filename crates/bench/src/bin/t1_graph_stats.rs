@@ -1,0 +1,48 @@
+//! T1 — Graph statistics table: Kronecker instances across scales.
+//!
+//! Reconstructs the evaluation's graph-configuration table: vertex/edge
+//! counts, degree profile, skew, and reachable fraction — the structural
+//! facts that motivate every optimization downstream (hub handling,
+//! compression, direction switching).
+//!
+//! Override: `G500_MAX_SCALE` (default 18), `G500_SEED`.
+
+use g500_bench::{banner, param, Table};
+use g500_gen::{KroneckerGenerator, KroneckerParams};
+use g500_graph::{component_stats, Csr, DegreeStats, Directedness};
+
+fn main() {
+    let max_scale = param("G500_MAX_SCALE", 18) as u32;
+    let seed = param("G500_SEED", 1);
+    banner(
+        "T1",
+        "Kronecker graph statistics (edgefactor 16)",
+        &[("scales", format!("14..={max_scale}")), ("seed", seed.to_string())],
+    );
+
+    let t = Table::new(&[
+        "scale", "vertices", "edges", "max_deg", "mean_deg", "median", "isolated%",
+        "top1%share", "giant%", "components",
+    ]);
+    for scale in 14..=max_scale {
+        let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, seed));
+        let el = gen.generate_all();
+        let n = gen.params().num_vertices() as usize;
+        let csr = Csr::from_edges(n, &el, Directedness::Undirected);
+        let stats = DegreeStats::from_csr(&csr);
+        let cc = component_stats(n, &el);
+        t.row(&[
+            scale.to_string(),
+            n.to_string(),
+            el.len().to_string(),
+            stats.max.to_string(),
+            format!("{:.1}", stats.mean),
+            stats.median.to_string(),
+            format!("{:.1}", 100.0 * stats.isolated as f64 / n as f64),
+            format!("{:.1}", 100.0 * stats.top1pct_arc_share),
+            format!("{:.1}", 100.0 * cc.giant_size as f64 / n as f64),
+            cc.components.to_string(),
+        ]);
+    }
+    println!("\nexpected shape: heavy-tailed degrees (top-1% share >> 1%), giant component");
+}

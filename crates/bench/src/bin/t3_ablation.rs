@@ -1,0 +1,87 @@
+//! T3 — Optimization ablation: turn each feature off, one at a time.
+//!
+//! Reconstructs the evaluation's ablation table: harmonic-mean TEPS (and
+//! the traffic counters that explain it) for the full stack vs each
+//! single-feature removal vs everything-off. The no-coalescing row is the
+//! expensive strawman that shows why aggregation is non-negotiable at
+//! scale.
+//!
+//! Overrides: `G500_SCALE` (default 14), `G500_RANKS` (default 8),
+//! `G500_ROOTS` (default 4).
+
+use g500_bench::{banner, gteps, param, Table};
+use g500_sssp::{Direction, OptConfig};
+use graph500::{run_sssp_benchmark, BenchmarkConfig, PartitionStrategy};
+
+fn main() {
+    let scale = param("G500_SCALE", 14) as u32;
+    let ranks = param("G500_RANKS", 8) as usize;
+    let roots = param("G500_ROOTS", 4) as usize;
+    banner(
+        "T3",
+        "optimization ablation",
+        &[("scale", scale.to_string()), ("ranks", ranks.to_string()), ("roots", roots.to_string())],
+    );
+
+    let variants: Vec<(&str, OptConfig, PartitionStrategy)> = vec![
+        (
+            "all-on (paper)",
+            OptConfig::all_on(),
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
+        (
+            "- coalescing",
+            OptConfig::all_on().without_coalescing(),
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
+        (
+            "- dedup sort",
+            OptConfig::all_on().without_dedup(),
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
+        (
+            "- compression",
+            OptConfig::all_on().without_compression(),
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
+        (
+            "- bucket fusion",
+            OptConfig::all_on().without_fusion(),
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
+        (
+            "- direction opt",
+            OptConfig::all_on().with_direction(Direction::Push),
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
+        ("- hub partition", OptConfig::all_on(), PartitionStrategy::Block),
+        ("all-off", OptConfig::all_off(), PartitionStrategy::Block),
+    ];
+
+    let t = Table::new(&[
+        "variant", "hmean_GTEPS", "slowdown", "supersteps", "msgs", "MB_sent", "validated",
+    ]);
+    let mut baseline = 0.0f64;
+    for (name, opts, part) in variants {
+        let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+        cfg.num_roots = roots;
+        cfg.opts = opts;
+        cfg.partition = part;
+        let rep = run_sssp_benchmark(&cfg);
+        let g = rep.teps.harmonic_mean;
+        if baseline == 0.0 {
+            baseline = g;
+        }
+        let steps: u64 = rep.runs.iter().map(|r| r.stats.supersteps).sum();
+        t.row(&[
+            name.to_string(),
+            gteps(g),
+            format!("{:.2}x", baseline / g),
+            steps.to_string(),
+            rep.net.total_msgs().to_string(),
+            format!("{:.1}", rep.net.total_bytes() as f64 / 1e6),
+            rep.all_validated().to_string(),
+        ]);
+    }
+    println!("\nexpected shape: every removal slows down; coalescing removal is catastrophic (per-edge message overhead)");
+}

@@ -1,0 +1,112 @@
+//! # g500-bench — experiment harnesses
+//!
+//! One binary per reconstructed table/figure of the paper's evaluation
+//! (see DESIGN.md's experiment index): `cargo run --release -p g500-bench
+//! --bin t2_headline` etc. Each binary prints the table's rows on stdout.
+//! Criterion microbenches live in `benches/`.
+//!
+//! This library holds the shared plumbing: simple environment-variable
+//! parameter overrides (`G500_SCALE=18 cargo run …`) and aligned table
+//! printing.
+#![warn(missing_docs)]
+
+
+use std::fmt::Display;
+
+/// Read an integer parameter from the environment with a default, e.g.
+/// `param("G500_SCALE", 16)`.
+pub fn param(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read a float parameter from the environment with a default.
+pub fn param_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A fixed-width text table writer for experiment output.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Start a table and print the header row.
+    pub fn new(headers: &[&str]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(12)).collect();
+        let t = Table { widths };
+        t.print_row(headers);
+        let rule: Vec<String> = t.widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", rule.join("-+-"));
+        t
+    }
+
+    fn print_row<S: Display>(&self, cells: &[S]) {
+        let row: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{:>width$}", c.to_string(), width = w))
+            .collect();
+        println!("{}", row.join(" | "));
+    }
+
+    /// Print one data row (cells are stringified right-aligned).
+    pub fn row<S: Display>(&self, cells: &[S]) {
+        assert_eq!(cells.len(), self.widths.len(), "row arity mismatch");
+        self.print_row(cells);
+    }
+}
+
+/// Format TEPS as GTEPS with 3 significant places.
+pub fn gteps(teps: f64) -> String {
+    format!("{:.3}", teps / 1e9)
+}
+
+/// Format a simulated-seconds value in engineering style.
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}us", s * 1e6)
+    }
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, title: &str, params: &[(&str, String)]) {
+    println!("== {id}: {title} ==");
+    for (k, v) in params {
+        println!("   {k} = {v}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_defaults_and_parses() {
+        std::env::remove_var("G500_TEST_PARAM_X");
+        assert_eq!(param("G500_TEST_PARAM_X", 7), 7);
+        std::env::set_var("G500_TEST_PARAM_X", "42");
+        assert_eq!(param("G500_TEST_PARAM_X", 7), 42);
+        std::env::set_var("G500_TEST_PARAM_X", "bogus");
+        assert_eq!(param("G500_TEST_PARAM_X", 7), 7);
+        std::env::remove_var("G500_TEST_PARAM_X");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(gteps(2.5e9), "2.500");
+        assert_eq!(secs(1.5), "1.500s");
+        assert_eq!(secs(0.0015), "1.500ms");
+        assert_eq!(secs(2e-6), "2.000us");
+    }
+}

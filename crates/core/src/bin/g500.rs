@@ -1,0 +1,203 @@
+//! `g500` — the command-line front end.
+//!
+//! ```text
+//! g500 sssp  --scale 14 --ranks 8 [--roots 64] [--topology fat-tree|torus|crossbar|dragonfly]
+//!            [--partition block|cyclic|degree-aware] [--no-validate]
+//!            [--delta 0.125] [--direction push|pull|hybrid]
+//!            [--no-coalescing] [--no-dedup] [--no-compression] [--no-fusion]
+//! g500 bfs   --scale 14 --ranks 8 [--roots 64] [--no-validate]
+//! g500 stats --scale 14
+//! ```
+//!
+//! Argument parsing is hand-rolled (two flags' worth of logic does not
+//! justify a dependency).
+
+use graph500::gen::{KroneckerGenerator, KroneckerParams};
+use graph500::graph::{component_stats, Csr, DegreeStats, Directedness};
+use graph500::simnet::Topology;
+use graph500::sssp::{Direction, OptConfig};
+use graph500::{run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, PartitionStrategy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json]\n  g500 stats --scale N [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.flags.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn num(&self, name: &str, default: u64) -> u64 {
+        match self.value(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                usage()
+            }),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|a| a == name)
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    let args = Args { flags: argv.collect() };
+
+    match cmd.as_str() {
+        "sssp" => cmd_sssp(&args),
+        "bfs" => cmd_bfs(&args),
+        "stats" => cmd_stats(&args),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage()
+        }
+    }
+}
+
+fn build_cfg(args: &Args) -> BenchmarkConfig {
+    let scale = args.num("--scale", 12) as u32;
+    let ranks = args.num("--ranks", 4) as usize;
+    let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+    cfg.num_roots = args.num("--roots", 64) as usize;
+    cfg.seed = args.num("--seed", cfg.seed);
+    cfg.validate = !args.has("--no-validate");
+    if let Some(t) = args.value("--topology") {
+        let side = (ranks as f64).sqrt().ceil().max(1.0) as u32;
+        cfg.machine = cfg.machine.topology(match t {
+            "crossbar" => Topology::Crossbar,
+            "fat-tree" => Topology::FatTree { radix: 4 },
+            "torus" => Topology::Torus2D { w: side, h: (ranks as u32).div_ceil(side) },
+            "dragonfly" => Topology::Dragonfly { group: side.max(2) },
+            other => {
+                eprintln!("unknown topology: {other}");
+                usage()
+            }
+        });
+    }
+    if let Some(p) = args.value("--partition") {
+        cfg.partition = match p {
+            "block" => PartitionStrategy::Block,
+            "cyclic" => PartitionStrategy::Cyclic,
+            "degree-aware" => PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+            other => {
+                eprintln!("unknown partition: {other}");
+                usage()
+            }
+        };
+    }
+    let mut opts = OptConfig::all_on();
+    if args.has("--no-coalescing") {
+        opts = opts.without_coalescing();
+    }
+    if args.has("--no-dedup") {
+        opts = opts.without_dedup();
+    }
+    if args.has("--no-compression") {
+        opts = opts.without_compression();
+    }
+    if args.has("--no-fusion") {
+        opts = opts.without_fusion();
+    }
+    if let Some(d) = args.value("--direction") {
+        opts = opts.with_direction(match d {
+            "push" => Direction::Push,
+            "pull" => Direction::Pull,
+            "hybrid" => Direction::Hybrid,
+            other => {
+                eprintln!("unknown direction: {other}");
+                usage()
+            }
+        });
+    }
+    if let Some(d) = args.value("--delta") {
+        opts = opts.with_delta(d.parse().unwrap_or_else(|_| {
+            eprintln!("bad --delta: {d}");
+            usage()
+        }));
+    }
+    cfg.opts = opts;
+    cfg
+}
+
+fn cmd_sssp(args: &Args) {
+    let cfg = build_cfg(args);
+    eprintln!(
+        "g500 sssp: scale {}, {} ranks, {} roots…",
+        cfg.scale, cfg.machine.ranks, cfg.num_roots
+    );
+    let rep = run_sssp_benchmark(&cfg);
+    if args.has("--json") {
+        println!("{}", rep.to_json());
+        if cfg.validate && !rep.all_validated() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    println!("{}", rep.render());
+    if cfg.validate {
+        println!("validated:             {}", rep.all_validated());
+        if !rep.all_validated() {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_bfs(args: &Args) {
+    let cfg = build_cfg(args);
+    eprintln!(
+        "g500 bfs: scale {}, {} ranks, {} roots…",
+        cfg.scale, cfg.machine.ranks, cfg.num_roots
+    );
+    let rep = run_bfs_benchmark(&cfg);
+    if args.has("--json") {
+        println!("{}", rep.to_json());
+        if cfg.validate && !rep.all_validated() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    println!("{}", rep.render());
+    if cfg.validate {
+        println!("validated:             {}", rep.all_validated());
+        if !rep.all_validated() {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_stats(args: &Args) {
+    let scale = args.num("--scale", 12) as u32;
+    let seed = args.num("--seed", 20220814);
+    let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, seed));
+    let el = gen.generate_all();
+    let n = gen.params().num_vertices() as usize;
+    let csr = Csr::from_edges(n, &el, Directedness::Undirected);
+    let d = DegreeStats::from_csr(&csr);
+    let cc = component_stats(n, &el);
+    println!("scale:            {scale}");
+    println!("vertices:         {n}");
+    println!("edge records:     {}", el.len());
+    println!("max degree:       {}", d.max);
+    println!("mean degree:      {:.2}", d.mean);
+    println!("median degree:    {}", d.median);
+    println!("isolated:         {} ({:.1}%)", d.isolated, 100.0 * d.isolated as f64 / n as f64);
+    println!("top-1% arc share: {:.1}%", 100.0 * d.top1pct_arc_share);
+    println!("components:       {}", cc.components);
+    println!("giant component:  {} ({:.1}%)", cc.giant_size, 100.0 * cc.giant_size as f64 / n as f64);
+}

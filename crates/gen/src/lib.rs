@@ -1,0 +1,24 @@
+//! # g500-gen — synthetic graph generators
+//!
+//! The centerpiece is the [`KroneckerGenerator`]: the Graph500 specification's
+//! R-MAT/Kronecker edge generator with vertex scrambling and uniform `[0,1)`
+//! edge weights, implemented **counter-based** so that any block of edges can
+//! be generated independently, in parallel, on any rank, with zero
+//! communication — the property that let the paper's run materialise 140
+//! trillion edges across 40 million cores without ever holding the edge list
+//! in one place.
+//!
+//! [`simple`] adds deterministic toy generators (paths, grids, stars,
+//! Erdős–Rényi, …) that tests and baselines use as ground-truth-friendly
+//! inputs.
+#![warn(missing_docs)]
+
+
+pub mod kronecker;
+pub mod rng;
+pub mod simple;
+pub mod weights;
+
+pub use kronecker::{KroneckerGenerator, KroneckerParams};
+pub use rng::CounterRng;
+pub use weights::{reweight, WeightDist};

@@ -1,0 +1,128 @@
+//! Alternative edge-weight distributions.
+//!
+//! Graph500 prescribes uniform `[0, 1)` weights, but delta-stepping's
+//! behaviour — and the adaptive-Δ rule — depends on the weight profile:
+//! an exponential distribution front-loads light edges (deep cascades per
+//! bucket), a bimodal road-like profile separates cleanly into light/heavy
+//! classes. These transformers rewrite a generated edge list's weights
+//! deterministically so the weight-sensitivity experiment (F15) can hold
+//! topology fixed while sweeping the weight law.
+
+use crate::rng::CounterRng;
+use g500_graph::EdgeList;
+
+/// Supported weight laws.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightDist {
+    /// Uniform on `[0, 1)` — the Graph500 default.
+    Uniform,
+    /// Exponential with the given mean (clamped to ≤ 64·mean to keep
+    /// distances finite-friendly).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f32,
+    },
+    /// Road-network-like: mostly light local streets, a `heavy_frac`
+    /// fraction of heavy arterials of weight `heavy`.
+    Bimodal {
+        /// Fraction of heavy edges, in `[0, 1]`.
+        heavy_frac: f32,
+        /// Weight of the heavy class (light class is uniform `[0, 0.1)`).
+        heavy: f32,
+    },
+}
+
+impl WeightDist {
+    /// Draw the weight for edge index `i` under `seed`.
+    pub fn sample(&self, rng: &CounterRng, i: u64) -> f32 {
+        match *self {
+            WeightDist::Uniform => rng.unit_f32(2 * i),
+            WeightDist::Exponential { mean } => {
+                let u = rng.unit_f64(2 * i);
+                let w = -(mean as f64) * (1.0 - u).ln();
+                (w as f32).min(mean * 64.0)
+            }
+            WeightDist::Bimodal { heavy_frac, heavy } => {
+                if rng.unit_f32(2 * i) < heavy_frac {
+                    heavy
+                } else {
+                    0.1 * rng.unit_f32(2 * i + 1)
+                }
+            }
+        }
+    }
+
+    /// The distribution's mean (used by the adaptive-Δ rule in tests).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            WeightDist::Uniform => 0.5,
+            WeightDist::Exponential { mean } => mean as f64,
+            WeightDist::Bimodal { heavy_frac, heavy } => {
+                heavy_frac as f64 * heavy as f64 + (1.0 - heavy_frac as f64) * 0.05
+            }
+        }
+    }
+}
+
+/// Rewrite the weights of `el` under `dist`, deterministically in `seed`.
+/// Topology (endpoints, edge order) is untouched.
+pub fn reweight(el: &EdgeList, dist: WeightDist, seed: u64) -> EdgeList {
+    let rng = CounterRng::new(seed, 42);
+    el.iter()
+        .enumerate()
+        .map(|(i, mut e)| {
+            e.w = dist.sample(&rng, i as u64);
+            e
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::erdos_renyi;
+
+    #[test]
+    fn reweight_preserves_topology() {
+        let el = erdos_renyi(50, 200, 1);
+        let rw = reweight(&el, WeightDist::Exponential { mean: 0.25 }, 7);
+        assert_eq!(rw.len(), el.len());
+        for i in 0..el.len() {
+            assert_eq!(rw.get(i).u, el.get(i).u);
+            assert_eq!(rw.get(i).v, el.get(i).v);
+        }
+    }
+
+    #[test]
+    fn reweight_is_deterministic() {
+        let el = erdos_renyi(50, 200, 1);
+        let a = reweight(&el, WeightDist::Uniform, 3);
+        let b = reweight(&el, WeightDist::Uniform, 3);
+        for i in 0..a.len() {
+            assert_eq!(a.get(i), b.get(i));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_approximately_right() {
+        let el = erdos_renyi(100, 20_000, 2);
+        let rw = reweight(&el, WeightDist::Exponential { mean: 0.25 }, 5);
+        let mean: f64 = rw.weights().iter().map(|&w| w as f64).sum::<f64>() / rw.len() as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(rw.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn bimodal_fractions_respected() {
+        let d = WeightDist::Bimodal { heavy_frac: 0.2, heavy: 5.0 };
+        let el = erdos_renyi(100, 20_000, 2);
+        let rw = reweight(&el, d, 5);
+        let heavy = rw.weights().iter().filter(|&&w| w == 5.0).count();
+        let frac = heavy as f64 / rw.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "heavy frac {frac}");
+        assert!(rw.weights().iter().all(|&w| w == 5.0 || w < 0.1));
+        // declared mean matches the empirical one
+        let mean: f64 = rw.weights().iter().map(|&w| w as f64).sum::<f64>() / rw.len() as f64;
+        assert!((mean - d.mean()).abs() < 0.05);
+    }
+}

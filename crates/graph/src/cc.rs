@@ -1,0 +1,172 @@
+//! Connected components (union-find).
+//!
+//! Kronecker graphs at edgefactor 16 have one giant component plus dust;
+//! the construction-phase statistics (experiment T1) and the root sampler
+//! both care about which vertices live in it. Union-find with path
+//! halving + union by size gives effectively-linear component detection
+//! without touching the traversal kernels being benchmarked.
+
+use crate::edgelist::EdgeList;
+
+/// Union-find over `0..n` with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    /// Parent pointer, or self for roots.
+    parent: Vec<u32>,
+    /// Component size, valid at roots.
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind is u32-indexed");
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `v`'s component (with path halving).
+    pub fn find(&mut self, mut v: usize) -> usize {
+        loop {
+            let p = self.parent[v] as usize;
+            if p == v {
+                return v;
+            }
+            let gp = self.parent[p];
+            self.parent[v] = gp; // halve
+            v = gp as usize;
+        }
+    }
+
+    /// Merge the components of `a` and `b`; returns true if they were
+    /// separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` share a component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of components (isolated vertices count as components).
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `v`'s component.
+    pub fn component_size(&mut self, v: usize) -> usize {
+        let r = self.find(v);
+        self.size[r] as usize
+    }
+}
+
+/// Summary of a graph's component structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Total components over `n` vertices (isolated vertices included).
+    pub components: usize,
+    /// Vertices in the largest component.
+    pub giant_size: usize,
+    /// Components of size ≥ 2.
+    pub nontrivial_components: usize,
+}
+
+/// Compute component statistics of an edge list over `n` vertices.
+pub fn component_stats(n: usize, edges: &EdgeList) -> ComponentStats {
+    let mut uf = UnionFind::new(n);
+    for e in edges.iter() {
+        if !e.is_loop() {
+            uf.union(e.u as usize, e.v as usize);
+        }
+    }
+    let mut giant = 0usize;
+    let mut nontrivial = 0usize;
+    let mut seen_roots = std::collections::HashSet::new();
+    for v in 0..n {
+        let r = uf.find(v);
+        if seen_roots.insert(r) {
+            let s = uf.component_size(r);
+            giant = giant.max(s);
+            if s >= 2 {
+                nontrivial += 1;
+            }
+        }
+    }
+    ComponentStats { components: uf.num_components(), giant_size: giant, nontrivial_components: nontrivial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WEdge;
+
+    #[test]
+    fn singletons_then_union() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.component_size(1), 3);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        let el: EdgeList = (1..100u64).map(|i| WEdge::new(i - 1, i, 1.0)).collect();
+        let s = component_stats(100, &el);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.giant_size, 100);
+        assert_eq!(s.nontrivial_components, 1);
+    }
+
+    #[test]
+    fn disjoint_pieces_counted() {
+        let el = EdgeList::from_edges([
+            WEdge::new(0, 1, 1.0),
+            WEdge::new(2, 3, 1.0),
+            WEdge::new(3, 4, 1.0),
+            WEdge::new(9, 9, 1.0), // self-loop: no merge
+        ]);
+        let s = component_stats(10, &el);
+        // {0,1}, {2,3,4}, and 5 singletons (5,6,7,8,9)
+        assert_eq!(s.components, 7);
+        assert_eq!(s.giant_size, 3);
+        assert_eq!(s.nontrivial_components, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = component_stats(4, &EdgeList::new());
+        assert_eq!(s.components, 4);
+        assert_eq!(s.giant_size, 1);
+        assert_eq!(s.nontrivial_components, 0);
+    }
+
+    #[test]
+    fn union_by_size_keeps_depth_small() {
+        let mut uf = UnionFind::new(1000);
+        for i in 1..1000 {
+            uf.union(0, i);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.component_size(999), 1000);
+    }
+}

@@ -1,0 +1,342 @@
+//! Compressed sparse row adjacency.
+//!
+//! [`Csr`] is the workhorse structure every kernel traverses. Construction is
+//! a two-pass counting sort (degree count → prefix sum → scatter); the count
+//! pass is parallel, the scatter pass is sequential per the single-writer
+//! discipline (on the target machines each rank builds its own local CSR, so
+//! intra-build parallelism matters less than avoiding atomics in the
+//! scatter).
+
+use crate::edgelist::EdgeList;
+use crate::types::{VertexId, WEdge, Weight};
+use rayon::prelude::*;
+
+/// Whether an edge list already contains both directions of each edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directedness {
+    /// Insert each listed edge exactly as given.
+    Directed,
+    /// Insert each listed edge in both directions (Graph500 graphs are
+    /// undirected but generated with one record per edge).
+    Undirected,
+}
+
+/// Compressed sparse row adjacency with optional weights.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    n: usize,
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Build a CSR over `n` vertices from an edge list.
+    ///
+    /// Self-loops are kept (the Graph500 validator tolerates them; SSSP
+    /// relaxation over a self-loop is a no-op). Endpoints must be `< n`.
+    pub fn from_edges(n: usize, edges: &EdgeList, dir: Directedness) -> Self {
+        let m = edges.len();
+        let slots = match dir {
+            Directedness::Directed => m,
+            Directedness::Undirected => 2 * m,
+        };
+
+        // Pass 1: per-vertex degree count (parallel chunked count + merge).
+        let nthreads = rayon::current_num_threads().max(1);
+        let chunk = m.div_ceil(nthreads.max(1)).max(1);
+        let partials: Vec<Vec<u32>> = (0..m)
+            .into_par_iter()
+            .chunks(chunk)
+            .map(|idxs| {
+                let mut deg = vec![0u32; n];
+                for i in idxs {
+                    let e = edges.get(i);
+                    debug_assert!(
+                        (e.u as usize) < n && (e.v as usize) < n,
+                        "edge ({}, {}) out of range for n={n}",
+                        e.u,
+                        e.v
+                    );
+                    deg[e.u as usize] += 1;
+                    if dir == Directedness::Undirected {
+                        deg[e.v as usize] += 1;
+                    }
+                }
+                deg
+            })
+            .collect();
+
+        let mut offsets = vec![0u64; n + 1];
+        for part in &partials {
+            for (v, &d) in part.iter().enumerate() {
+                offsets[v + 1] += d as u64;
+            }
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        debug_assert_eq!(offsets[n] as usize, slots);
+
+        // Pass 2: scatter.
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; slots];
+        let mut weights = vec![0.0 as Weight; slots];
+        for e in edges.iter() {
+            let c = &mut cursor[e.u as usize];
+            targets[*c as usize] = e.v;
+            weights[*c as usize] = e.w;
+            *c += 1;
+            if dir == Directedness::Undirected {
+                let c = &mut cursor[e.v as usize];
+                targets[*c as usize] = e.u;
+                weights[*c as usize] = e.w;
+                *c += 1;
+            }
+        }
+
+        Csr { n, offsets, targets, weights }
+    }
+
+    /// Build a *rectangular* CSR: `rows` source rows, targets unconstrained
+    /// (e.g. block-local sources with global targets — the layout of a 2D
+    /// edge block, whose rows and columns index different spaces).
+    /// Always directed: each record is inserted exactly as given.
+    pub fn from_edges_rect(rows: usize, edges: &EdgeList) -> Self {
+        let m = edges.len();
+        let mut offsets = vec![0u64; rows + 1];
+        for i in 0..m {
+            let e = edges.get(i);
+            debug_assert!((e.u as usize) < rows, "source {} out of {} rows", e.u, rows);
+            offsets[e.u as usize + 1] += 1;
+        }
+        for r in 0..rows {
+            offsets[r + 1] += offsets[r];
+        }
+        let mut cursor = offsets[..rows].to_vec();
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = vec![0.0 as Weight; m];
+        for e in edges.iter() {
+            let c = &mut cursor[e.u as usize];
+            targets[*c as usize] = e.v;
+            weights[*c as usize] = e.w;
+            *c += 1;
+        }
+        Csr { n: rows, offsets, targets, weights }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored arcs (directed slots).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Neighbor ids of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[VertexId] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Weights parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, u: usize) -> &[Weight] {
+        &self.weights[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn arcs(&self, u: usize) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.neighbors(u).iter().copied().zip(self.edge_weights(u).iter().copied())
+    }
+
+    /// Offset array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Flat target array.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Flat weight array, parallel to [`Self::targets`].
+    #[inline]
+    pub fn weights_flat(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Iterate over all arcs as `WEdge`s.
+    pub fn iter_edges(&self) -> impl Iterator<Item = WEdge> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.arcs(u).map(move |(v, w)| WEdge::new(u as VertexId, v, w))
+        })
+    }
+
+    /// The transposed graph (in-edges become out-edges).
+    ///
+    /// Needed by the pull-direction relaxation kernel. For symmetric inputs
+    /// the transpose equals the original, a property tests exploit.
+    pub fn transpose(&self) -> Csr {
+        let mut el = EdgeList::with_capacity(self.num_arcs());
+        for e in self.iter_edges() {
+            el.push(e.reversed());
+        }
+        Csr::from_edges(self.n, &el, Directedness::Directed)
+    }
+
+    /// Sort each adjacency list by target id (stabilises compression ratios
+    /// and makes binary-search membership possible).
+    pub fn sort_adjacency(&mut self) {
+        let offsets = self.offsets.clone();
+        let n = self.n;
+        // Split both flat arrays into per-vertex windows and sort pairs.
+        let mut perm_scratch: Vec<(VertexId, Weight)> = Vec::new();
+        for u in 0..n {
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
+            if hi - lo <= 1 {
+                continue;
+            }
+            perm_scratch.clear();
+            perm_scratch
+                .extend(self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied()));
+            perm_scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            for (i, (t, w)) in perm_scratch.iter().enumerate() {
+                self.targets[lo + i] = *t;
+                self.weights[lo + i] = *w;
+            }
+        }
+    }
+
+    /// Sum of all weights (used by tests and statistics).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.par_iter().map(|&w| w as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> EdgeList {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        EdgeList::from_edges([
+            WEdge::new(0, 1, 1.0),
+            WEdge::new(0, 2, 2.0),
+            WEdge::new(1, 3, 3.0),
+            WEdge::new(2, 3, 4.0),
+        ])
+    }
+
+    #[test]
+    fn directed_build_matches_input() {
+        let g = Csr::from_edges(4, &diamond(), Directedness::Directed);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        let mut n0: Vec<_> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn undirected_build_doubles_arcs() {
+        let g = Csr::from_edges(4, &diamond(), Directedness::Undirected);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.degree(3), 2);
+        let mut n3: Vec<_> = g.neighbors(3).to_vec();
+        n3.sort_unstable();
+        assert_eq!(n3, vec![1, 2]);
+    }
+
+    #[test]
+    fn weights_travel_with_targets() {
+        let g = Csr::from_edges(4, &diamond(), Directedness::Undirected);
+        for (v, w) in g.arcs(3) {
+            match v {
+                1 => assert_eq!(w, 3.0),
+                2 => assert_eq!(w, 4.0),
+                other => panic!("unexpected neighbor {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_of_symmetric_graph_is_identical() {
+        let mut g = Csr::from_edges(4, &diamond(), Directedness::Undirected);
+        let mut t = g.transpose();
+        g.sort_adjacency();
+        t.sort_adjacency();
+        assert_eq!(g.offsets(), t.offsets());
+        assert_eq!(g.targets(), t.targets());
+    }
+
+    #[test]
+    fn transpose_reverses_directed_arcs() {
+        let g = Csr::from_edges(4, &diamond(), Directedness::Directed);
+        let t = g.transpose();
+        assert_eq!(t.degree(0), 0);
+        assert_eq!(t.degree(3), 2);
+        assert_eq!(t.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn iter_edges_roundtrip_counts() {
+        let g = Csr::from_edges(4, &diamond(), Directedness::Undirected);
+        assert_eq!(g.iter_edges().count(), 8);
+        let total: f64 = g.iter_edges().map(|e| e.w as f64).sum();
+        assert_eq!(total, 2.0 * (1.0 + 2.0 + 3.0 + 4.0));
+        assert_eq!(total, g.total_weight());
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = Csr::from_edges(5, &EdgeList::new(), Directedness::Directed);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_arcs(), 0);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 0);
+        }
+    }
+
+    #[test]
+    fn rectangular_build_allows_global_targets() {
+        // 3 local rows, targets in a much larger global space
+        let el = EdgeList::from_edges([
+            WEdge::new(0, 1_000_000, 0.5),
+            WEdge::new(2, 7, 0.25),
+            WEdge::new(0, 99, 0.75),
+        ]);
+        let g = Csr::from_edges_rect(3, &el);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.neighbors(2), &[7]);
+        let mut n0 = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![99, 1_000_000]);
+    }
+
+    #[test]
+    fn self_loops_are_preserved() {
+        let el = EdgeList::from_edges([WEdge::new(1, 1, 0.5)]);
+        let g = Csr::from_edges(2, &el, Directedness::Undirected);
+        assert_eq!(g.degree(1), 2); // stored once per direction
+        assert_eq!(g.neighbors(1), &[1, 1]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Vertex permutations and relabelings.
+//!
+//! Two kinds are provided:
+//!
+//! * [`Permutation`] — an explicit array permutation, used for
+//!   degree-descending relabeling (hub clustering) on graphs that fit one
+//!   rank's memory;
+//! * [`BitMixPermutation`] — a *functional*, invertible permutation of the
+//!   `2^scale` id space computed in O(1) per id with no table. This is how
+//!   the Graph500 generator "scrambles" vertex ids so the Kronecker
+//!   structure can't be exploited — a table of 2^42 entries would never fit,
+//!   so the scrambler must be a closed-form bijection.
+
+use crate::hash::splitmix64;
+use crate::types::VertexId;
+use rayon::prelude::*;
+
+/// An explicit permutation of `0..n` with its inverse.
+#[derive(Clone, Debug)]
+pub struct Permutation {
+    fwd: Vec<VertexId>,
+    inv: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` ids.
+    pub fn identity(n: usize) -> Self {
+        let fwd: Vec<VertexId> = (0..n as VertexId).collect();
+        Self { inv: fwd.clone(), fwd }
+    }
+
+    /// Build from a forward map (`map[i]` = new label of old id `i`).
+    ///
+    /// Panics if `map` is not a permutation of `0..map.len()`.
+    pub fn from_forward(map: Vec<VertexId>) -> Self {
+        let n = map.len();
+        let mut inv = vec![VertexId::MAX; n];
+        for (old, &new) in map.iter().enumerate() {
+            assert!((new as usize) < n, "label {new} out of range");
+            assert_eq!(inv[new as usize], VertexId::MAX, "duplicate label {new}");
+            inv[new as usize] = old as VertexId;
+        }
+        Self { fwd: map, inv }
+    }
+
+    /// A pseudo-random permutation of `0..n` seeded deterministically
+    /// (Fisher-Yates driven by splitmix64).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut fwd: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(seed ^ i as u64) % (i as u64 + 1)) as usize;
+            fwd.swap(i, j);
+        }
+        Self::from_forward(fwd)
+    }
+
+    /// Relabel so vertices are ordered by descending `degree`.
+    ///
+    /// High-degree "hub" vertices end up with the smallest labels, which (a)
+    /// clusters them on rank 0 under block partitioning — the configuration
+    /// the degree-aware partitioner then spreads — and (b) shrinks their gap
+    /// codes. Ties broken by old id for determinism.
+    pub fn by_degree_desc(degrees: &[usize]) -> Self {
+        let mut order: Vec<u64> = (0..degrees.len() as u64).collect();
+        order.par_sort_unstable_by_key(|&v| (usize::MAX - degrees[v as usize], v));
+        // order[new] = old  → that is the inverse map
+        let n = degrees.len();
+        let mut fwd = vec![0 as VertexId; n];
+        for (new, &old) in order.iter().enumerate() {
+            fwd[old as usize] = new as VertexId;
+        }
+        Self::from_forward(fwd)
+    }
+
+    /// New label of `old`.
+    #[inline]
+    pub fn apply(&self, old: VertexId) -> VertexId {
+        self.fwd[old as usize]
+    }
+
+    /// Old id of `new`.
+    #[inline]
+    pub fn invert(&self, new: VertexId) -> VertexId {
+        self.inv[new as usize]
+    }
+
+    /// Domain size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// True if the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+}
+
+/// Closed-form invertible permutation of the `2^scale` id space.
+///
+/// Composition of invertible steps, all modulo `2^scale`:
+/// odd-constant multiply → xor-shift → odd-constant multiply → bit-reversal
+/// of the low `scale` bits. Each step is a bijection on `scale`-bit words,
+/// so the whole is; [`Self::invert`] applies the inverse steps in reverse.
+#[derive(Clone, Copy, Debug)]
+pub struct BitMixPermutation {
+    scale: u32,
+    mask: u64,
+    mul1: u64,
+    mul2: u64,
+    /// Modular inverses of `mul1`/`mul2` modulo 2^scale.
+    inv1: u64,
+    inv2: u64,
+    shift: u32,
+}
+
+/// Modular inverse of odd `a` modulo 2^64 by Newton iteration.
+fn inv_mod_pow2(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1);
+    let mut x = a; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+impl BitMixPermutation {
+    /// Build a scrambler for `scale`-bit ids (1 ≤ scale ≤ 63), seeded.
+    pub fn new(scale: u32, seed: u64) -> Self {
+        assert!((1..=63).contains(&scale), "scale out of range: {scale}");
+        let mask = (1u64 << scale) - 1;
+        let mul1 = splitmix64(seed) | 1;
+        let mul2 = splitmix64(seed ^ 0xDEAD_BEEF) | 1;
+        let shift = (scale / 2).max(1);
+        Self { scale, mask, mul1, mul2, inv1: inv_mod_pow2(mul1), inv2: inv_mod_pow2(mul2), shift }
+    }
+
+    /// The id-space size, `2^scale`.
+    #[inline]
+    pub fn domain(&self) -> u64 {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn rev_bits(&self, v: u64) -> u64 {
+        v.reverse_bits() >> (64 - self.scale)
+    }
+
+    /// Scramble `v` (must be `< 2^scale`).
+    #[inline]
+    pub fn apply(&self, v: VertexId) -> VertexId {
+        debug_assert!(v <= self.mask);
+        let mut x = v.wrapping_mul(self.mul1) & self.mask;
+        x ^= x >> self.shift;
+        x = x.wrapping_mul(self.mul2) & self.mask;
+        self.rev_bits(x)
+    }
+
+    /// Inverse of [`Self::apply`].
+    #[inline]
+    pub fn invert(&self, v: VertexId) -> VertexId {
+        debug_assert!(v <= self.mask);
+        let mut x = self.rev_bits(v);
+        x = x.wrapping_mul(self.inv2) & self.mask;
+        // invert x ^= x >> shift (xorshift inverse: iterate)
+        let mut y = x;
+        let mut s = self.shift;
+        while s < self.scale {
+            y = x ^ (y >> self.shift);
+            s += self.shift;
+        }
+        x = y;
+        x.wrapping_mul(self.inv1) & self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(5);
+        for i in 0..5 {
+            assert_eq!(p.apply(i), i);
+            assert_eq!(p.invert(i), i);
+        }
+    }
+
+    #[test]
+    fn random_is_bijective_and_inverse_consistent() {
+        let p = Permutation::random(1000, 7);
+        let mut seen = vec![false; 1000];
+        for i in 0..1000 {
+            let j = p.apply(i);
+            assert!(!seen[j as usize]);
+            seen[j as usize] = true;
+            assert_eq!(p.invert(j), i);
+        }
+    }
+
+    #[test]
+    fn random_permutations_differ_by_seed() {
+        let a = Permutation::random(100, 1);
+        let b = Permutation::random(100, 2);
+        assert!((0..100).any(|i| a.apply(i) != b.apply(i)));
+    }
+
+    #[test]
+    fn degree_desc_orders_hubs_first() {
+        let degrees = vec![1usize, 10, 3, 10, 0];
+        let p = Permutation::by_degree_desc(&degrees);
+        // vertices 1 and 3 (deg 10) get labels 0 and 1, tie broken by id
+        assert_eq!(p.apply(1), 0);
+        assert_eq!(p.apply(3), 1);
+        assert_eq!(p.apply(2), 2);
+        assert_eq!(p.apply(0), 3);
+        assert_eq!(p.apply(4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn from_forward_rejects_non_permutation() {
+        Permutation::from_forward(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn inv_mod_pow2_works() {
+        for a in [1u64, 3, 5, 0xBF58_476D_1CE4_E5B9 | 1] {
+            assert_eq!(a.wrapping_mul(inv_mod_pow2(a)), 1);
+        }
+    }
+
+    #[test]
+    fn bitmix_is_bijective_small_scale() {
+        for scale in [1u32, 2, 5, 10] {
+            let p = BitMixPermutation::new(scale, 42);
+            let n = 1u64 << scale;
+            let mut seen = vec![false; n as usize];
+            for v in 0..n {
+                let s = p.apply(v);
+                assert!(s < n, "scale {scale}: {s} out of domain");
+                assert!(!seen[s as usize], "scale {scale}: collision at {v}");
+                seen[s as usize] = true;
+                assert_eq!(p.invert(s), v, "scale {scale}: inverse failed at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmix_large_scale_inverse_spotcheck() {
+        let p = BitMixPermutation::new(42, 123);
+        for v in [0u64, 1, 12345, (1 << 42) - 1, 0x3_FFFF_0000] {
+            assert_eq!(p.invert(p.apply(v)), v);
+        }
+    }
+
+    #[test]
+    fn bitmix_actually_scrambles() {
+        let p = BitMixPermutation::new(20, 9);
+        let moved = (0..1000u64).filter(|&v| p.apply(v) != v).count();
+        assert!(moved > 990, "only {moved} of 1000 ids moved");
+    }
+}

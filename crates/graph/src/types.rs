@@ -1,0 +1,143 @@
+//! Primitive vertex/edge/weight types shared by the whole workspace.
+
+/// Global vertex identifier.
+///
+/// Graph500 scales reach 2^42+ vertices, so global ids are 64-bit. Per-rank
+/// *local* indices (after partitioning) fit in `u32`/`usize` and are plain
+/// integers, not this type.
+pub type VertexId = u64;
+
+/// Edge weight. The Graph500 SSSP benchmark draws weights uniformly from
+/// `[0, 1)` as single-precision floats; distances accumulate in `f32` too,
+/// matching the official reference implementation.
+pub type Weight = f32;
+
+/// Sentinel "unreached" distance.
+pub const INF_WEIGHT: Weight = f32::INFINITY;
+
+/// Sentinel "no parent" entry in shortest-path trees.
+pub const NO_PARENT: u64 = u64::MAX;
+
+/// The output of a single-source shortest-path computation over the global
+/// vertex set: per-vertex tentative distance and tree parent. Shared by
+/// every SSSP implementation in the workspace so results are directly
+/// comparable and validatable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShortestPaths {
+    /// `dist[v]`: shortest distance from the root, `INF_WEIGHT` if unreached.
+    pub dist: Vec<Weight>,
+    /// `parent[v]`: tree parent, `NO_PARENT` if unreached; root self-parented.
+    pub parent: Vec<u64>,
+}
+
+impl ShortestPaths {
+    /// All-unreached state over `n` vertices.
+    pub fn unreached(n: usize) -> Self {
+        Self { dist: vec![INF_WEIGHT; n], parent: vec![NO_PARENT; n] }
+    }
+
+    /// Initial state with `root` settled at distance 0.
+    pub fn with_root(n: usize, root: VertexId) -> Self {
+        let mut sp = Self::unreached(n);
+        sp.dist[root as usize] = 0.0;
+        sp.parent[root as usize] = root;
+        sp
+    }
+
+    /// Number of reached vertices.
+    pub fn reached_count(&self) -> u64 {
+        self.dist.iter().filter(|d| d.is_finite()).count() as u64
+    }
+
+    /// Compare two results for semantic equality: same reachability and
+    /// distances within `tol` (parents may legitimately differ between
+    /// algorithms when shortest paths tie).
+    pub fn distances_match(&self, other: &Self, tol: Weight) -> bool {
+        self.dist.len() == other.dist.len()
+            && self.dist.iter().zip(&other.dist).all(|(&a, &b)| {
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= tol
+            })
+    }
+}
+
+/// A weighted directed edge `u --w--> v` with global endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WEdge {
+    /// Source endpoint.
+    pub u: VertexId,
+    /// Destination endpoint.
+    pub v: VertexId,
+    /// Non-negative weight.
+    pub w: Weight,
+}
+
+impl WEdge {
+    /// Construct an edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
+        Self { u, v, w }
+    }
+
+    /// The same edge pointing the other way (weights are symmetric in
+    /// Graph500 graphs, which are undirected).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Self { u: self.v, v: self.u, w: self.w }
+    }
+
+    /// True for self-loops, which SSSP kernels may skip.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.u == self.v
+    }
+}
+
+/// Interpret a non-negative `f32` as a totally ordered `u32` key.
+///
+/// IEEE-754 orders non-negative floats identically to their bit patterns,
+/// which lets atomics (`AtomicU32`) implement `fetch_min` on distances — the
+/// trick the shared-memory delta-stepping kernel relies on. Graph500 weights
+/// and therefore distances are always `>= 0`, so the precondition holds.
+#[inline]
+pub fn weight_to_bits(w: Weight) -> u32 {
+    debug_assert!(w >= 0.0 || w.is_nan(), "negative weights are not orderable via bits");
+    w.to_bits()
+}
+
+/// Inverse of [`weight_to_bits`].
+#[inline]
+pub fn bits_to_weight(b: u32) -> Weight {
+    f32::from_bits(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_reversal_swaps_endpoints() {
+        let e = WEdge::new(3, 9, 0.5);
+        let r = e.reversed();
+        assert_eq!(r.u, 9);
+        assert_eq!(r.v, 3);
+        assert_eq!(r.w, 0.5);
+        assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(WEdge::new(4, 4, 0.1).is_loop());
+        assert!(!WEdge::new(4, 5, 0.1).is_loop());
+    }
+
+    #[test]
+    fn weight_bits_preserve_order() {
+        let samples = [0.0f32, 1e-30, 0.001, 0.5, 0.999, 1.0, 7.25, f32::INFINITY];
+        for w in samples.windows(2) {
+            assert!(weight_to_bits(w[0]) < weight_to_bits(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &w in &samples {
+            assert_eq!(bits_to_weight(weight_to_bits(w)), w);
+        }
+    }
+}

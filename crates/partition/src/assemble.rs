@@ -1,0 +1,220 @@
+//! Distributed graph assembly: from per-rank edge blocks to per-rank CSRs.
+//!
+//! The benchmark's construction phase (Graph500 "kernel 0") works like the
+//! record run's: every rank generates an arbitrary slice of the global edge
+//! list (the counter-based generator makes the slices independent), the
+//! slices are exchanged so each arc reaches the rank owning its *source*
+//! vertex, and each rank builds a CSR over its local vertices whose targets
+//! remain global ids. Because Graph500 graphs are undirected, each input
+//! edge contributes an arc in both directions, and the local "transpose"
+//! needed by pull-mode relaxation is the graph itself.
+
+use crate::VertexPartition;
+use g500_graph::{VertexId, Weight};
+use simnet::RankCtx;
+
+/// One rank's share of the distributed graph.
+#[derive(Clone, Debug)]
+pub struct LocalGraph<P: VertexPartition> {
+    part: P,
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+    /// Total arcs across all ranks (2× the undirected edge count).
+    global_arcs: u64,
+}
+
+/// Wire record for one arc: (global source, global target, weight).
+type ArcRec = (u64, u64, f32);
+
+/// Exchange arcs so each rank holds the out-arcs of its own vertices, then
+/// build the local CSR. `my_edges` is this rank's generated slice of the
+/// *undirected* edge list; both directions of every edge are materialised
+/// here. Must be called by all ranks collectively.
+pub fn assemble_local_graph<P: VertexPartition>(
+    ctx: &mut RankCtx,
+    my_edges: impl Iterator<Item = g500_graph::WEdge>,
+    part: P,
+) -> LocalGraph<P> {
+    let p = ctx.size();
+    assert_eq!(p, part.num_ranks(), "partition sized for a different machine");
+
+    // Bucket both directions of each edge by owner of the arc's source.
+    let mut out: Vec<Vec<ArcRec>> = vec![Vec::new(); p];
+    let mut local_edges = 0u64;
+    for e in my_edges {
+        out[part.owner(e.u)].push((e.u, e.v, e.w));
+        out[part.owner(e.v)].push((e.v, e.u, e.w));
+        local_edges += 1;
+    }
+    // Charge the bucketing scan (one op per generated arc).
+    ctx.charge_compute(2 * local_edges);
+
+    let received = ctx.alltoallv(out);
+
+    // Counting sort into CSR over local indices.
+    let n_local = part.local_count(ctx.rank());
+    let mut degree = vec![0u64; n_local];
+    let mut total = 0usize;
+    for block in &received {
+        for &(src, _, _) in block {
+            debug_assert_eq!(part.owner(src), ctx.rank(), "misrouted arc");
+            degree[part.to_local(src)] += 1;
+        }
+        total += block.len();
+    }
+    let mut offsets = vec![0u64; n_local + 1];
+    for l in 0..n_local {
+        offsets[l + 1] = offsets[l] + degree[l];
+    }
+    let mut cursor = offsets[..n_local].to_vec();
+    let mut targets = vec![0 as VertexId; total];
+    let mut weights = vec![0.0 as Weight; total];
+    for block in &received {
+        for &(src, dst, w) in block {
+            let l = part.to_local(src);
+            let c = &mut cursor[l];
+            targets[*c as usize] = dst;
+            weights[*c as usize] = w;
+            *c += 1;
+        }
+    }
+    ctx.charge_compute(2 * total as u64);
+
+    let global_arcs = ctx.allreduce_sum(total as u64);
+
+    LocalGraph { part, offsets, targets, weights, global_arcs }
+}
+
+impl<P: VertexPartition> LocalGraph<P> {
+    /// The ownership map this graph is distributed by.
+    pub fn part(&self) -> &P {
+        &self.part
+    }
+
+    /// Number of vertices owned by this rank.
+    pub fn local_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of arcs stored on this rank.
+    pub fn local_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Total arcs over all ranks (2× the undirected edge count).
+    pub fn global_arcs(&self) -> u64 {
+        self.global_arcs
+    }
+
+    /// Out-degree of local vertex `l`.
+    #[inline]
+    pub fn degree(&self, l: usize) -> usize {
+        (self.offsets[l + 1] - self.offsets[l]) as usize
+    }
+
+    /// `(global target, weight)` pairs of local vertex `l`.
+    #[inline]
+    pub fn arcs(&self, l: usize) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.offsets[l] as usize;
+        let hi = self.offsets[l + 1] as usize;
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Global targets of local vertex `l`.
+    #[inline]
+    pub fn neighbors(&self, l: usize) -> &[VertexId] {
+        let lo = self.offsets[l] as usize;
+        let hi = self.offsets[l + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::part1d::Block1D;
+    use g500_graph::{EdgeList, WEdge};
+    use simnet::{Machine, MachineConfig};
+
+    /// Generator-slice helper: rank r takes edges [r·m/p, (r+1)·m/p).
+    fn my_slice(el: &EdgeList, rank: usize, p: usize) -> Vec<WEdge> {
+        let m = el.len();
+        let lo = rank * m / p;
+        let hi = (rank + 1) * m / p;
+        (lo..hi).map(|i| el.get(i)).collect()
+    }
+
+    #[test]
+    fn path_graph_distributes_correctly() {
+        let el = g500_gen::simple::path(10, 1.0);
+        let rep = Machine::new(MachineConfig::with_ranks(3)).run(|ctx| {
+            let part = Block1D::new(10, 3);
+            let mine = my_slice(&el, ctx.rank(), 3);
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            (g.local_vertices(), g.local_arcs(), g.global_arcs())
+        });
+        // 9 edges → 18 arcs globally
+        assert!(rep.results.iter().all(|&(_, _, ga)| ga == 18));
+        let total_arcs: usize = rep.results.iter().map(|&(_, a, _)| a).sum();
+        assert_eq!(total_arcs, 18);
+        let total_verts: usize = rep.results.iter().map(|&(v, _, _)| v).sum();
+        assert_eq!(total_verts, 10);
+    }
+
+    #[test]
+    fn assembled_graph_matches_sequential_csr() {
+        use g500_graph::{Csr, Directedness};
+        let el = g500_gen::simple::erdos_renyi(40, 200, 5);
+        let p = 4;
+        let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+            let part = Block1D::new(40, p);
+            let mine = my_slice(&el, ctx.rank(), p);
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            // return each local vertex's sorted adjacency with global ids
+            let mut adj: Vec<(u64, Vec<(u64, u32)>)> = Vec::new();
+            for l in 0..g.local_vertices() {
+                let v = part.to_global(ctx.rank(), l);
+                let mut ns: Vec<(u64, u32)> =
+                    g.arcs(l).map(|(t, w)| (t, w.to_bits())).collect();
+                ns.sort_unstable();
+                adj.push((v, ns));
+            }
+            adj
+        });
+        // sequential reference
+        let csr = Csr::from_edges(40, &el, Directedness::Undirected);
+        for rank_adj in rep.results {
+            for (v, ns) in rank_adj {
+                let mut expect: Vec<(u64, u32)> =
+                    csr.arcs(v as usize).map(|(t, w)| (t, w.to_bits())).collect();
+                expect.sort_unstable();
+                assert_eq!(ns, expect, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let el = g500_gen::simple::star(8, 0.5);
+        let rep = Machine::new(MachineConfig::with_ranks(1)).run(|ctx| {
+            let part = Block1D::new(8, 1);
+            let mine: Vec<WEdge> = el.iter().collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            (g.local_vertices(), g.local_arcs(), g.degree(0))
+        });
+        assert_eq!(rep.results[0], (8, 14, 7));
+    }
+
+    #[test]
+    fn traffic_is_charged_for_remote_arcs() {
+        let el = g500_gen::simple::cycle(12, 1.0);
+        let rep = Machine::new(MachineConfig::with_ranks(4)).run(|ctx| {
+            let part = Block1D::new(12, 4);
+            let mine = my_slice(&el, ctx.rank(), 4);
+            assemble_local_graph(ctx, mine.into_iter(), part);
+        });
+        let stats = rep.total_stats();
+        assert!(stats.coll_bytes > 0, "assembly must move arcs between ranks");
+    }
+}

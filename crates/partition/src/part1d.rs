@@ -1,0 +1,179 @@
+//! One-dimensional vertex partitions: contiguous blocks and cyclic striping.
+
+use crate::VertexPartition;
+use g500_graph::VertexId;
+
+/// Balanced contiguous blocks: rank `r` owns an interval of vertices, with
+/// the first `n mod p` ranks owning one extra. Preserves locality of id
+/// ranges (good for compression), but concentrates hubs if labels correlate
+/// with degree — which is why the hybrid partition exists.
+#[derive(Clone, Copy, Debug)]
+pub struct Block1D {
+    n: u64,
+    p: usize,
+}
+
+impl Block1D {
+    /// Partition `n` vertices over `p` ranks.
+    pub fn new(n: u64, p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Self { n, p }
+    }
+
+    #[inline]
+    fn base(&self) -> u64 {
+        self.n / self.p as u64
+    }
+
+    #[inline]
+    fn rem(&self) -> u64 {
+        self.n % self.p as u64
+    }
+
+    /// First global id owned by `rank`.
+    #[inline]
+    pub fn start_of(&self, rank: usize) -> u64 {
+        let r = rank as u64;
+        self.base() * r + r.min(self.rem())
+    }
+}
+
+impl VertexPartition for Block1D {
+    fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn owner(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.n);
+        let base = self.base();
+        let rem = self.rem();
+        let big = rem * (base + 1); // ids covered by the size-(base+1) ranks
+        if v < big {
+            (v / (base + 1)) as usize
+        } else {
+            (rem + (v - big) / base.max(1)) as usize
+        }
+    }
+
+    fn to_local(&self, v: VertexId) -> usize {
+        (v - self.start_of(self.owner(v))) as usize
+    }
+
+    fn to_global(&self, rank: usize, local: usize) -> VertexId {
+        self.start_of(rank) + local as u64
+    }
+
+    fn local_count(&self, rank: usize) -> usize {
+        (self.base() + ((rank as u64) < self.rem()) as u64) as usize
+    }
+}
+
+/// Cyclic striping: vertex `v` lives on rank `v mod p` at local index
+/// `v div p`. Spreads consecutive ids — and therefore hubs clustered by a
+/// degree-descending relabel — uniformly over ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct Cyclic1D {
+    n: u64,
+    p: usize,
+}
+
+impl Cyclic1D {
+    /// Partition `n` vertices over `p` ranks.
+    pub fn new(n: u64, p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Self { n, p }
+    }
+}
+
+impl VertexPartition for Cyclic1D {
+    fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn owner(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.n);
+        (v % self.p as u64) as usize
+    }
+
+    fn to_local(&self, v: VertexId) -> usize {
+        (v / self.p as u64) as usize
+    }
+
+    fn to_global(&self, rank: usize, local: usize) -> VertexId {
+        local as u64 * self.p as u64 + rank as u64
+    }
+
+    fn local_count(&self, rank: usize) -> usize {
+        let p = self.p as u64;
+        let r = rank as u64;
+        (self.n / p + ((self.n % p) > r) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bijection<P: VertexPartition>(part: &P) {
+        let n = part.num_vertices();
+        let p = part.num_ranks();
+        let total: usize = (0..p).map(|r| part.local_count(r)).sum();
+        assert_eq!(total as u64, n, "local counts must cover the vertex set");
+        for v in 0..n {
+            let r = part.owner(v);
+            assert!(r < p);
+            let l = part.to_local(v);
+            assert!(l < part.local_count(r), "local {l} vs count {}", part.local_count(r));
+            assert_eq!(part.to_global(r, l), v);
+        }
+        for r in 0..p {
+            for l in 0..part.local_count(r) {
+                let v = part.to_global(r, l);
+                assert_eq!(part.owner(v), r);
+                assert_eq!(part.to_local(v), l);
+            }
+        }
+    }
+
+    #[test]
+    fn block_bijection_even_and_ragged() {
+        check_bijection(&Block1D::new(100, 4));
+        check_bijection(&Block1D::new(101, 4));
+        check_bijection(&Block1D::new(7, 3));
+        check_bijection(&Block1D::new(3, 8)); // more ranks than vertices
+        check_bijection(&Block1D::new(0, 2));
+    }
+
+    #[test]
+    fn cyclic_bijection() {
+        check_bijection(&Cyclic1D::new(100, 4));
+        check_bijection(&Cyclic1D::new(101, 4));
+        check_bijection(&Cyclic1D::new(3, 8));
+        check_bijection(&Cyclic1D::new(0, 2));
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let part = Block1D::new(10, 3); // sizes 4, 3, 3
+        assert_eq!(part.local_count(0), 4);
+        assert_eq!(part.local_count(1), 3);
+        assert_eq!(part.start_of(1), 4);
+        assert_eq!(part.owner(3), 0);
+        assert_eq!(part.owner(4), 1);
+    }
+
+    #[test]
+    fn cyclic_spreads_consecutive_ids() {
+        let part = Cyclic1D::new(100, 4);
+        let owners: Vec<_> = (0..8).map(|v| part.owner(v)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Two-dimensional (edge) partitioning.
+//!
+//! The Graph500 BFS literature splits the adjacency *matrix* over a
+//! `pr × pc` process grid: edge `(u, v)` lives on the rank at (row block of
+//! `u`, column block of `v`). Frontier exchange then happens within grid
+//! rows/columns only, turning all-to-all traffic into √p-sized collectives.
+//! The SSSP kernel in this repo is 1D (as delta-stepping's per-vertex bucket
+//! state favours), but the 2D map is implemented for the design-space
+//! comparison: the communication-volume bench contrasts the destination
+//! fan-out of 1D vs 2D placements.
+
+use crate::part1d::Block1D;
+use crate::VertexPartition;
+use g500_graph::VertexId;
+
+/// A `pr × pc` process-grid edge partition over `n` vertices.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgePartition2D {
+    rows: Block1D,
+    cols: Block1D,
+    pr: usize,
+    pc: usize,
+}
+
+impl EdgePartition2D {
+    /// Build a grid of `pr` row blocks × `pc` column blocks.
+    pub fn new(n: u64, pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        Self { rows: Block1D::new(n, pr), cols: Block1D::new(n, pc), pr, pc }
+    }
+
+    /// Total ranks in the grid.
+    pub fn num_ranks(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Grid shape `(pr, pc)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.pr, self.pc)
+    }
+
+    /// Rank owning edge `(u, v)`: row-major position in the grid.
+    pub fn owner_edge(&self, u: VertexId, v: VertexId) -> usize {
+        self.rows.owner(u) * self.pc + self.cols.owner(v)
+    }
+
+    /// The set of ranks a vertex's out-edges can live on (its grid row).
+    /// Size `pc` — this is the 2D fan-out bound the comparison bench cites.
+    pub fn row_of_vertex(&self, u: VertexId) -> Vec<usize> {
+        let r = self.rows.owner(u);
+        (0..self.pc).map(|c| r * self.pc + c).collect()
+    }
+
+    /// The grid row and column of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_in_range_and_consistent() {
+        let g = EdgePartition2D::new(100, 3, 4);
+        assert_eq!(g.num_ranks(), 12);
+        for u in (0..100).step_by(7) {
+            for v in (0..100).step_by(11) {
+                let r = g.owner_edge(u, v);
+                assert!(r < 12);
+                let (row, col) = g.coords(r);
+                assert!(row < 3 && col < 4);
+                // all edges from u stay within u's grid row
+                assert!(g.row_of_vertex(u).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn row_fanout_is_pc() {
+        let g = EdgePartition2D::new(64, 4, 4);
+        assert_eq!(g.row_of_vertex(0).len(), 4);
+        // 1D over the same 16 ranks would fan out to 16 ranks
+        assert!(g.row_of_vertex(0).len() < 16);
+    }
+
+    #[test]
+    fn edges_cover_all_ranks() {
+        let g = EdgePartition2D::new(16, 2, 2);
+        let mut seen = vec![false; 4];
+        for u in 0..16 {
+            for v in 0..16 {
+                seen[g.owner_edge(u, v)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,504 @@
+//! Collective operations built from point-to-point messages.
+//!
+//! Every collective is implemented as an explicit message schedule over
+//! [`RankCtx`] sends/receives — the same layering as a real MPI — so its
+//! virtual-time cost *emerges* from the LogGP model rather than being a
+//! formula: a barrier on 64 ranks costs ~2·log₂(64) message latencies
+//! because that is what the binomial trees below actually do.
+//!
+//! Tag discipline: each collective invocation claims a fresh sequence number
+//! from the rank-local counter. SPMD programs call collectives in the same
+//! order on every rank, so sequence numbers agree globally and back-to-back
+//! collectives can never confuse each other's messages even when some ranks
+//! run far ahead.
+
+use crate::rank::{RankCtx, Tag, TrafficClass, TAG_COLLECTIVE_BASE};
+use crate::wire::{decode_vec, encode_slice, Wire};
+
+impl RankCtx {
+    fn coll_tag(&mut self, round: u64) -> Tag {
+        TAG_COLLECTIVE_BASE | (self.coll_seq << 12) | round
+    }
+
+    /// Advance the collective sequence number (tag namespace) and count the
+    /// completed primitive phase. An `allreduce` is two primitive phases
+    /// (reduce + bcast), and `barrier` additionally bumps the barrier
+    /// counter; [`crate::NetStats`] documents that convention.
+    fn next_coll(&mut self) {
+        self.coll_seq += 1;
+        self.bump_collective();
+    }
+
+    fn send_coll<T: Wire>(&mut self, dest: usize, tag: Tag, items: &[T]) {
+        self.send_bytes_class(dest, tag, encode_slice(items), TrafficClass::Collective);
+    }
+
+    fn recv_coll<T: Wire>(&mut self, src: usize, tag: Tag) -> Vec<T> {
+        decode_vec(&self.recv_bytes_class(src, tag)).expect("collective payload type mismatch")
+    }
+
+    /// Reduce all ranks' `value` to rank 0 with the associative, commutative
+    /// `combine`, via a binomial tree (⌈log₂ p⌉ rounds). Non-roots return
+    /// `None`.
+    pub fn reduce_to_root<T: Wire + Clone>(
+        &mut self,
+        value: T,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> Option<T> {
+        let p = self.size();
+        let me = self.rank();
+        let mut acc = value;
+        let mut round = 0u64;
+        let mut step = 1usize;
+        while step < p {
+            let tag = self.coll_tag(round);
+            if me & step != 0 {
+                // I hand off my partial and am done.
+                let dest = me - step;
+                self.send_coll(dest, tag, &[acc.clone()]);
+                // Drain remaining rounds: nothing to do; exit loop.
+                self.next_coll();
+                return None;
+            }
+            let partner = me + step;
+            if partner < p {
+                let other: Vec<T> = self.recv_coll(partner, tag);
+                assert_eq!(other.len(), 1);
+                acc = combine(&acc, &other[0]);
+            }
+            step <<= 1;
+            round += 1;
+        }
+        self.next_coll();
+        if me == 0 {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Broadcast `value` from rank 0 to everyone via a binomial tree.
+    pub fn bcast<T: Wire + Clone>(&mut self, value: Option<T>) -> T {
+        let p = self.size();
+        let me = self.rank();
+        // Highest power of two covering p.
+        let mut top = 1usize;
+        while top < p {
+            top <<= 1;
+        }
+        let mut have: Option<T> = if me == 0 {
+            Some(value.expect("rank 0 must supply the broadcast value"))
+        } else {
+            None
+        };
+        let mut round = 0u64;
+        let mut step = top;
+        while step >= 1 {
+            let tag = self.coll_tag(round);
+            if have.is_some() {
+                let dest = me + step;
+                if me % (step * 2) == 0 && dest < p && step >= 1 {
+                    let v = have.clone().expect("checked");
+                    self.send_coll(dest, tag, &[v]);
+                }
+            } else if me % (step * 2) == step {
+                let src = me - step;
+                let mut got: Vec<T> = self.recv_coll(src, tag);
+                assert_eq!(got.len(), 1);
+                have = got.pop();
+            }
+            if step == 1 {
+                break;
+            }
+            step >>= 1;
+            round += 1;
+        }
+        self.next_coll();
+        have.expect("broadcast tree reached every rank")
+    }
+
+    /// Allreduce: combine every rank's `value`; every rank gets the result.
+    pub fn allreduce<T: Wire + Clone>(&mut self, value: T, combine: impl Fn(&T, &T) -> T) -> T {
+        let root = self.reduce_to_root(value, combine);
+        self.bcast(root)
+    }
+
+    /// Allreduce sum of `u64`.
+    pub fn allreduce_sum(&mut self, v: u64) -> u64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    /// Allreduce sum of `f64`.
+    pub fn allreduce_sum_f64(&mut self, v: f64) -> f64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    /// Allreduce min of `u64`.
+    pub fn allreduce_min(&mut self, v: u64) -> u64 {
+        self.allreduce(v, |a, b| *a.min(b))
+    }
+
+    /// Allreduce max of `u64`.
+    pub fn allreduce_max(&mut self, v: u64) -> u64 {
+        self.allreduce(v, |a, b| *a.max(b))
+    }
+
+    /// Allreduce logical-and (consensus "everyone done?" check).
+    pub fn allreduce_and(&mut self, v: bool) -> bool {
+        self.allreduce(v as u64, |a, b| a & b) == 1
+    }
+
+    /// Barrier: no payload, everyone leaves only after everyone entered.
+    pub fn barrier(&mut self) {
+        self.allreduce(0u8, |_, _| 0u8);
+        self.bump_barrier();
+    }
+
+    /// Ring allgather: every rank contributes a variably-sized block of
+    /// `T`s; returns all blocks indexed by rank. `p − 1` rounds, each rank
+    /// forwarding the block it received the previous round — the classic
+    /// bandwidth-optimal schedule.
+    pub fn allgatherv<T: Wire + Clone>(&mut self, mine: &[T]) -> Vec<Vec<T>> {
+        let p = self.size();
+        let me = self.rank();
+        let mut blocks: Vec<Option<Vec<T>>> = vec![None; p];
+        blocks[me] = Some(mine.to_vec());
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        for step in 0..p.saturating_sub(1) {
+            let tag = self.coll_tag(step as u64);
+            let send_idx = (me + p - step) % p;
+            let to_send = blocks[send_idx].clone().expect("block owned by schedule");
+            self.send_coll(next, tag, &to_send);
+            let recv_idx = (prev + p - step) % p;
+            let got: Vec<T> = self.recv_coll(prev, tag);
+            blocks[recv_idx] = Some(got);
+        }
+        self.next_coll();
+        blocks
+            .into_iter()
+            .map(|b| b.expect("ring covered all ranks"))
+            .collect()
+    }
+
+    /// Personalised all-to-all: `out[d]` is delivered to rank `d`; returns
+    /// the blocks received, indexed by source rank (own block moved across
+    /// directly, free of network charge).
+    pub fn alltoallv<T: Wire + Clone>(&mut self, out: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let me = self.rank();
+        assert_eq!(out.len(), p, "alltoallv needs one buffer per rank");
+        let tag = self.coll_tag(0);
+        let mut result: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut own: Option<Vec<T>> = None;
+        for (d, buf) in out.into_iter().enumerate() {
+            if d == me {
+                own = Some(buf);
+            } else {
+                self.send_coll(d, tag, &buf);
+            }
+        }
+        for s in 0..p {
+            if s == me {
+                result.push(own.take().expect("own block set above"));
+            } else {
+                result.push(self.recv_coll(s, tag));
+            }
+        }
+        self.next_coll();
+        result
+    }
+
+    /// Gather all ranks' single value at rank 0 (others return `None`).
+    pub fn gather_to_root<T: Wire + Clone>(&mut self, value: T) -> Option<Vec<T>> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag(0);
+        if me == 0 {
+            let mut all = Vec::with_capacity(p);
+            all.push(value);
+            for s in 1..p {
+                all.push(self.recv_one_coll::<T>(s, tag));
+            }
+            self.next_coll();
+            Some(all)
+        } else {
+            self.send_coll(0, tag, &[value]);
+            self.next_coll();
+            None
+        }
+    }
+
+    fn recv_one_coll<T: Wire>(&mut self, src: usize, tag: Tag) -> T {
+        let mut v: Vec<T> = self.recv_coll(src, tag);
+        assert_eq!(v.len(), 1);
+        v.pop().expect("length checked")
+    }
+
+    /// Exclusive prefix scan: rank `r` receives
+    /// `v₀ ⊕ … ⊕ v_{r−1}` (the identity on rank 0). `combine` must be an
+    /// **associative** monoid operation with `identity` as its unit (it
+    /// need not be commutative — rank order is preserved). The classic use
+    /// is assigning disjoint global id ranges from local counts.
+    /// Hillis–Steele schedule: ⌈log₂ p⌉ rounds.
+    pub fn exscan<T: Wire + Clone>(
+        &mut self,
+        value: T,
+        identity: T,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> T {
+        let p = self.size();
+        let me = self.rank();
+        // acc = inclusive scan of my prefix; result = exclusive part
+        let mut acc = value;
+        let mut result = identity;
+        let mut round = 0u64;
+        let mut step = 1usize;
+        while step < p {
+            let tag = self.coll_tag(round);
+            if me + step < p {
+                self.send_coll(me + step, tag, &[acc.clone()]);
+            }
+            if me >= step {
+                let got: T = self.recv_one_coll(me - step, tag);
+                result = combine(&got, &result);
+                acc = combine(&got, &acc);
+            }
+            step <<= 1;
+            round += 1;
+        }
+        self.next_coll();
+        result
+    }
+
+    /// Exclusive prefix sum of `u64` (id-range assignment).
+    pub fn exscan_sum(&mut self, v: u64) -> u64 {
+        self.exscan(v, 0, |a, b| a + b)
+    }
+
+    /// Reduce-scatter: element-wise reduce `p` same-length blocks across
+    /// ranks, then hand rank `r` the `r`-th reduced block. Implemented as
+    /// an all-to-all of per-destination blocks followed by a local reduce —
+    /// the "pairwise exchange" schedule, whose traffic (each rank ships
+    /// p−1 blocks) is what a real implementation pays.
+    pub fn reduce_scatter<T: Wire + Clone>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> Vec<T> {
+        let p = self.size();
+        assert_eq!(blocks.len(), p, "one block per destination rank");
+        let received = self.alltoallv(blocks);
+        let mut it = received.into_iter();
+        let mut acc = it.next().expect("p >= 1 blocks");
+        for block in it {
+            assert_eq!(block.len(), acc.len(), "reduce_scatter blocks must align");
+            for (a, b) in acc.iter_mut().zip(&block) {
+                *a = combine(a, b);
+            }
+        }
+        self.next_coll();
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{Machine, MachineConfig};
+
+    /// Every collective is exercised at both power-of-two and ragged rank
+    /// counts — the binomial trees and the ring have different edge cases.
+    const SIZES: [usize; 5] = [1, 2, 3, 5, 8];
+
+    #[test]
+    fn allreduce_sum_and_min_max() {
+        for p in SIZES {
+            let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                let me = ctx.rank() as u64;
+                (
+                    ctx.allreduce_sum(me + 1),
+                    ctx.allreduce_min(me + 10),
+                    ctx.allreduce_max(me + 10),
+                )
+            });
+            let expect_sum: u64 = (1..=p as u64).sum();
+            for r in rep.results {
+                assert_eq!(r, (expect_sum, 10, 9 + p as u64), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_and_consensus() {
+        let rep = Machine::new(MachineConfig::with_ranks(4))
+            .run(|ctx| (ctx.allreduce_and(true), ctx.allreduce_and(ctx.rank() != 2)));
+        for r in rep.results {
+            assert_eq!(r, (true, false));
+        }
+    }
+
+    #[test]
+    fn allreduce_f64() {
+        let rep = Machine::new(MachineConfig::with_ranks(5))
+            .run(|ctx| ctx.allreduce_sum_f64(0.5 * (ctx.rank() as f64 + 1.0)));
+        for r in rep.results {
+            assert!((r - 7.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        for p in SIZES {
+            let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                let v = if ctx.rank() == 0 { Some(1234u64) } else { None };
+                ctx.bcast(v)
+            });
+            assert!(rep.results.iter().all(|&v| v == 1234), "p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_to_root_only_root_gets_value() {
+        let rep = Machine::new(MachineConfig::with_ranks(6))
+            .run(|ctx| ctx.reduce_to_root(ctx.rank() as u64, |a, b| a + b));
+        assert_eq!(rep.results[0], Some(15));
+        assert!(rep.results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn allgatherv_variable_blocks() {
+        for p in SIZES {
+            let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                let me = ctx.rank() as u64;
+                // rank r contributes r+1 copies of r
+                let mine: Vec<u64> = vec![me; ctx.rank() + 1];
+                ctx.allgatherv(&mine)
+            });
+            for blocks in rep.results {
+                assert_eq!(blocks.len(), p);
+                for (r, b) in blocks.iter().enumerate() {
+                    assert_eq!(b, &vec![r as u64; r + 1], "p={p} block {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_personalized_exchange() {
+        for p in SIZES {
+            let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                let me = ctx.rank() as u64;
+                // message to rank d encodes (me, d)
+                let out: Vec<Vec<(u64, u64)>> =
+                    (0..ctx.size()).map(|d| vec![(me, d as u64)]).collect();
+                ctx.alltoallv(out)
+            });
+            for (r, blocks) in rep.results.iter().enumerate() {
+                for (s, b) in blocks.iter().enumerate() {
+                    assert_eq!(b, &vec![(s as u64, r as u64)], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_to_root_collects_in_rank_order() {
+        let rep = Machine::new(MachineConfig::with_ranks(5))
+            .run(|ctx| ctx.gather_to_root(ctx.rank() as u64 * 2));
+        assert_eq!(rep.results[0], Some(vec![0, 2, 4, 6, 8]));
+        assert!(rep.results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn barrier_counts_and_back_to_back_collectives() {
+        let rep = Machine::new(MachineConfig::with_ranks(4)).run(|ctx| {
+            // back-to-back collectives with skewed ranks must not cross-talk
+            if ctx.rank() == 0 {
+                ctx.charge_compute(5_000_000);
+            }
+            let a = ctx.allreduce_sum(1);
+            ctx.barrier();
+            let b = ctx.allreduce_sum(2);
+            (a, b)
+        });
+        for r in &rep.results {
+            assert_eq!(*r, (4, 8));
+        }
+        assert!(rep.stats.iter().all(|s| s.barriers == 1));
+    }
+
+    #[test]
+    fn exscan_assigns_disjoint_ranges() {
+        for p in SIZES {
+            let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                let count = (ctx.rank() as u64 + 1) * 10; // rank r owns 10(r+1) items
+                ctx.exscan_sum(count)
+            });
+            let mut expect = 0u64;
+            for (r, &start) in rep.results.iter().enumerate() {
+                assert_eq!(start, expect, "p={p} rank {r}");
+                expect += (r as u64 + 1) * 10;
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_non_commutative_monoid() {
+        // 2x2 matrix product: associative, non-commutative, identity I —
+        // verifies the scan preserves rank order, not just totals
+        type M = (u64, u64, u64, u64);
+        fn mul(a: &M, b: &M) -> M {
+            (
+                a.0 * b.0 + a.1 * b.2,
+                a.0 * b.1 + a.1 * b.3,
+                a.2 * b.0 + a.3 * b.2,
+                a.2 * b.1 + a.3 * b.3,
+            )
+        }
+        let ident: M = (1, 0, 0, 1);
+        let rep = Machine::new(MachineConfig::with_ranks(5)).run(|ctx| {
+            let r = ctx.rank() as u64;
+            let mine: M = (1, r + 1, 0, 1); // upper-triangular shear by r+1
+            ctx.exscan(mine, ident, mul)
+        });
+        // sequential reference
+        let mut expect = Vec::new();
+        let mut acc = ident;
+        for r in 0..5u64 {
+            expect.push(acc);
+            acc = mul(&acc, &(1, r + 1, 0, 1));
+        }
+        assert_eq!(rep.results, expect);
+    }
+
+    #[test]
+    fn reduce_scatter_elementwise() {
+        for p in SIZES {
+            let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+                let me = ctx.rank() as u64;
+                // block for rank d: [me + d, me + d] (len 2)
+                let blocks: Vec<Vec<u64>> =
+                    (0..ctx.size() as u64).map(|d| vec![me + d, me * d]).collect();
+                ctx.reduce_scatter(blocks, |a, b| a + b)
+            });
+            let sum_r: u64 = (0..p as u64).sum();
+            for (r, block) in rep.results.iter().enumerate() {
+                let r = r as u64;
+                assert_eq!(block[0], sum_r + r * p as u64, "p={p}");
+                assert_eq!(block[1], sum_r * r, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_traffic_is_metered() {
+        let rep =
+            Machine::new(MachineConfig::with_ranks(8)).run(|ctx| ctx.allreduce_sum(1));
+        let total = rep.total_stats();
+        assert!(total.coll_msgs > 0);
+        assert!(total.coll_bytes > 0);
+        assert_eq!(total.user_msgs, 0);
+        // sim time should reflect at least a couple of message latencies
+        assert!(rep.sim_time_s > 1e-6);
+    }
+}

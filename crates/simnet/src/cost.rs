@@ -1,0 +1,184 @@
+//! The network/compute cost model that turns measured traffic into
+//! simulated time.
+//!
+//! We use the LogGP family: a message of `n` bytes from `a` to `b` costs the
+//! sender `o` (send overhead) and is available to the receiver at
+//! `send_time + o + L·hops(a, b) + G·n`, where `hops` comes from the
+//! interconnect [`Topology`]. Compute is charged at a flat rate of abstract
+//! "operations" per second, where one operation ≈ one edge relaxation or one
+//! vertex scan — the natural unit of graph kernels.
+//!
+//! The default constants approximate one rank = one node of a Sunway-class
+//! system (µs-scale MPI latency, ~10 GB/s injection bandwidth, ~1 Gops/s of
+//! irregular-memory graph work per rank). Absolute values are *models*, not
+//! measurements; experiments report shapes and ratios, which are insensitive
+//! to moderate constant changes (EXPERIMENTS.md discusses sensitivity).
+
+/// Interconnect topologies, used to scale per-message latency by hop count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Full crossbar: every pair one hop. The idealised baseline.
+    Crossbar,
+    /// A fat tree with the given switch radix; ranks are leaves. Hops =
+    /// 2 × (levels to the lowest common ancestor).
+    FatTree {
+        /// Switch radix (children per switch), ≥ 2.
+        radix: u32,
+    },
+    /// A 2D torus of `w × h` ranks (rank r at `(r % w, r / w)`); hop count is
+    /// the Manhattan distance with wraparound. Models the Sunway-style
+    /// multi-dimensional interconnect where neighbor exchanges are cheap and
+    /// bisection traffic is not.
+    Torus2D {
+        /// Torus width.
+        w: u32,
+        /// Torus height.
+        h: u32,
+    },
+    /// Dragonfly-like: ranks in groups of `group`; 1 hop within a group,
+    /// 3 hops across (local–global–local).
+    Dragonfly {
+        /// Ranks per group, ≥ 1.
+        group: u32,
+    },
+}
+
+impl Topology {
+    /// Number of network hops between ranks `a` and `b`.
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Crossbar => 1,
+            Topology::FatTree { radix } => {
+                let radix = radix.max(2) as u64;
+                let (mut x, mut y) = (a as u64, b as u64);
+                let mut level = 0;
+                while x != y {
+                    x /= radix;
+                    y /= radix;
+                    level += 1;
+                }
+                2 * level
+            }
+            Topology::Torus2D { w, h } => {
+                let (w, h) = (w.max(1) as u64, h.max(1) as u64);
+                let (ax, ay) = (a as u64 % w, (a as u64 / w) % h);
+                let (bx, by) = (b as u64 % w, (b as u64 / w) % h);
+                let dx = ax.abs_diff(bx).min(w - ax.abs_diff(bx));
+                let dy = ay.abs_diff(by).min(h - ay.abs_diff(by));
+                (dx + dy).max(1) as u32
+            }
+            Topology::Dragonfly { group } => {
+                let g = group.max(1) as usize;
+                if a / g == b / g {
+                    1
+                } else {
+                    3
+                }
+            }
+        }
+    }
+}
+
+/// LogGP-style per-message cost parameters (seconds / seconds-per-byte).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogGP {
+    /// Per-hop wire latency (s).
+    pub latency: f64,
+    /// CPU overhead per message at each end (s).
+    pub overhead: f64,
+    /// Time per payload byte (s), i.e. 1 / bandwidth.
+    pub per_byte: f64,
+}
+
+impl Default for LogGP {
+    fn default() -> Self {
+        Self {
+            latency: 1.0e-6,        // 1 µs per hop
+            overhead: 0.5e-6,       // 0.5 µs send/recv CPU cost
+            per_byte: 1.0 / 10.0e9, // 10 GB/s injection bandwidth
+        }
+    }
+}
+
+impl LogGP {
+    /// Time from send call to the payload being deliverable, over `hops`.
+    #[inline]
+    pub fn transit(&self, bytes: usize, hops: u32) -> f64 {
+        self.latency * hops as f64 + self.per_byte * bytes as f64
+    }
+}
+
+/// Per-rank compute throughput model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeModel {
+    /// Abstract graph operations (edge relaxations, vertex scans) per second.
+    pub ops_per_sec: f64,
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        Self { ops_per_sec: 1.0e9 }
+    }
+}
+
+impl ComputeModel {
+    /// Seconds charged for `ops` operations.
+    #[inline]
+    pub fn seconds(&self, ops: u64) -> f64 {
+        ops as f64 / self.ops_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_hops() {
+        let t = Topology::Crossbar;
+        assert_eq!(t.hops(3, 3), 0);
+        assert_eq!(t.hops(0, 63), 1);
+    }
+
+    #[test]
+    fn fat_tree_hops_grow_with_distance() {
+        let t = Topology::FatTree { radix: 4 };
+        assert_eq!(t.hops(0, 1), 2); // same leaf switch
+        assert_eq!(t.hops(0, 4), 4); // one level up
+        assert_eq!(t.hops(0, 16), 6);
+        assert_eq!(t.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let t = Topology::Torus2D { w: 4, h: 4 };
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 3), 1); // wraparound x
+        assert_eq!(t.hops(0, 12), 1); // wraparound y
+        assert_eq!(t.hops(0, 5), 2); // diagonal
+        assert_eq!(t.hops(0, 10), 4); // opposite corner: 2 + 2
+    }
+
+    #[test]
+    fn dragonfly_local_vs_global() {
+        let t = Topology::Dragonfly { group: 8 };
+        assert_eq!(t.hops(0, 7), 1);
+        assert_eq!(t.hops(0, 8), 3);
+    }
+
+    #[test]
+    fn loggp_transit_scales() {
+        let m = LogGP { latency: 1e-6, overhead: 0.0, per_byte: 1e-9 };
+        assert!((m.transit(0, 1) - 1e-6).abs() < 1e-15);
+        assert!((m.transit(1000, 2) - (2e-6 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compute_seconds() {
+        let c = ComputeModel { ops_per_sec: 1e9 };
+        assert!((c.seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Machine construction and SPMD launch.
+
+use crate::cost::{ComputeModel, LogGP, Topology};
+use crate::rank::{Envelope, RankCtx};
+use crate::stats::NetStats;
+use crossbeam::channel::unbounded;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a simulated machine.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of ranks (processes) in the job.
+    pub ranks: usize,
+    /// Per-message cost parameters.
+    pub loggp: LogGP,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Per-rank compute throughput.
+    pub compute: ComputeModel,
+}
+
+impl MachineConfig {
+    /// `ranks` ranks on a crossbar with default LogGP/compute constants.
+    pub fn with_ranks(ranks: usize) -> Self {
+        Self {
+            ranks,
+            loggp: LogGP::default(),
+            topology: Topology::Crossbar,
+            compute: ComputeModel::default(),
+        }
+    }
+
+    /// Builder-style topology override.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Builder-style LogGP override.
+    pub fn loggp(mut self, l: LogGP) -> Self {
+        self.loggp = l;
+        self
+    }
+
+    /// Builder-style compute-model override.
+    pub fn compute(mut self, c: ComputeModel) -> Self {
+        self.compute = c;
+        self
+    }
+}
+
+/// What a run produced: per-rank results and accounting.
+#[derive(Debug)]
+pub struct SimReport<R> {
+    /// Return value of the SPMD closure on each rank, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank traffic/time counters, indexed by rank.
+    pub stats: Vec<NetStats>,
+    /// Simulated job time: the maximum final virtual clock over ranks.
+    pub sim_time_s: f64,
+    /// Host wall-clock seconds the simulation itself took.
+    pub wall_time_s: f64,
+}
+
+impl<R> SimReport<R> {
+    /// Aggregate traffic over all ranks.
+    pub fn total_stats(&self) -> NetStats {
+        crate::stats::aggregate(&self.stats)
+    }
+}
+
+/// A simulated machine, ready to run SPMD jobs.
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Build a machine from `cfg`. Panics if `cfg.ranks == 0`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.ranks > 0, "a machine needs at least one rank");
+        Machine { cfg }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run `f` as an SPMD program: one OS thread per rank, each receiving
+    /// its own [`RankCtx`]. Returns when every rank's closure returns.
+    ///
+    /// A panic on any rank propagates out of `run` (with the rank id in the
+    /// message), mirroring a fail-stop job abort.
+    pub fn run<R, F>(&self, f: F) -> SimReport<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let p = self.cfg.ranks;
+        let start = std::time::Instant::now();
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| unbounded::<Envelope>()).unzip();
+        let abort = Arc::new(AtomicBool::new(false));
+
+        let outcome: Vec<(R, NetStats, f64)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let cfg = self.cfg;
+                let f = &f;
+                let abort = Arc::clone(&abort);
+                let h = std::thread::Builder::new()
+                    .name(format!("simnet-rank-{rank}"))
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = RankCtx::new(
+                            rank,
+                            p,
+                            senders,
+                            rx,
+                            cfg.loggp,
+                            cfg.topology,
+                            cfg.compute,
+                            Arc::clone(&abort),
+                        );
+                        // Fail-stop semantics: a panic on one rank raises the
+                        // abort flag so peers blocked in recv abort too,
+                        // instead of deadlocking the job.
+                        let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&mut ctx),
+                        )) {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                abort.store(true, Ordering::Release);
+                                std::panic::resume_unwind(payload);
+                            }
+                        };
+                        let (stats, now) = ctx.into_stats();
+                        (r, stats, now)
+                    })
+                    .expect("spawning a rank thread");
+                handles.push(h);
+            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        // surface the original panic text so job aborts are
+                        // debuggable from the top-level message
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".into());
+                        panic!("rank {rank} panicked: {msg}")
+                    })
+                })
+                .collect()
+        });
+
+        let mut results = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        let mut sim_time_s: f64 = 0.0;
+        for (r, s, now) in outcome {
+            results.push(r);
+            stats.push(s);
+            sim_time_s = sim_time_s.max(now);
+        }
+        SimReport { results, stats, sim_time_s, wall_time_s: start.elapsed().as_secs_f64() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let rep = Machine::new(MachineConfig::with_ranks(1)).run(|ctx| {
+            ctx.charge_compute(1_000_000);
+            ctx.rank()
+        });
+        assert_eq!(rep.results, vec![0]);
+        assert!(rep.sim_time_s > 0.0);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let rep = Machine::new(MachineConfig::with_ranks(2)).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, &[1u64, 2, 3]);
+                ctx.recv::<u64>(1, 8)
+            } else {
+                let got = ctx.recv::<u64>(0, 7);
+                ctx.send(0, 8, &[got.iter().sum::<u64>()]);
+                got
+            }
+        });
+        assert_eq!(rep.results[0], vec![6]);
+        assert_eq!(rep.results[1], vec![1, 2, 3]);
+        // one user message each way
+        assert_eq!(rep.stats[0].user_msgs, 1);
+        assert_eq!(rep.stats[1].user_msgs, 1);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let rep = Machine::new(MachineConfig::with_ranks(2)).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_one(1, 2, 222u64);
+                ctx.send_one(1, 1, 111u64);
+                0
+            } else {
+                let first: u64 = ctx.recv_one(0, 1);
+                let second: u64 = ctx.recv_one(0, 2);
+                assert_eq!((first, second), (111, 222));
+                1
+            }
+        });
+        assert_eq!(rep.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn virtual_time_accounts_for_transit() {
+        let cfg = MachineConfig::with_ranks(2);
+        let rep = Machine::new(cfg).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_one(1, 1, 42u64);
+            } else {
+                let _: u64 = ctx.recv_one(0, 1);
+            }
+            ctx.now()
+        });
+        // receiver's clock must include latency + overheads
+        assert!(rep.results[1] >= cfg.loggp.latency);
+        assert!(rep.sim_time_s >= rep.results[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn rank_panic_propagates() {
+        // Rank 1 fails; ranks that would wait on it must not deadlock.
+        Machine::new(MachineConfig::with_ranks(2)).run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected fault");
+            }
+            // rank 0 blocks on a message that will never come; the channel
+            // disconnect from rank 1's teardown unblocks it with a panic.
+            ctx.recv::<u64>(1, 9);
+        });
+    }
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let rep = Machine::new(MachineConfig::with_ranks(8)).run(|ctx| ctx.rank() * 10);
+        assert_eq!(rep.results, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+}

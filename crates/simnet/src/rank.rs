@@ -1,0 +1,263 @@
+//! Per-rank execution context: mailboxes, virtual clock, point-to-point
+//! messaging.
+//!
+//! A [`RankCtx`] is handed to the SPMD closure for each rank. It owns the
+//! rank's receive channel, sender handles to every peer, the rank's virtual
+//! clock, and its traffic counters. Message *matching* follows MPI: a
+//! receive names `(source, tag)` and non-matching envelopes are parked in a
+//! pending queue — this is what keeps back-to-back collectives from stealing
+//! each other's traffic even when ranks run arbitrarily skewed.
+
+use crate::cost::{ComputeModel, LogGP, Topology};
+use crate::stats::NetStats;
+use crate::wire::{decode_vec, encode_slice, Wire};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag. Application tags must be `< TAG_COLLECTIVE_BASE`.
+pub type Tag = u64;
+
+/// Tags at or above this value are reserved for internal collectives.
+pub const TAG_COLLECTIVE_BASE: Tag = 1 << 48;
+
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    /// Virtual time at which the payload is available at the receiver.
+    pub arrive: f64,
+    pub payload: Vec<u8>,
+}
+
+/// Which accounting bucket a send belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TrafficClass {
+    User,
+    Collective,
+}
+
+/// The per-rank handle: identity, clock, mailbox, counters.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+    now: f64,
+    loggp: LogGP,
+    topo: Topology,
+    compute: ComputeModel,
+    stats: NetStats,
+    pub(crate) coll_seq: u64,
+    subcomm_counter: u64,
+    /// Set when any rank panics; waiting ranks notice and abort too, so a
+    /// single fault fail-stops the whole job instead of deadlocking it.
+    abort: Arc<AtomicBool>,
+}
+
+impl RankCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Envelope>>,
+        rx: Receiver<Envelope>,
+        loggp: LogGP,
+        topo: Topology,
+        compute: ComputeModel,
+        abort: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            senders,
+            rx,
+            pending: VecDeque::new(),
+            now: 0.0,
+            loggp,
+            topo,
+            compute,
+            stats: NetStats::default(),
+            coll_seq: 0,
+            subcomm_counter: 0,
+            abort,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The rank's virtual clock, in simulated seconds since launch.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Snapshot of the traffic counters so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    pub(crate) fn into_stats(self) -> (NetStats, f64) {
+        (self.stats, self.now)
+    }
+
+    pub(crate) fn bump_collective(&mut self) {
+        self.stats.collectives += 1;
+    }
+
+    pub(crate) fn bump_barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Allocate the next sub-communicator namespace id. SPMD programs call
+    /// `split` in the same order everywhere, so ids agree globally.
+    pub(crate) fn next_subcomm_id(&mut self) -> u64 {
+        let id = self.subcomm_counter;
+        self.subcomm_counter += 1;
+        id
+    }
+
+    /// Charge `ops` abstract compute operations (edge relaxations, vertex
+    /// scans) against the virtual clock.
+    pub fn charge_compute(&mut self, ops: u64) {
+        let dt = self.compute.seconds(ops);
+        self.now += dt;
+        self.stats.compute_s += dt;
+    }
+
+    /// Charge an explicit number of simulated seconds of compute (for costs
+    /// that are not op-shaped, e.g. a modeled sort).
+    pub fn charge_seconds(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.now += dt;
+        self.stats.compute_s += dt;
+    }
+
+    pub(crate) fn send_bytes_class(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        class: TrafficClass,
+    ) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        let bytes = payload.len() as u64;
+        match class {
+            TrafficClass::User => {
+                debug_assert!(tag < TAG_COLLECTIVE_BASE, "tag collides with collective space");
+                self.stats.user_msgs += 1;
+                self.stats.user_bytes += bytes;
+            }
+            TrafficClass::Collective => {
+                self.stats.coll_msgs += 1;
+                self.stats.coll_bytes += bytes;
+            }
+        }
+        // Sender-side overhead.
+        self.now += self.loggp.overhead;
+        self.stats.comm_s += self.loggp.overhead;
+        let hops = self.topo.hops(self.rank, dest);
+        let arrive = self.now + self.loggp.transit(payload.len(), hops);
+        let env = Envelope { src: self.rank, tag, arrive, payload };
+        self.senders[dest].send(env).expect("peer rank hung up (panicked?)");
+    }
+
+    /// Send a raw byte payload to `dest` with `tag`.
+    pub fn send_bytes(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) {
+        self.send_bytes_class(dest, tag, payload, TrafficClass::User);
+    }
+
+    /// Send a slice of typed records.
+    pub fn send<T: Wire>(&mut self, dest: usize, tag: Tag, items: &[T]) {
+        self.send_bytes(dest, tag, encode_slice(items));
+    }
+
+    pub(crate) fn recv_bytes_class(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        // First look in the pending queue.
+        if let Some(idx) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            let env = self.pending.remove(idx).expect("index just found");
+            return self.consume(env);
+        }
+        // Otherwise pull from the channel, parking non-matching envelopes.
+        // Poll with a timeout so a fault elsewhere (abort flag) is noticed
+        // instead of waiting forever on a message that will never come.
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return self.consume(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.abort.load(Ordering::Acquire) {
+                        panic!(
+                            "rank {}: job aborted — another rank failed while this rank \
+                             was waiting for ({src}, tag {tag})",
+                            self.rank
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "rank {}: all peers hung up while waiting for ({src}, tag {tag})",
+                        self.rank
+                    );
+                }
+            }
+        }
+    }
+
+    fn consume(&mut self, env: Envelope) -> Vec<u8> {
+        // Wait until the payload has arrived in virtual time, then pay the
+        // receiver-side overhead.
+        if env.arrive > self.now {
+            self.stats.comm_s += env.arrive - self.now;
+            self.now = env.arrive;
+        }
+        self.now += self.loggp.overhead;
+        self.stats.comm_s += self.loggp.overhead;
+        env.payload
+    }
+
+    /// Receive the raw payload of the next message from `(src, tag)`.
+    /// Blocks (in host time) until it arrives.
+    pub fn recv_bytes(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        self.recv_bytes_class(src, tag)
+    }
+
+    /// Receive a slice of typed records from `(src, tag)`.
+    ///
+    /// Panics if the payload does not decode as a whole number of `T`s —
+    /// that is always a program bug (mismatched send/recv types), not a
+    /// runtime condition.
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> Vec<T> {
+        decode_vec(&self.recv_bytes(src, tag))
+            .expect("payload does not decode as the receiver's record type")
+    }
+
+    /// Convenience: send a single record.
+    pub fn send_one<T: Wire>(&mut self, dest: usize, tag: Tag, item: T) {
+        self.send(dest, tag, &[item]);
+    }
+
+    /// Convenience: receive exactly one record.
+    pub fn recv_one<T: Wire>(&mut self, src: usize, tag: Tag) -> T {
+        let mut v = self.recv::<T>(src, tag);
+        assert_eq!(v.len(), 1, "expected exactly one record");
+        v.pop().expect("length checked")
+    }
+}

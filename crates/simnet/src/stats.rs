@@ -1,0 +1,91 @@
+//! Per-rank traffic and time accounting.
+//!
+//! Every experiment in the reconstructed evaluation ultimately reads these
+//! counters: message counts and bytes drive the communication-volume figures
+//! (F6), superstep counts explain bucket fusion (F4), and the virtual-clock
+//! components split compute from communication in the breakdown figure.
+
+/// Counters one rank accumulates over a run.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct NetStats {
+    /// Point-to-point messages sent by application code.
+    pub user_msgs: u64,
+    /// Application payload bytes sent.
+    pub user_bytes: u64,
+    /// Messages sent on behalf of collectives (barriers, reductions, …).
+    pub coll_msgs: u64,
+    /// Collective payload bytes sent.
+    pub coll_bytes: u64,
+    /// Number of barrier operations entered.
+    pub barriers: u64,
+    /// Number of collective operations entered (excluding bare barriers).
+    pub collectives: u64,
+    /// Virtual seconds spent in modeled compute.
+    pub compute_s: f64,
+    /// Virtual seconds spent blocked on communication (clock jumps while
+    /// waiting for messages, plus per-message overheads).
+    pub comm_s: f64,
+}
+
+impl NetStats {
+    /// Total messages of both classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.user_msgs + self.coll_msgs
+    }
+
+    /// Total bytes of both classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.user_bytes + self.coll_bytes
+    }
+
+    /// Element-wise accumulate (for cross-rank aggregation).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.user_msgs += other.user_msgs;
+        self.user_bytes += other.user_bytes;
+        self.coll_msgs += other.coll_msgs;
+        self.coll_bytes += other.coll_bytes;
+        self.barriers += other.barriers;
+        self.collectives += other.collectives;
+        self.compute_s += other.compute_s;
+        self.comm_s += other.comm_s;
+    }
+}
+
+/// Aggregate a set of per-rank stats into totals.
+pub fn aggregate(all: &[NetStats]) -> NetStats {
+    let mut out = NetStats::default();
+    for s in all {
+        out.merge(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let a = NetStats {
+            user_msgs: 1,
+            user_bytes: 10,
+            coll_msgs: 2,
+            coll_bytes: 20,
+            barriers: 3,
+            collectives: 4,
+            compute_s: 0.5,
+            comm_s: 0.25,
+        };
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.user_msgs, 2);
+        assert_eq!(b.total_bytes(), 60);
+        assert_eq!(b.barriers, 6);
+        assert!((b.compute_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_default() {
+        assert_eq!(aggregate(&[]), NetStats::default());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fixed-layout wire encoding for typed messages.
+//!
+//! Simnet messages are byte vectors; this module provides the little-endian
+//! codec that turns records into bytes and back. It is deliberately a plain
+//! hand-rolled format (no serde): the message hot path of the SSSP kernel
+//! encodes billions of 16-byte relaxation records, and a fixed-layout codec
+//! keeps that a couple of `to_le_bytes` stores — the same reasoning the
+//! Performance Book applies to serialization-heavy inner loops.
+
+/// A type with a fixed-size little-endian wire layout.
+pub trait Wire: Sized {
+    /// Encoded size in bytes (constant per type).
+    const SIZE: usize;
+
+    /// Append the encoding of `self` to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+
+    /// Decode from `buf[*pos..]`, advancing `*pos`. `None` if truncated.
+    fn read(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+macro_rules! wire_prim {
+    ($t:ty) => {
+        impl Wire for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                let end = pos.checked_add(Self::SIZE)?;
+                let bytes = buf.get(*pos..end)?;
+                *pos = end;
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    };
+}
+
+wire_prim!(u8);
+wire_prim!(u16);
+wire_prim!(u32);
+wire_prim!(u64);
+wire_prim!(i32);
+wire_prim!(i64);
+wire_prim!(f32);
+wire_prim!(f64);
+
+impl Wire for () {
+    const SIZE: usize = 0;
+
+    #[inline]
+    fn write(&self, _out: &mut Vec<u8>) {}
+
+    #[inline]
+    fn read(_buf: &[u8], _pos: &mut usize) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Wire for bool {
+    const SIZE: usize = 1;
+
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    #[inline]
+    fn read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        Some(b != 0)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+    }
+
+    #[inline]
+    fn read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::read(buf, pos)?, B::read(buf, pos)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE;
+
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+    }
+
+    #[inline]
+    fn read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::read(buf, pos)?, B::read(buf, pos)?, C::read(buf, pos)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE + D::SIZE;
+
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+        self.3.write(out);
+    }
+
+    #[inline]
+    fn read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::read(buf, pos)?, B::read(buf, pos)?, C::read(buf, pos)?, D::read(buf, pos)?))
+    }
+}
+
+/// Encode a slice of records into a fresh byte buffer.
+pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(items.len() * T::SIZE);
+    for it in items {
+        it.write(&mut out);
+    }
+    out
+}
+
+/// Decode a whole buffer of records. `None` if the length is not a multiple
+/// of the record size or a record is malformed.
+pub fn decode_vec<T: Wire>(buf: &[u8]) -> Option<Vec<T>> {
+    if T::SIZE == 0 {
+        return if buf.is_empty() { Some(Vec::new()) } else { None };
+    }
+    if buf.len() % T::SIZE != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(buf.len() / T::SIZE);
+    let mut pos = 0;
+    while pos < buf.len() {
+        out.push(T::read(buf, &mut pos)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        42u64.write(&mut buf);
+        (-7i64).write(&mut buf);
+        1.5f32.write(&mut buf);
+        true.write(&mut buf);
+        let mut pos = 0;
+        assert_eq!(u64::read(&buf, &mut pos), Some(42));
+        assert_eq!(i64::read(&buf, &mut pos), Some(-7));
+        assert_eq!(f32::read(&buf, &mut pos), Some(1.5));
+        assert_eq!(bool::read(&buf, &mut pos), Some(true));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let rec = (3u64, 0.5f32, 9u32);
+        let buf = encode_slice(&[rec]);
+        assert_eq!(buf.len(), <(u64, f32, u32)>::SIZE);
+        assert_eq!(decode_vec::<(u64, f32, u32)>(&buf), Some(vec![rec]));
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let recs: Vec<(u32, u32)> = (0..100).map(|i| (i, i * 2)).collect();
+        let buf = encode_slice(&recs);
+        assert_eq!(decode_vec::<(u32, u32)>(&buf), Some(recs));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let buf = encode_slice(&[7u64]);
+        assert_eq!(decode_vec::<u64>(&buf[..7]), None);
+        let mut pos = 0;
+        assert_eq!(u64::read(&buf[..7], &mut pos), None);
+    }
+
+    #[test]
+    fn unit_type() {
+        let buf = encode_slice::<()>(&[(), ()]);
+        assert!(buf.is_empty());
+        assert_eq!(decode_vec::<()>(&buf), Some(vec![]));
+        assert_eq!(decode_vec::<()>(&[1u8]), None);
+    }
+}

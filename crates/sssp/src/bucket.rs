@@ -1,0 +1,171 @@
+//! The bucket priority structure of delta-stepping.
+//!
+//! Distances are binned into buckets of width Δ; bucket `k` holds vertices
+//! with tentative distance in `[kΔ, (k+1)Δ)`. Entries are *lazy*: a vertex
+//! whose distance improves is simply inserted again into its new bucket, and
+//! stale entries are filtered at pop time by re-checking the vertex's
+//! current bucket — the standard trick that avoids a decrease-key.
+
+use g500_graph::Weight;
+
+/// A lazy bucket queue over local vertex indices.
+#[derive(Clone, Debug)]
+pub struct BucketQueue {
+    delta: Weight,
+    /// `buckets[k]` holds (possibly stale) vertices for bucket index `k`.
+    buckets: Vec<Vec<u32>>,
+    /// Index of the lowest bucket that may be non-empty.
+    cursor: usize,
+    /// Number of live entries (upper bound; staleness makes it approximate,
+    /// exact emptiness is checked by scanning from `cursor`).
+    entries: usize,
+}
+
+impl BucketQueue {
+    /// New queue with bucket width `delta`.
+    pub fn new(delta: Weight) -> Self {
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        Self { delta, buckets: Vec::new(), cursor: 0, entries: 0 }
+    }
+
+    /// Bucket width.
+    #[inline]
+    pub fn delta(&self) -> Weight {
+        self.delta
+    }
+
+    /// Bucket index of distance `d`.
+    #[inline]
+    pub fn bucket_of(&self, d: Weight) -> usize {
+        debug_assert!(d.is_finite() && d >= 0.0);
+        (d / self.delta) as usize
+    }
+
+    /// Insert vertex `v` with tentative distance `d` (lazy; duplicates OK).
+    pub fn insert(&mut self, v: u32, d: Weight) {
+        let k = self.bucket_of(d);
+        if k >= self.buckets.len() {
+            self.buckets.resize_with(k + 1, Vec::new);
+        }
+        self.buckets[k].push(v);
+        self.entries += 1;
+        if k < self.cursor {
+            self.cursor = k;
+        }
+    }
+
+    /// Lowest bucket index that currently has entries, advancing the cursor
+    /// past drained buckets. `None` when the queue is empty.
+    pub fn min_bucket(&mut self) -> Option<usize> {
+        while self.cursor < self.buckets.len() {
+            if !self.buckets[self.cursor].is_empty() {
+                return Some(self.cursor);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    /// Remove and return the raw (possibly stale) contents of bucket `k`.
+    /// Callers must filter entries against the current distance array.
+    pub fn take_bucket(&mut self, k: usize) -> Vec<u32> {
+        if k >= self.buckets.len() {
+            return Vec::new();
+        }
+        let v = std::mem::take(&mut self.buckets[k]);
+        self.entries -= v.len();
+        v
+    }
+
+    /// Raw size of bucket `k` including stale entries.
+    pub fn bucket_len(&self, k: usize) -> usize {
+        self.buckets.get(k).map_or(0, Vec::len)
+    }
+
+    /// Remove and return *all* remaining entries of *all* buckets (used by
+    /// tail fusion, which stops caring about bucket order).
+    pub fn drain_all(&mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.entries);
+        for b in self.buckets.iter_mut().skip(self.cursor) {
+            out.append(b);
+        }
+        self.entries = 0;
+        out
+    }
+
+    /// Total entries across buckets, counting stale duplicates.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no entries remain (stale or otherwise).
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        let q = BucketQueue::new(0.5);
+        assert_eq!(q.bucket_of(0.0), 0);
+        assert_eq!(q.bucket_of(0.49), 0);
+        assert_eq!(q.bucket_of(0.5), 1);
+        assert_eq!(q.bucket_of(2.75), 5);
+    }
+
+    #[test]
+    fn insert_and_take_in_order() {
+        let mut q = BucketQueue::new(1.0);
+        q.insert(10, 2.5);
+        q.insert(20, 0.5);
+        q.insert(30, 2.9);
+        assert_eq!(q.min_bucket(), Some(0));
+        assert_eq!(q.take_bucket(0), vec![20]);
+        assert_eq!(q.min_bucket(), Some(2));
+        let mut b2 = q.take_bucket(2);
+        b2.sort_unstable();
+        assert_eq!(b2, vec![10, 30]);
+        assert_eq!(q.min_bucket(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reinsertion_moves_cursor_back() {
+        let mut q = BucketQueue::new(1.0);
+        q.insert(1, 5.0);
+        assert_eq!(q.min_bucket(), Some(5));
+        // an improvement re-inserts at a lower bucket
+        q.insert(1, 0.5);
+        assert_eq!(q.min_bucket(), Some(0));
+    }
+
+    #[test]
+    fn drain_all_empties_everything() {
+        let mut q = BucketQueue::new(0.25);
+        for i in 0..10u32 {
+            q.insert(i, i as f32 * 0.3);
+        }
+        assert_eq!(q.len(), 10);
+        let mut all = q.drain_all();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
+        assert!(q.is_empty());
+        assert_eq!(q.min_bucket(), None);
+    }
+
+    #[test]
+    fn take_out_of_range_is_empty() {
+        let mut q = BucketQueue::new(1.0);
+        assert_eq!(q.take_bucket(99), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn bad_delta_rejected() {
+        BucketQueue::new(0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Optimization toggles for the distributed kernel.
+
+use g500_graph::Weight;
+
+/// Relaxation direction policy for the distributed kernel's inner loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Always push: active vertices send updates along out-edges.
+    Push,
+    /// Always pull: the frontier is broadcast and unsettled vertices scan
+    /// their (symmetric) adjacency for frontier neighbors.
+    Pull,
+    /// Choose per inner iteration from frontier density (the
+    /// direction-optimizing heuristic).
+    Hybrid,
+}
+
+/// The optimization stack of the distributed delta-stepping kernel. Each
+/// field is independently toggleable so experiments can ablate one at a
+/// time; [`OptConfig::all_on`] is the paper configuration and
+/// [`OptConfig::all_off`] the unoptimized strawman.
+#[derive(Clone, Copy, Debug)]
+pub struct OptConfig {
+    /// Bucket width Δ. `None` selects adaptively from graph statistics.
+    pub delta: Option<Weight>,
+    /// Aggregate relaxation requests per destination rank (vs one message
+    /// per request).
+    pub coalescing: bool,
+    /// Sort outgoing requests by target and ship only the min per target.
+    pub dedup: bool,
+    /// Gap+varint compression of the update payload.
+    pub compression: bool,
+    /// Local cascading within a bucket and fusing the sparse bucket tail.
+    pub bucket_fusion: bool,
+    /// Push/pull/hybrid relaxation.
+    pub direction: Direction,
+    /// When `bucket_fusion` is on: fuse the tail once the global active
+    /// vertex count drops below `tail_threshold × ranks`.
+    pub tail_threshold: u64,
+    /// Hybrid heuristic: pull when frontier arcs exceed `1/pull_ratio` of
+    /// the remaining unsettled arcs.
+    pub pull_ratio: f64,
+    /// Record per-bucket phase timings (for the breakdown figure; costs a
+    /// little memory, no simulated time).
+    pub record_phases: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self::all_on()
+    }
+}
+
+impl OptConfig {
+    /// The full optimization stack — the paper configuration.
+    pub fn all_on() -> Self {
+        Self {
+            delta: None,
+            coalescing: true,
+            dedup: true,
+            compression: true,
+            bucket_fusion: true,
+            direction: Direction::Hybrid,
+            tail_threshold: 64,
+            pull_ratio: 16.0,
+            record_phases: false,
+        }
+    }
+
+    /// Everything off: plain bulk-synchronous delta-stepping with naive
+    /// messaging (one message per relaxation) and a fixed Δ.
+    pub fn all_off() -> Self {
+        Self {
+            delta: Some(0.1),
+            coalescing: false,
+            dedup: false,
+            compression: false,
+            bucket_fusion: false,
+            direction: Direction::Push,
+            tail_threshold: 64,
+            pull_ratio: 16.0,
+            record_phases: false,
+        }
+    }
+
+    /// Baseline for ablations: everything on except naive messaging is
+    /// *not* usable at scale, so ablations start from `all_on` and disable
+    /// one feature. These helpers return the config with one knob flipped.
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalescing = false;
+        self
+    }
+
+    /// Disable update deduplication.
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Disable payload compression.
+    pub fn without_compression(mut self) -> Self {
+        self.compression = false;
+        self
+    }
+
+    /// Disable bucket fusion.
+    pub fn without_fusion(mut self) -> Self {
+        self.bucket_fusion = false;
+        self
+    }
+
+    /// Force a direction policy.
+    pub fn with_direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Fix Δ explicitly.
+    pub fn with_delta(mut self, delta: Weight) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Enable per-bucket phase recording.
+    pub fn with_phases(mut self) -> Self {
+        self.record_phases = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let on = OptConfig::all_on();
+        let off = OptConfig::all_off();
+        assert!(on.coalescing && !off.coalescing);
+        assert!(on.compression && !off.compression);
+        assert_eq!(off.direction, Direction::Push);
+    }
+
+    #[test]
+    fn builders_flip_single_knobs() {
+        let c = OptConfig::all_on().without_dedup();
+        assert!(!c.dedup && c.coalescing && c.compression);
+        let c = OptConfig::all_on().with_delta(0.25);
+        assert_eq!(c.delta, Some(0.25));
+        let c = OptConfig::all_on().with_direction(Direction::Pull);
+        assert_eq!(c.direction, Direction::Pull);
+    }
+}

@@ -1,0 +1,667 @@
+//! The headline kernel: distributed delta-stepping with the extreme-scale
+//! optimization stack.
+//!
+//! Bulk-synchronous structure, one bucket at a time:
+//!
+//! ```text
+//! while some rank has a non-empty bucket:
+//!     k ← allreduce-min of local minimum bucket indices
+//!     repeat                                   (light-edge inner loop)
+//!         frontier ← live entries of local bucket k
+//!         agree on direction (push / pull) from global frontier density
+//!         push: relax light out-edges, exchange updates, apply
+//!         pull: broadcast frontier, scan local unsettled adjacency
+//!     until bucket k is globally empty
+//!     relax heavy edges of everything bucket k settled, exchange once
+//!     if the global residue is tiny and fusion is on: finish it in one
+//!     fused Bellman-Ford tail instead of dribbling through buckets
+//! ```
+//!
+//! Every optimization is toggleable via [`OptConfig`]; with everything off
+//! this degenerates to the plain textbook distributed delta-stepping that
+//! the ablation experiments measure against.
+
+use crate::bucket::BucketQueue;
+use crate::codec::Update;
+use crate::config::{Direction, OptConfig};
+use crate::delta::suggest_delta;
+use crate::exchange::exchange_updates;
+use g500_graph::{VertexId, Weight};
+use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
+use simnet::RankCtx;
+use std::collections::HashMap;
+
+/// Per-bucket phase timing record (for the breakdown figure F4).
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct PhaseRecord {
+    /// Bucket index.
+    pub bucket: u64,
+    /// Global frontier size summed over the bucket's inner iterations.
+    pub frontier: u64,
+    /// Virtual compute seconds this rank spent in the bucket.
+    pub compute_s: f64,
+    /// Virtual communication seconds this rank spent in the bucket.
+    pub comm_s: f64,
+}
+
+/// Counters one run of the distributed kernel produces (per rank; counts
+/// like `supersteps` are identical on every rank by construction).
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct SsspRunStats {
+    /// Global communication rounds (inner light iterations + heavy phases
+    /// + fused-tail rounds).
+    pub supersteps: u64,
+    /// Buckets processed.
+    pub buckets: u64,
+    /// Local edge relaxations performed.
+    pub relaxations: u64,
+    /// Update records shipped by this rank (post-dedup).
+    pub updates_sent: u64,
+    /// Update records offered before dedup.
+    pub updates_offered: u64,
+    /// Inner iterations that ran in push mode.
+    pub push_iterations: u64,
+    /// Inner iterations that ran in pull mode.
+    pub pull_iterations: u64,
+    /// Whether the fused Bellman-Ford tail was taken.
+    pub tail_fused: bool,
+    /// Virtual seconds from kernel start to finish on this rank.
+    pub sim_time_s: f64,
+    /// Virtual compute seconds inside the kernel.
+    pub compute_s: f64,
+    /// Virtual communication seconds inside the kernel.
+    pub comm_s: f64,
+    /// Per-bucket phases (only when `OptConfig::record_phases`).
+    pub phases: Vec<PhaseRecord>,
+}
+
+/// Working state threaded through the phases.
+struct Kernel<'a, P: VertexPartition> {
+    graph: &'a LocalGraph<P>,
+    opts: OptConfig,
+    delta: Weight,
+    sp: DistShortestPaths,
+    buckets: BucketQueue,
+    /// Generation stamps: `frontier_seen[v] == frontier_epoch` means v is
+    /// already in the current inner iteration's frontier.
+    frontier_seen: Vec<u64>,
+    frontier_epoch: u64,
+    /// `settled_seen[v] == settled_epoch` means v is already in the current
+    /// bucket's settled list.
+    settled_seen: Vec<u64>,
+    settled_epoch: u64,
+    /// Arcs of local vertices that have not yet entered any frontier —
+    /// the denominator of the pull heuristic (an upper bound on remaining
+    /// pull work).
+    unsettled_arcs: u64,
+    unsettled_mark: Vec<bool>,
+    stats: SsspRunStats,
+}
+
+/// Run the distributed kernel from `root`. Collective: all ranks call with
+/// identical `opts`. Returns this rank's slice of the result and the run
+/// statistics.
+pub fn distributed_delta_stepping<P: VertexPartition>(
+    ctx: &mut RankCtx,
+    graph: &LocalGraph<P>,
+    root: VertexId,
+    opts: &OptConfig,
+) -> (DistShortestPaths, SsspRunStats) {
+    let n_local = graph.local_vertices();
+    let start_now = ctx.now();
+    let start_stats = ctx.stats().clone();
+
+    // Δ selection. The statistics allreduce runs unconditionally so the
+    // collective schedule does not depend on the option (and it is cheap).
+    let local_w: f64 = (0..n_local)
+        .flat_map(|l| graph.arcs(l).map(|(_, w)| w as f64))
+        .sum();
+    let (sum_w, arcs, verts) = ctx.allreduce(
+        (local_w, graph.local_arcs() as u64, n_local as u64),
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
+    );
+    let delta = opts.delta.unwrap_or_else(|| {
+        let avg_degree = arcs as f64 / verts.max(1) as f64;
+        let mean_w = if arcs == 0 { 0.5 } else { sum_w / arcs as f64 };
+        suggest_delta(avg_degree, mean_w)
+    });
+
+    let mut k = Kernel {
+        graph,
+        opts: *opts,
+        delta,
+        sp: DistShortestPaths::unreached(n_local),
+        buckets: BucketQueue::new(delta),
+        frontier_seen: vec![0; n_local],
+        frontier_epoch: 0,
+        settled_seen: vec![0; n_local],
+        settled_epoch: 0,
+        unsettled_arcs: graph.local_arcs() as u64,
+        unsettled_mark: vec![false; n_local],
+        stats: SsspRunStats::default(),
+    };
+
+    let part = graph.part();
+    if part.owner(root) == ctx.rank() {
+        let l = part.to_local(root);
+        k.sp.dist[l] = 0.0;
+        k.sp.parent[l] = root;
+        k.buckets.insert(l as u32, 0.0);
+    }
+
+    k.main_loop(ctx);
+
+    k.stats.sim_time_s = ctx.now() - start_now;
+    k.stats.compute_s = ctx.stats().compute_s - start_stats.compute_s;
+    k.stats.comm_s = ctx.stats().comm_s - start_stats.comm_s;
+    (k.sp, k.stats)
+}
+
+impl<P: VertexPartition> Kernel<'_, P> {
+    fn main_loop(&mut self, ctx: &mut RankCtx) {
+        loop {
+            let k_local = self.buckets.min_bucket().map_or(u64::MAX, |k| k as u64);
+            let k = ctx.allreduce_min(k_local);
+            if k == u64::MAX {
+                break;
+            }
+            self.stats.buckets += 1;
+            let phase_start = (ctx.stats().compute_s, ctx.stats().comm_s);
+            let mut phase_frontier = 0u64;
+
+            self.settled_epoch += 1;
+            let mut settled: Vec<u32> = Vec::new();
+
+            // ---- light-edge inner loop ----
+            loop {
+                let frontier = self.collect_frontier(k as usize);
+                let f_arcs_local: u64 =
+                    frontier.iter().map(|&v| self.graph.degree(v as usize) as u64).sum();
+                let (f_size, f_arcs, unsettled) = ctx.allreduce(
+                    (frontier.len() as u64, f_arcs_local, self.unsettled_arcs),
+                    |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
+                );
+                if f_size == 0 {
+                    break;
+                }
+                phase_frontier += f_size;
+                for &v in &frontier {
+                    if self.settled_seen[v as usize] != self.settled_epoch {
+                        self.settled_seen[v as usize] = self.settled_epoch;
+                        settled.push(v);
+                    }
+                }
+                let use_pull = match self.opts.direction {
+                    Direction::Push => false,
+                    Direction::Pull => true,
+                    Direction::Hybrid => {
+                        f_arcs as f64 * self.opts.pull_ratio > unsettled as f64
+                    }
+                };
+                if use_pull {
+                    self.stats.pull_iterations += 1;
+                    self.pull_iteration(ctx, k as usize, &frontier);
+                } else {
+                    self.stats.push_iterations += 1;
+                    self.push_iteration(ctx, k as usize, frontier, &mut settled);
+                }
+                self.stats.supersteps += 1;
+            }
+
+            // ---- heavy-edge phase (always push, once per settled vertex) ----
+            self.heavy_phase(ctx, &settled);
+            self.stats.supersteps += 1;
+
+            if self.opts.record_phases {
+                self.stats.phases.push(PhaseRecord {
+                    bucket: k,
+                    frontier: phase_frontier,
+                    compute_s: ctx.stats().compute_s - phase_start.0,
+                    comm_s: ctx.stats().comm_s - phase_start.1,
+                });
+            }
+
+            // ---- fused tail ----
+            // Two conditions gate the fusion: the live residue is tiny AND
+            // most of the relaxation work is already behind us. The second
+            // guard matters: right after bucket 0 the queue is also tiny
+            // (the search has barely started), and fusing there would run
+            // an unbucketed Bellman-Ford over the entire graph.
+            if self.opts.bucket_fusion {
+                let (active, relaxed) = ctx.allreduce(
+                    (self.buckets.len() as u64, self.stats.relaxations),
+                    |a, b| (a.0 + b.0, a.1 + b.1),
+                );
+                let bulk_done = relaxed * 2 > self.graph.global_arcs();
+                if active > 0
+                    && active < self.opts.tail_threshold * ctx.size() as u64
+                    && bulk_done
+                {
+                    self.fused_tail(ctx);
+                    self.stats.tail_fused = true;
+                }
+            }
+        }
+    }
+
+    /// Drain the live, deduplicated frontier of bucket `k`.
+    fn collect_frontier(&mut self, k: usize) -> Vec<u32> {
+        self.frontier_epoch += 1;
+        let mut out = Vec::new();
+        for v in self.buckets.take_bucket(k) {
+            let d = self.sp.dist[v as usize];
+            if d.is_finite()
+                && self.buckets.bucket_of(d) == k
+                && self.frontier_seen[v as usize] != self.frontier_epoch
+            {
+                self.frontier_seen[v as usize] = self.frontier_epoch;
+                out.push(v);
+            }
+        }
+        for &v in &out {
+            if !self.unsettled_mark[v as usize] {
+                self.unsettled_mark[v as usize] = true;
+                self.unsettled_arcs =
+                    self.unsettled_arcs.saturating_sub(self.graph.degree(v as usize) as u64);
+            }
+        }
+        out
+    }
+
+    /// Apply one incoming/locally-generated update. Returns `Some(local)`
+    /// if it improved the vertex.
+    fn apply(&mut self, v_global: u64, nd: Weight, parent: u64) -> Option<u32> {
+        let l = self.graph.part().to_local(v_global);
+        if nd < self.sp.dist[l] {
+            self.sp.dist[l] = nd;
+            self.sp.parent[l] = parent;
+            self.buckets.insert(l as u32, nd);
+            Some(l as u32)
+        } else {
+            None
+        }
+    }
+
+    /// One push-mode light iteration over `frontier`. Cascaded vertices
+    /// (local improvements that stay in bucket `k` when fusion is on) are
+    /// processed within this superstep and recorded in `settled` so the
+    /// heavy phase covers them too.
+    fn push_iteration(
+        &mut self,
+        ctx: &mut RankCtx,
+        k: usize,
+        frontier: Vec<u32>,
+        settled: &mut Vec<u32>,
+    ) {
+        let p = ctx.size();
+        let me = ctx.rank();
+        let delta = self.delta;
+        let cascade = self.opts.bucket_fusion;
+        let graph = self.graph;
+        let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
+        let mut stack = frontier;
+        let mut relaxed = 0u64;
+
+        while let Some(u) = stack.pop() {
+            let du = self.sp.dist[u as usize];
+            let u_global = graph.part().to_global(me, u as usize);
+            for (v, w) in graph.arcs(u as usize) {
+                if w >= delta {
+                    continue;
+                }
+                relaxed += 1;
+                let nd = du + w;
+                let owner = graph.part().owner(v);
+                if owner == me {
+                    let l = graph.part().to_local(v);
+                    if nd < self.sp.dist[l] {
+                        self.sp.dist[l] = nd;
+                        self.sp.parent[l] = u_global;
+                        if cascade && (nd / delta) as usize == k {
+                            // process within this superstep; it settles in
+                            // bucket k, so the heavy phase must see it
+                            if self.settled_seen[l] != self.settled_epoch {
+                                self.settled_seen[l] = self.settled_epoch;
+                                settled.push(l as u32);
+                            }
+                            stack.push(l as u32);
+                        } else {
+                            self.buckets.insert(l as u32, nd);
+                        }
+                    }
+                } else {
+                    out[owner].push((v, nd, u_global));
+                }
+            }
+        }
+        self.stats.relaxations += relaxed;
+        ctx.charge_compute(relaxed);
+
+        let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
+        self.stats.updates_sent += outcome.records_sent;
+        self.stats.updates_offered += outcome.records_offered;
+        ctx.charge_compute(incoming.len() as u64);
+        for (v, nd, parent) in incoming {
+            self.apply(v, nd, parent);
+        }
+    }
+
+    /// One pull-mode light iteration: broadcast the frontier, scan local
+    /// unsettled adjacency. All improvements are local — zero point-to-point
+    /// update traffic.
+    fn pull_iteration(&mut self, ctx: &mut RankCtx, k: usize, frontier: &[u32]) {
+        let me = ctx.rank();
+        let delta = self.delta;
+        let graph = self.graph;
+        let mine: Vec<(u64, f32)> = frontier
+            .iter()
+            .map(|&v| (graph.part().to_global(me, v as usize), self.sp.dist[v as usize]))
+            .collect();
+        let blocks = ctx.allgatherv(&mine);
+        let mut fmap: HashMap<u64, f32> = HashMap::new();
+        for block in &blocks {
+            for &(v, d) in block {
+                fmap.entry(v).and_modify(|e| *e = e.min(d)).or_insert(d);
+            }
+        }
+        ctx.charge_compute(fmap.len() as u64);
+
+        let bucket_floor = k as f32 * delta;
+        let n_local = graph.local_vertices();
+        let mut scanned = 0u64;
+        let mut improved: Vec<(u32, f32)> = Vec::new();
+        for l in 0..n_local {
+            if self.sp.dist[l] < bucket_floor {
+                continue; // settled in an earlier bucket
+            }
+            for (t, w) in graph.arcs(l) {
+                scanned += 1;
+                if w >= delta {
+                    continue;
+                }
+                if let Some(&fd) = fmap.get(&t) {
+                    let cand = fd + w;
+                    if cand < self.sp.dist[l] {
+                        self.sp.dist[l] = cand;
+                        self.sp.parent[l] = t;
+                        improved.push((l as u32, cand));
+                    }
+                }
+            }
+        }
+        self.stats.relaxations += scanned;
+        ctx.charge_compute(scanned);
+        for (l, d) in improved {
+            self.buckets.insert(l, d);
+        }
+    }
+
+    /// Heavy-edge phase: one push pass over the bucket's settled set.
+    fn heavy_phase(&mut self, ctx: &mut RankCtx, settled: &[u32]) {
+        let p = ctx.size();
+        let me = ctx.rank();
+        let delta = self.delta;
+        let graph = self.graph;
+        let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
+        let mut relaxed = 0u64;
+        for &u in settled {
+            let du = self.sp.dist[u as usize];
+            let u_global = graph.part().to_global(me, u as usize);
+            for (v, w) in graph.arcs(u as usize) {
+                if w < delta {
+                    continue;
+                }
+                relaxed += 1;
+                let nd = du + w;
+                let owner = graph.part().owner(v);
+                if owner == me {
+                    self.apply(v, nd, u_global);
+                } else {
+                    out[owner].push((v, nd, u_global));
+                }
+            }
+        }
+        self.stats.relaxations += relaxed;
+        ctx.charge_compute(relaxed);
+
+        let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
+        self.stats.updates_sent += outcome.records_sent;
+        self.stats.updates_offered += outcome.records_offered;
+        ctx.charge_compute(incoming.len() as u64);
+        for (v, nd, parent) in incoming {
+            self.apply(v, nd, parent);
+        }
+    }
+
+    /// Fused Bellman-Ford tail: once the global residue is tiny, bucket
+    /// discipline only adds synchronization — drain everything and relax to
+    /// fixpoint, all edge classes at once.
+    fn fused_tail(&mut self, ctx: &mut RankCtx) {
+        let p = ctx.size();
+        let me = ctx.rank();
+        self.frontier_epoch += 1;
+        let mut frontier: Vec<u32> = Vec::new();
+        for v in self.buckets.drain_all() {
+            if self.sp.dist[v as usize].is_finite()
+                && self.frontier_seen[v as usize] != self.frontier_epoch
+            {
+                self.frontier_seen[v as usize] = self.frontier_epoch;
+                frontier.push(v);
+            }
+        }
+
+        loop {
+            let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
+            let mut next: Vec<u32> = Vec::new();
+            let mut relaxed = 0u64;
+            let mut stack = std::mem::take(&mut frontier);
+            self.frontier_epoch += 1;
+            let graph = self.graph;
+            while let Some(u) = stack.pop() {
+                let du = self.sp.dist[u as usize];
+                let u_global = graph.part().to_global(me, u as usize);
+                for (v, w) in graph.arcs(u as usize) {
+                    relaxed += 1;
+                    let nd = du + w;
+                    let owner = graph.part().owner(v);
+                    if owner == me {
+                        let l = graph.part().to_local(v);
+                        if nd < self.sp.dist[l] {
+                            self.sp.dist[l] = nd;
+                            self.sp.parent[l] = u_global;
+                            // round-synchronous: defer to the next round.
+                            // (an in-round LIFO cascade is label-correcting
+                            // with worst-case re-relaxation blowup)
+                            if self.frontier_seen[l] != self.frontier_epoch {
+                                self.frontier_seen[l] = self.frontier_epoch;
+                                next.push(l as u32);
+                            }
+                        }
+                    } else {
+                        out[owner].push((v, nd, u_global));
+                    }
+                }
+            }
+            self.stats.relaxations += relaxed;
+            ctx.charge_compute(relaxed);
+
+            let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
+            self.stats.updates_sent += outcome.records_sent;
+            self.stats.updates_offered += outcome.records_offered;
+            self.stats.supersteps += 1;
+            ctx.charge_compute(incoming.len() as u64);
+            for (v, nd, parent) in incoming {
+                let l = self.graph.part().to_local(v);
+                if nd < self.sp.dist[l] {
+                    self.sp.dist[l] = nd;
+                    self.sp.parent[l] = parent;
+                    if self.frontier_seen[l] != self.frontier_epoch {
+                        self.frontier_seen[l] = self.frontier_epoch;
+                        next.push(l as u32);
+                    }
+                }
+            }
+            let remaining = ctx.allreduce_sum(next.len() as u64);
+            frontier = next;
+            if remaining == 0 {
+                break;
+            }
+        }
+        // Buckets were drained; `drain_all` plus direct dist writes keep the
+        // queue empty, so the outer loop terminates at the next allreduce.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_baselines::dijkstra;
+    use g500_graph::{Csr, Directedness, EdgeList, ShortestPaths};
+    use g500_partition::{assemble_local_graph, Block1D};
+    use simnet::{Machine, MachineConfig};
+
+    fn run_dist(
+        el: &EdgeList,
+        n: u64,
+        p: usize,
+        root: u64,
+        opts: OptConfig,
+    ) -> (ShortestPaths, SsspRunStats) {
+        let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+            let part = Block1D::new(n, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let (sp, stats) = distributed_delta_stepping(ctx, &g, root, &opts);
+            (sp.gather_to_all(ctx, g.part()), stats)
+        });
+        rep.results.into_iter().next().expect("at least one rank")
+    }
+
+    fn exact(el: &EdgeList, n: usize, root: u64) -> ShortestPaths {
+        let csr = Csr::from_edges(n, el, Directedness::Undirected);
+        dijkstra(&csr, root)
+    }
+
+    #[test]
+    fn all_on_matches_dijkstra_random() {
+        let el = g500_gen::simple::erdos_renyi(64, 320, 13);
+        let oracle = exact(&el, 64, 3);
+        for p in [1, 2, 4] {
+            let (sp, _) = run_dist(&el, 64, p, 3, OptConfig::all_on());
+            assert!(sp.distances_match(&oracle, 1e-4), "p={p}");
+        }
+    }
+
+    #[test]
+    fn all_off_matches_dijkstra_random() {
+        let el = g500_gen::simple::erdos_renyi(48, 200, 17);
+        let oracle = exact(&el, 48, 0);
+        let (sp, _) = run_dist(&el, 48, 3, 0, OptConfig::all_off());
+        assert!(sp.distances_match(&oracle, 1e-4));
+    }
+
+    #[test]
+    fn every_single_knob_off_still_exact() {
+        let el = g500_gen::simple::erdos_renyi(56, 280, 23);
+        let oracle = exact(&el, 56, 7);
+        let configs = [
+            OptConfig::all_on().without_coalescing(),
+            OptConfig::all_on().without_dedup(),
+            OptConfig::all_on().without_compression(),
+            OptConfig::all_on().without_fusion(),
+            OptConfig::all_on().with_direction(Direction::Push),
+            OptConfig::all_on().with_direction(Direction::Pull),
+        ];
+        for (i, opts) in configs.into_iter().enumerate() {
+            let (sp, _) = run_dist(&el, 56, 3, 7, opts);
+            assert!(sp.distances_match(&oracle, 1e-4), "config {i}");
+        }
+    }
+
+    #[test]
+    fn kronecker_exactness() {
+        let gen =
+            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 42));
+        let el = gen.generate_all();
+        let oracle = exact(&el, 256, 5);
+        let (sp, stats) = run_dist(&el, 256, 4, 5, OptConfig::all_on());
+        assert!(sp.distances_match(&oracle, 1e-4));
+        assert!(stats.relaxations > 0);
+        assert!(stats.supersteps > 0);
+    }
+
+    #[test]
+    fn fixed_delta_values_all_exact() {
+        let el = g500_gen::simple::erdos_renyi(40, 180, 29);
+        let oracle = exact(&el, 40, 1);
+        for delta in [0.02f32, 0.1, 0.5, 10.0] {
+            let (sp, _) = run_dist(&el, 40, 2, 1, OptConfig::all_on().with_delta(delta));
+            assert!(sp.distances_match(&oracle, 1e-4), "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn disconnected_root_touches_only_component() {
+        let el = g500_gen::simple::path(6, 0.4); // vertices 6..9 isolated
+        let (sp, _) = run_dist(&el, 10, 2, 0, OptConfig::all_on());
+        assert_eq!(sp.reached_count(), 6);
+        assert!(sp.dist[7].is_infinite());
+    }
+
+    #[test]
+    fn fusion_reduces_supersteps_on_paths() {
+        // a long path is the worst case for bucket discipline; the fused
+        // tail + cascade should cut the superstep count substantially
+        let el = g500_gen::simple::path(64, 0.09);
+        let (_, with) = run_dist(&el, 64, 2, 0, OptConfig::all_on());
+        let (_, without) = run_dist(&el, 64, 2, 0, OptConfig::all_on().without_fusion());
+        assert!(
+            with.supersteps < without.supersteps,
+            "fusion {} vs plain {}",
+            with.supersteps,
+            without.supersteps
+        );
+    }
+
+    #[test]
+    fn dedup_reduces_shipped_updates() {
+        let gen =
+            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 4));
+        let el = gen.generate_all();
+        let (_, with) = run_dist(&el, 512, 4, 0, OptConfig::all_on());
+        let (_, without) = run_dist(&el, 512, 4, 0, OptConfig::all_on().without_dedup());
+        assert!(
+            with.updates_sent <= without.updates_sent,
+            "dedup shipped more: {} vs {}",
+            with.updates_sent,
+            without.updates_sent
+        );
+    }
+
+    #[test]
+    fn hybrid_uses_both_directions_on_dense_graph() {
+        let el = g500_gen::simple::complete(40, 0.5);
+        let (sp, stats) = run_dist(&el, 40, 2, 0, OptConfig::all_on());
+        assert_eq!(sp.reached_count(), 40);
+        assert!(stats.pull_iterations + stats.push_iterations > 0);
+    }
+
+    #[test]
+    fn phase_records_when_requested() {
+        let el = g500_gen::simple::erdos_renyi(32, 128, 3);
+        let (_, stats) = run_dist(&el, 32, 2, 0, OptConfig::all_on().with_phases());
+        assert!(!stats.phases.is_empty());
+        let total: u64 = stats.phases.iter().map(|p| p.frontier).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn root_on_last_rank() {
+        let el = g500_gen::simple::cycle(15, 0.2);
+        let oracle = exact(&el, 15, 14);
+        let (sp, _) = run_dist(&el, 15, 4, 14, OptConfig::all_on());
+        assert!(sp.distances_match(&oracle, 1e-4));
+    }
+}

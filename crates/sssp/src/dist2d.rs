@@ -1,0 +1,368 @@
+//! 2D-partitioned distributed delta-stepping — the design-space rival.
+//!
+//! The Graph500 BFS lineage distributes the adjacency *matrix* over an
+//! `s × s` process grid: the edge block `(u, v)` with `u` in vertex-block
+//! `i` and `v` in vertex-block `j` lives on grid rank `(i, j)`; vertex
+//! *state* (distances, buckets) lives on the diagonal rank `(b, b)` of its
+//! block. One relaxation superstep then decomposes into
+//!
+//! 1. **row broadcast** — diagonal ranks broadcast their frontier
+//!    `(vertex, dist)` pairs along their grid row (√p ranks),
+//! 2. **local relax** — every rank relaxes its stored edges against the
+//!    received frontier, keeping only the min candidate per target,
+//! 3. **column reduce** — candidates flow down each grid column to the
+//!    target's diagonal rank, pre-aggregated per column,
+//!
+//! so no vertex ever talks to more than `√p + √p` ranks — the fan-out cap
+//! that experiment F13 shows analytically and F14 measures. The price is
+//! that every frontier datum is replicated √p ways even when its edges
+//! touch two ranks, which is why the 1D layout (the paper family's choice
+//! for SSSP, whose bucket state is per-vertex and cheap to route exactly)
+//! wins on low-degree frontiers. This kernel exists to make that trade-off
+//! measurable rather than asserted.
+//!
+//! Always push-mode with coalescing + per-target dedup; bucket semantics
+//! (light inner loop to fixpoint, heavy pass once) match the 1D kernel, so
+//! results are directly comparable and equally validatable.
+
+use crate::bucket::BucketQueue;
+use g500_graph::{Csr, EdgeList, ShortestPaths, VertexId, WEdge, Weight};
+use g500_partition::{Block1D, VertexPartition};
+use simnet::{RankCtx, SubComm};
+use std::collections::HashMap;
+
+/// Counters from one 2D run.
+#[derive(Clone, Debug, Default)]
+pub struct Sssp2DStats {
+    /// Communication rounds (row broadcast + column reduce pairs).
+    pub supersteps: u64,
+    /// Local edge relaxations.
+    pub relaxations: u64,
+    /// Frontier records broadcast along rows.
+    pub frontier_records: u64,
+    /// Candidate records reduced down columns (post-dedup).
+    pub update_records: u64,
+}
+
+/// The per-rank state of the 2D kernel.
+pub struct Grid2DSssp {
+    /// Grid side (ranks = side²).
+    side: usize,
+    /// My grid row / column.
+    row: usize,
+    col: usize,
+    /// Vertex blocks (side blocks over n vertices).
+    blocks: Block1D,
+    /// My edge block as a CSR over *global* source ids of block `row`,
+    /// targets restricted to block `col`. Stored as map src → (targets,
+    /// weights) ranges via a local CSR on block-local indices.
+    local: Csr,
+    /// Row and column communicators.
+    row_comm: SubComm,
+    col_comm: SubComm,
+    /// Diagonal state (only on ranks with row == col): dist/parent over the
+    /// block's local indices.
+    dist: Vec<Weight>,
+    parent: Vec<u64>,
+    buckets: BucketQueue,
+}
+
+impl Grid2DSssp {
+    /// Collectively build the 2D-distributed graph. `ranks` must be a
+    /// perfect square. Each rank passes its generated slice of the global
+    /// edge list.
+    pub fn build(
+        ctx: &mut RankCtx,
+        n: u64,
+        my_edges: impl Iterator<Item = WEdge>,
+        delta: Weight,
+    ) -> Self {
+        let p = ctx.size();
+        let side = (p as f64).sqrt().round() as usize;
+        assert_eq!(side * side, p, "2D kernel needs a square rank count");
+        let me = ctx.rank();
+        let (row, col) = (me / side, me % side);
+        let blocks = Block1D::new(n, side);
+
+        // Route both directions of each edge to grid rank
+        // (block(src), block(dst)).
+        let mut out: Vec<Vec<(u64, u64, f32)>> = vec![Vec::new(); p];
+        let mut generated = 0u64;
+        for e in my_edges {
+            let a = (blocks.owner(e.u), blocks.owner(e.v));
+            out[a.0 * side + a.1].push((e.u, e.v, e.w));
+            let b = (blocks.owner(e.v), blocks.owner(e.u));
+            out[b.0 * side + b.1].push((e.v, e.u, e.w));
+            generated += 1;
+        }
+        ctx.charge_compute(2 * generated);
+        let received = ctx.alltoallv(out);
+
+        // Local CSR over block-local source indices; targets stay global.
+        let n_block = blocks.local_count(row);
+        let mut el = EdgeList::new();
+        for block in received {
+            for (u, v, w) in block {
+                debug_assert_eq!(blocks.owner(u), row, "misrouted edge row");
+                debug_assert_eq!(blocks.owner(v), col, "misrouted edge col");
+                el.push(WEdge::new(blocks.to_local(u) as u64, v, w));
+            }
+        }
+        ctx.charge_compute(el.len() as u64);
+        let local = Csr::from_edges_rect(n_block.max(1), &el);
+
+        let row_comm = ctx.split(row as u64, col as u64);
+        let col_comm = ctx.split(side as u64 + col as u64, row as u64);
+
+        // Diagonal ranks own the state of their block.
+        let state_n = if row == col { blocks.local_count(row) } else { 0 };
+        Grid2DSssp {
+            side,
+            row,
+            col,
+            blocks,
+            local,
+            row_comm,
+            col_comm,
+            dist: vec![f32::INFINITY; state_n],
+            parent: vec![u64::MAX; state_n],
+            buckets: BucketQueue::new(delta),
+        }
+    }
+
+    fn is_diag(&self) -> bool {
+        self.row == self.col
+    }
+
+    /// Run SSSP from `root`; returns the stats. Distances stay distributed;
+    /// use [`Self::gather`] afterwards.
+    pub fn run(&mut self, ctx: &mut RankCtx, root: VertexId) -> Sssp2DStats {
+        let delta = self.buckets.delta();
+        let mut stats = Sssp2DStats::default();
+        // reset state between runs
+        for d in self.dist.iter_mut() {
+            *d = f32::INFINITY;
+        }
+        for pz in self.parent.iter_mut() {
+            *pz = u64::MAX;
+        }
+        self.buckets = BucketQueue::new(delta);
+        if self.is_diag() && self.blocks.owner(root) == self.row {
+            let l = self.blocks.to_local(root);
+            self.dist[l] = 0.0;
+            self.parent[l] = root;
+            self.buckets.insert(l as u32, 0.0);
+        }
+
+        loop {
+            let k_local = if self.is_diag() {
+                self.buckets.min_bucket().map_or(u64::MAX, |k| k as u64)
+            } else {
+                u64::MAX
+            };
+            let k = ctx.allreduce(k_local, |a, b| *a.min(b));
+            if k == u64::MAX {
+                break;
+            }
+            let mut settled: Vec<u32> = Vec::new();
+            // light inner loop
+            loop {
+                let frontier = self.collect_frontier(k as usize);
+                let total = ctx.allreduce(frontier.len() as u64, |a, b| a + b);
+                if total == 0 {
+                    break;
+                }
+                settled.extend_from_slice(&frontier);
+                self.relax_round(ctx, &frontier, |w| w < delta, &mut stats);
+            }
+            // heavy pass
+            settled.sort_unstable();
+            settled.dedup();
+            self.relax_round(ctx, &settled, |w| w >= delta, &mut stats);
+        }
+        stats
+    }
+
+    fn collect_frontier(&mut self, k: usize) -> Vec<u32> {
+        if !self.is_diag() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for v in self.buckets.take_bucket(k) {
+            let d = self.dist[v as usize];
+            if d.is_finite() && self.buckets.bucket_of(d) == k {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One 2D superstep: row-broadcast the frontier, relax matching edges,
+    /// column-reduce candidates to the diagonal, apply.
+    fn relax_round(
+        &mut self,
+        ctx: &mut RankCtx,
+        frontier: &[u32],
+        class: impl Fn(Weight) -> bool,
+        stats: &mut Sssp2DStats,
+    ) {
+        // 1. row broadcast: only the diagonal member contributes
+        let mine: Vec<(u64, f32)> = if self.is_diag() {
+            frontier.iter().map(|&l| (l as u64, self.dist[l as usize])).collect()
+        } else {
+            Vec::new()
+        };
+        stats.frontier_records += mine.len() as u64 * (self.side as u64 - 1);
+        let blocks_in = self.row_comm.allgatherv(ctx, &mine);
+        let active: Vec<(u64, f32)> = blocks_in.into_iter().flatten().collect();
+
+        // 2. local relax: candidates per global target, min-aggregated
+        let mut best: HashMap<u64, (f32, u64)> = HashMap::new();
+        let mut relaxed = 0u64;
+        for &(src_local, du) in &active {
+            let u_global = self.blocks.to_global(self.row, src_local as usize);
+            if (src_local as usize) < self.local.num_vertices() {
+                for (v, w) in self.local.arcs(src_local as usize) {
+                    if !class(w) {
+                        continue;
+                    }
+                    relaxed += 1;
+                    let nd = du + w;
+                    let e = best.entry(v).or_insert((f32::INFINITY, u64::MAX));
+                    if nd < e.0 {
+                        *e = (nd, u_global);
+                    }
+                }
+            }
+        }
+        stats.relaxations += relaxed;
+        ctx.charge_compute(relaxed);
+
+        // 3. column reduce: ship candidates to the diagonal rank of my
+        // column (sub-rank == col index within the column communicator)
+        let mut col_out: Vec<Vec<(u64, f32, u64)>> =
+            vec![Vec::new(); self.col_comm.size()];
+        let diag_sub = self.col; // in column c, the diagonal is grid row c
+        col_out[diag_sub] = best.into_iter().map(|(v, (d, par))| (v, d, par)).collect();
+        stats.update_records += col_out[diag_sub].len() as u64;
+        let incoming = self.col_comm.alltoallv(ctx, col_out);
+        stats.supersteps += 1;
+
+        // 4. apply on the diagonal
+        if self.is_diag() {
+            let mut applied = 0u64;
+            for block in incoming {
+                for (v, nd, par) in block {
+                    applied += 1;
+                    let l = self.blocks.to_local(v);
+                    if nd < self.dist[l] {
+                        self.dist[l] = nd;
+                        self.parent[l] = par;
+                        self.buckets.insert(l as u32, nd);
+                    }
+                }
+            }
+            ctx.charge_compute(applied);
+        }
+    }
+
+    /// Collectively reassemble the global result on every rank.
+    pub fn gather(&mut self, ctx: &mut RankCtx) -> ShortestPaths {
+        let mine: Vec<(u64, f32, u64)> = if self.is_diag() {
+            self.dist
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite())
+                .map(|(l, &d)| (self.blocks.to_global(self.row, l), d, self.parent[l]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let blocks = ctx.allgatherv(&mine);
+        let mut out = ShortestPaths::unreached(self.blocks.num_vertices() as usize);
+        for block in blocks {
+            for (v, d, p) in block {
+                out.dist[v as usize] = d;
+                out.parent[v as usize] = p;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_baselines::dijkstra;
+    use simnet::{Machine, MachineConfig};
+
+    fn run_2d(el: &EdgeList, n: u64, p: usize, root: u64, delta: f32) -> (ShortestPaths, Sssp2DStats) {
+        Machine::new(MachineConfig::with_ranks(p))
+            .run(|ctx| {
+                let m = el.len();
+                let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+                let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+                let mut g = Grid2DSssp::build(ctx, n, mine.into_iter(), delta);
+                let stats = g.run(ctx, root);
+                (g.gather(ctx), stats)
+            })
+            .results
+            .pop()
+            .expect("rank result")
+    }
+
+    fn oracle(el: &EdgeList, n: usize, root: u64) -> ShortestPaths {
+        let csr = Csr::from_edges(n, el, g500_graph::Directedness::Undirected);
+        dijkstra(&csr, root)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in [2u64, 9] {
+            let el = g500_gen::simple::erdos_renyi(50, 220, seed);
+            let exact = oracle(&el, 50, 3);
+            for p in [1usize, 4, 9] {
+                let (sp, _) = run_2d(&el, 50, p, 3, 0.2);
+                assert!(sp.distances_match(&exact, 1e-4), "seed {seed} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_on_kronecker() {
+        let gen =
+            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 6));
+        let el = gen.generate_all();
+        let exact = oracle(&el, 256, 1);
+        let (sp, stats) = run_2d(&el, 256, 4, 1, 0.125);
+        assert!(sp.distances_match(&exact, 1e-4));
+        assert!(stats.supersteps > 0 && stats.relaxations > 0);
+    }
+
+    #[test]
+    fn various_deltas_exact() {
+        let el = g500_gen::simple::erdos_renyi(36, 150, 4);
+        let exact = oracle(&el, 36, 0);
+        for delta in [0.05f32, 0.5, 10.0] {
+            let (sp, _) = run_2d(&el, 36, 4, 0, delta);
+            assert!(sp.distances_match(&exact, 1e-4), "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let el = g500_gen::simple::path(6, 0.4); // vertices 6..9 isolated
+        let (sp, _) = run_2d(&el, 10, 4, 0, 0.3);
+        assert_eq!(sp.reached_count(), 6);
+        assert!(sp.dist[8].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "square rank count")]
+    fn non_square_grid_rejected() {
+        let el = g500_gen::simple::path(4, 1.0);
+        run_2d(&el, 4, 3, 0, 0.5);
+    }
+}

@@ -1,0 +1,297 @@
+//! Batched multi-source SSSP — the "64 roots" workload done right.
+//!
+//! The Graph500 harness runs 64 independent searches back-to-back. At
+//! extreme scale, the *tail* of each search — many near-empty supersteps —
+//! dominates, and the machine idles through 64 tails in sequence. Batching
+//! runs `B` sources concurrently: each superstep carries the union of all
+//! sources' traffic, so per-superstep fixed costs (latency, allreduce
+//! fan-in) are amortized B ways. This is the natural "future work"
+//! extension of the paper's superstep-reduction theme, and experiment F11
+//! measures exactly the amortization.
+//!
+//! Implementation: a per-source distance/parent table and source-tagged
+//! updates `(source index, target, dist, parent)` flowing through one
+//! shared bucket schedule. Buckets are indexed by distance as usual; a
+//! (source, vertex) pair is an element of bucket `⌊dist_s(v)/Δ⌋`. For
+//! simplicity and clarity this kernel always pushes and always coalesces
+//! (the single-source kernel is the ablation vehicle).
+
+use crate::bucket::BucketQueue;
+use g500_graph::{VertexId, Weight, INF_WEIGHT, NO_PARENT};
+use g500_partition::{LocalGraph, VertexPartition};
+use simnet::RankCtx;
+
+/// Per-rank result of a batched run: one distance/parent slice per source.
+#[derive(Clone, Debug)]
+pub struct MultiDist {
+    /// `dist[s][l]`: distance from source `s` to local vertex `l`.
+    pub dist: Vec<Vec<Weight>>,
+    /// `parent[s][l]`: global parent of local vertex `l` in source `s`'s tree.
+    pub parent: Vec<Vec<u64>>,
+}
+
+/// Counters from one batched run.
+#[derive(Clone, Debug, Default)]
+pub struct MultiStats {
+    /// Global communication rounds for the whole batch.
+    pub supersteps: u64,
+    /// Local relaxations for the whole batch.
+    pub relaxations: u64,
+    /// Update records shipped.
+    pub updates_sent: u64,
+}
+
+/// Source-tagged update: (source index, global target, dist, parent).
+type MUpdate = (u32, u64, f32, u64);
+
+/// Element key packing (source, local vertex) into one u64 for the bucket
+/// queue (which stores u32: we keep a side table instead).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Elem {
+    source: u32,
+    local: u32,
+}
+
+/// Run `roots.len()` SSSP searches concurrently from `roots`. Collective.
+pub fn multi_source_delta_stepping<P: VertexPartition>(
+    ctx: &mut RankCtx,
+    graph: &LocalGraph<P>,
+    roots: &[VertexId],
+    delta: Weight,
+) -> (MultiDist, MultiStats) {
+    let part = graph.part();
+    let p = ctx.size();
+    let me = ctx.rank();
+    let n_local = graph.local_vertices();
+    let n_sources = roots.len();
+    assert!(n_sources > 0 && n_sources <= u32::MAX as usize);
+
+    let mut dist = vec![vec![INF_WEIGHT; n_local]; n_sources];
+    let mut parent = vec![vec![NO_PARENT; n_local]; n_sources];
+    let mut stats = MultiStats::default();
+
+    // The bucket queue stores indices into `elems`; elements are
+    // append-only (lazy duplicates filtered at pop, as in single-source).
+    let mut elems: Vec<Elem> = Vec::new();
+    let mut buckets = BucketQueue::new(delta);
+
+    for (s, &root) in roots.iter().enumerate() {
+        if part.owner(root) == me {
+            let l = part.to_local(root);
+            dist[s][l] = 0.0;
+            parent[s][l] = root;
+            elems.push(Elem { source: s as u32, local: l as u32 });
+            buckets.insert(elems.len() as u32 - 1, 0.0);
+        }
+    }
+
+    loop {
+        let k_local = buckets.min_bucket().map_or(u64::MAX, |k| k as u64);
+        let k = ctx.allreduce_min(k_local);
+        if k == u64::MAX {
+            break;
+        }
+        // settled (source, local) pairs of this bucket, for the heavy phase
+        let mut settled: Vec<Elem> = Vec::new();
+
+        // light inner loop
+        loop {
+            let mut frontier: Vec<Elem> = Vec::new();
+            for ei in buckets.take_bucket(k as usize) {
+                let e = elems[ei as usize];
+                let d = dist[e.source as usize][e.local as usize];
+                if d.is_finite() && buckets.bucket_of(d) == k as usize {
+                    frontier.push(e);
+                }
+            }
+            let total = ctx.allreduce_sum(frontier.len() as u64);
+            if total == 0 {
+                break;
+            }
+            settled.extend_from_slice(&frontier);
+
+            let mut out: Vec<Vec<MUpdate>> = vec![Vec::new(); p];
+            let mut relaxed = 0u64;
+            for e in &frontier {
+                let du = dist[e.source as usize][e.local as usize];
+                let u_global = part.to_global(me, e.local as usize);
+                for (v, w) in graph.arcs(e.local as usize) {
+                    if w >= delta {
+                        continue;
+                    }
+                    relaxed += 1;
+                    out[part.owner(v)].push((e.source, v, du + w, u_global));
+                }
+            }
+            stats.relaxations += relaxed;
+            ctx.charge_compute(relaxed);
+
+            // coalesced exchange with per-(source, target) dedup
+            for b in out.iter_mut() {
+                b.sort_unstable_by(|a, b| {
+                    (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
+                });
+                b.dedup_by_key(|u| (u.0, u.1));
+            }
+            stats.updates_sent += out.iter().map(|b| b.len() as u64).sum::<u64>();
+            let incoming = ctx.alltoallv(out);
+            stats.supersteps += 1;
+
+            for block in incoming {
+                ctx.charge_compute(block.len() as u64);
+                for (s, v, nd, par) in block {
+                    apply(
+                        part, &mut dist, &mut parent, &mut elems, &mut buckets, s, v, nd, par,
+                    );
+                }
+            }
+        }
+
+        // heavy phase for everything this bucket settled
+        let mut out: Vec<Vec<MUpdate>> = vec![Vec::new(); p];
+        let mut relaxed = 0u64;
+        for e in &settled {
+            let du = dist[e.source as usize][e.local as usize];
+            let u_global = part.to_global(me, e.local as usize);
+            for (v, w) in graph.arcs(e.local as usize) {
+                if w < delta {
+                    continue;
+                }
+                relaxed += 1;
+                out[part.owner(v)].push((e.source, v, du + w, u_global));
+            }
+        }
+        stats.relaxations += relaxed;
+        ctx.charge_compute(relaxed);
+        for b in out.iter_mut() {
+            b.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+            b.dedup_by_key(|u| (u.0, u.1));
+        }
+        stats.updates_sent += out.iter().map(|b| b.len() as u64).sum::<u64>();
+        let incoming = ctx.alltoallv(out);
+        stats.supersteps += 1;
+        for block in incoming {
+            ctx.charge_compute(block.len() as u64);
+            for (s, v, nd, par) in block {
+                apply(part, &mut dist, &mut parent, &mut elems, &mut buckets, s, v, nd, par);
+            }
+        }
+    }
+
+    (MultiDist { dist, parent }, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply<P: VertexPartition>(
+    part: &P,
+    dist: &mut [Vec<Weight>],
+    parent: &mut [Vec<u64>],
+    elems: &mut Vec<Elem>,
+    buckets: &mut BucketQueue,
+    s: u32,
+    v_global: u64,
+    nd: Weight,
+    par: u64,
+) {
+    let l = part.to_local(v_global);
+    if nd < dist[s as usize][l] {
+        dist[s as usize][l] = nd;
+        parent[s as usize][l] = par;
+        elems.push(Elem { source: s, local: l as u32 });
+        buckets.insert(elems.len() as u32 - 1, nd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_baselines::dijkstra;
+    use g500_graph::{Csr, Directedness};
+    use g500_partition::{assemble_local_graph, Block1D};
+    use simnet::{Machine, MachineConfig};
+
+    #[test]
+    fn batched_matches_dijkstra_per_source() {
+        let el = g500_gen::simple::erdos_renyi(48, 220, 31);
+        let csr = Csr::from_edges(48, &el, Directedness::Undirected);
+        let roots = [0u64, 7, 13, 40];
+        let p = 3;
+        let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+            let part = Block1D::new(48, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let (md, _) = multi_source_delta_stepping(ctx, &g, &roots, 0.2);
+            // gather per source
+            let mut out = Vec::new();
+            for s in 0..roots.len() {
+                let slice = g500_partition::DistShortestPaths {
+                    dist: md.dist[s].clone(),
+                    parent: md.parent[s].clone(),
+                };
+                out.push(slice.gather_to_all(ctx, g.part()));
+            }
+            out
+        });
+        for (s, &root) in roots.iter().enumerate() {
+            let oracle = dijkstra(&csr, root);
+            assert!(
+                rep.results[0][s].distances_match(&oracle, 1e-4),
+                "source {s} (root {root})"
+            );
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_supersteps() {
+        // B sequential runs pay ~B× the supersteps of one batched run
+        let gen =
+            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 8));
+        let el = gen.generate_all();
+        let n = 512u64;
+        let roots = [1u64, 3, 5, 7, 11, 13, 17, 19];
+        let p = 4;
+        let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+            let part = Block1D::new(n, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+
+            let (_, batched) = multi_source_delta_stepping(ctx, &g, &roots, 0.125);
+
+            let mut sequential_steps = 0u64;
+            for &r in &roots {
+                let (_, s) = multi_source_delta_stepping(ctx, &g, &[r], 0.125);
+                sequential_steps += s.supersteps;
+            }
+            (batched.supersteps, sequential_steps)
+        });
+        let (batched, sequential) = rep.results[0];
+        assert!(
+            batched * 2 < sequential,
+            "batched {batched} supersteps vs sequential {sequential}"
+        );
+    }
+
+    #[test]
+    fn single_source_batch_is_just_sssp() {
+        let el = g500_gen::simple::path(12, 0.3);
+        let csr = Csr::from_edges(12, &el, Directedness::Undirected);
+        let oracle = dijkstra(&csr, 0);
+        let rep = Machine::new(MachineConfig::with_ranks(2)).run(|ctx| {
+            let part = Block1D::new(12, 2);
+            let mine: Vec<_> = if ctx.rank() == 0 {
+                el.iter().collect()
+            } else {
+                Vec::new()
+            };
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let (md, _) = multi_source_delta_stepping(ctx, &g, &[0], 0.5);
+            g500_partition::DistShortestPaths { dist: md.dist[0].clone(), parent: md.parent[0].clone() }
+                .gather_to_all(ctx, g.part())
+        });
+        assert!(rep.results[0].distances_match(&oracle, 1e-5));
+    }
+}

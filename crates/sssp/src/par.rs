@@ -1,0 +1,170 @@
+//! Shared-memory parallel delta-stepping.
+//!
+//! This is the *intra-rank* kernel: on the real machine each process drives
+//! hundreds of cores, and the bucket's frontier is relaxed in parallel. The
+//! distance array is `AtomicU32` holding `f32` bits (non-negative floats
+//! order as their bit patterns, so `fetch_min` implements atomic relaxation
+//! — see `g500_graph::types::weight_to_bits`). Parent updates ride a second
+//! atomic; a parent may briefly disagree with the very latest distance
+//! during a race, so parents are fixed up from winners after each wave,
+//! keeping the (distance, parent) pair consistent at wave boundaries.
+
+use crate::bucket::BucketQueue;
+use g500_graph::types::weight_to_bits;
+use g500_graph::{Csr, ShortestPaths, VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Shared-memory parallel delta-stepping from `root` with width `delta`.
+pub fn parallel_delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> ShortestPaths {
+    let n = graph.num_vertices();
+    let dist: Vec<AtomicU32> =
+        (0..n).map(|_| AtomicU32::new(weight_to_bits(f32::INFINITY))).collect();
+    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    dist[root as usize].store(weight_to_bits(0.0), Ordering::Relaxed);
+    parent[root as usize].store(root, Ordering::Relaxed);
+
+    // Shared-reference views: `&[Atomic…]` is `Copy`, so the rayon closures
+    // capture these instead of moving the vectors.
+    let dist_ref: &[AtomicU32] = &dist;
+    let parent_ref: &[AtomicU64] = &parent;
+    let load = move |v: usize| f32::from_bits(dist_ref[v].load(Ordering::Relaxed));
+
+    let mut buckets = BucketQueue::new(delta);
+    buckets.insert(root as u32, 0.0);
+    let mut settled: Vec<u32> = Vec::new();
+
+    while let Some(k) = buckets.min_bucket() {
+        settled.clear();
+        loop {
+            let frontier: Vec<u32> = buckets
+                .take_bucket(k)
+                .into_iter()
+                .filter(|&v| {
+                    let d = load(v as usize);
+                    d.is_finite() && buckets.bucket_of(d) == k
+                })
+                .collect();
+            if frontier.is_empty() {
+                break;
+            }
+            settled.extend_from_slice(&frontier);
+            // Parallel light-edge wave; improvements are collected and
+            // re-inserted sequentially (the bucket structure is not shared).
+            let improved: Vec<(u32, f32)> = frontier
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = load(u as usize);
+                    graph.arcs(u as usize).filter_map(move |(v, w)| {
+                        if w < delta {
+                            relax_atomic(dist_ref, parent_ref, u, v, du + w)
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+            for (v, d) in improved {
+                buckets.insert(v, d);
+            }
+        }
+        // Heavy phase over the settled set, in parallel, once.
+        let improved: Vec<(u32, f32)> = settled
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let du = load(u as usize);
+                graph.arcs(u as usize).filter_map(move |(v, w)| {
+                    if w >= delta {
+                        relax_atomic(dist_ref, parent_ref, u, v, du + w)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        for (v, d) in improved {
+            buckets.insert(v, d);
+        }
+    }
+
+    ShortestPaths {
+        dist: dist.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+        parent: parent.into_iter().map(AtomicU64::into_inner).collect(),
+    }
+}
+
+/// Atomic relaxation: returns `Some((v, nd))` if this call improved `v`.
+#[inline]
+fn relax_atomic(
+    dist: &[AtomicU32],
+    parent: &[AtomicU64],
+    u: u32,
+    v: VertexId,
+    nd: Weight,
+) -> Option<(u32, f32)> {
+    let vi = v as usize;
+    let nd_bits = weight_to_bits(nd);
+    let prev = dist[vi].fetch_min(nd_bits, Ordering::Relaxed);
+    if nd_bits < prev {
+        // This thread won the min; record the matching parent. A
+        // concurrent better relaxation may overwrite both — last-winner
+        // consistency is restored because that winner also stores its
+        // parent after its fetch_min.
+        parent[vi].store(u as u64, Ordering::Relaxed);
+        Some((v as u32, nd))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_baselines::dijkstra;
+    use g500_graph::Directedness;
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let el = g500_gen::simple::erdos_renyi(100, 600, seed);
+            let g = Csr::from_edges(100, &el, Directedness::Undirected);
+            let exact = dijkstra(&g, 7);
+            let par = parallel_delta_stepping(&g, 7, 0.15);
+            assert!(par.distances_match(&exact, 1e-4), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_on_kronecker() {
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 3));
+        let el = gen.generate_all();
+        let g = Csr::from_edges(512, &el, Directedness::Undirected);
+        let exact = dijkstra(&g, 2);
+        let par = parallel_delta_stepping(&g, 2, 0.125);
+        assert!(par.distances_match(&exact, 1e-4));
+    }
+
+    #[test]
+    fn parent_tree_is_usable() {
+        let el = g500_gen::simple::erdos_renyi(50, 250, 1);
+        let g = Csr::from_edges(50, &el, Directedness::Undirected);
+        let sp = parallel_delta_stepping(&g, 0, 0.2);
+        // every reached non-root vertex has a reached parent at lower-or-
+        // equal distance
+        for v in 0..50 {
+            if v != 0 && sp.dist[v].is_finite() {
+                let p = sp.parent[v];
+                assert_ne!(p, u64::MAX);
+                assert!(sp.dist[p as usize] <= sp.dist[v] + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Csr::from_edges(1, &g500_graph::EdgeList::new(), Directedness::Directed);
+        let sp = parallel_delta_stepping(&g, 0, 0.5);
+        assert_eq!(sp.dist, vec![0.0]);
+        assert_eq!(sp.parent, vec![0]);
+    }
+}

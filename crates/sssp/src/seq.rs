@@ -1,0 +1,144 @@
+//! Sequential delta-stepping — the readable reference implementation.
+//!
+//! Classic Meyer & Sanders: process buckets in order; within a bucket,
+//! repeatedly relax *light* edges (w < Δ) of newly settled vertices until
+//! the bucket stops refilling, then relax the *heavy* edges (w ≥ Δ) of
+//! everything the bucket settled, exactly once. Heavy relaxations can only
+//! reach later buckets, which is what makes the single deferred pass safe.
+
+use crate::bucket::BucketQueue;
+use g500_graph::{Csr, ShortestPaths, VertexId, Weight};
+
+/// Sequential delta-stepping from `root` with bucket width `delta`.
+///
+/// `graph` must contain both directions of each undirected edge. Exact (up
+/// to float associativity): property-tested against Dijkstra.
+pub fn delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> ShortestPaths {
+    let n = graph.num_vertices();
+    let mut sp = ShortestPaths::with_root(n, root);
+    let mut buckets = BucketQueue::new(delta);
+    buckets.insert(root as u32, 0.0);
+
+    // Scratch reused across buckets (allocation-free inner loop).
+    let mut settled: Vec<u32> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+
+    while let Some(k) = buckets.min_bucket() {
+        settled.clear();
+        // Light-edge phase: drain bucket k to fixpoint.
+        loop {
+            frontier.clear();
+            for v in buckets.take_bucket(k) {
+                // lazy filter: only entries whose *current* distance still
+                // falls in bucket k are live
+                if buckets.bucket_of(sp.dist[v as usize]) == k {
+                    frontier.push(v);
+                }
+            }
+            if frontier.is_empty() {
+                break;
+            }
+            settled.extend_from_slice(&frontier);
+            for &u in &frontier {
+                let du = sp.dist[u as usize];
+                for (v, w) in graph.arcs(u as usize) {
+                    if w < delta {
+                        relax(&mut sp, &mut buckets, u, v, du + w);
+                    }
+                }
+            }
+        }
+        // Heavy-edge phase: each vertex settled in this bucket relaxes its
+        // heavy edges once. Duplicates in `settled` are possible when a
+        // vertex re-entered bucket k after improving within it; relaxation
+        // is idempotent so this stays correct (only mildly wasteful).
+        for &u in &settled {
+            let du = sp.dist[u as usize];
+            for (v, w) in graph.arcs(u as usize) {
+                if w >= delta {
+                    relax(&mut sp, &mut buckets, u, v, du + w);
+                }
+            }
+        }
+    }
+    sp
+}
+
+#[inline]
+fn relax(sp: &mut ShortestPaths, buckets: &mut BucketQueue, u: u32, v: VertexId, nd: Weight) {
+    let vi = v as usize;
+    if nd < sp.dist[vi] {
+        sp.dist[vi] = nd;
+        sp.parent[vi] = u as u64;
+        buckets.insert(v as u32, nd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_baselines::dijkstra;
+    use g500_graph::{Directedness, EdgeList};
+
+    fn check_against_dijkstra(el: &EdgeList, n: usize, root: u64, delta: f32) {
+        let g = Csr::from_edges(n, el, Directedness::Undirected);
+        let exact = dijkstra(&g, root);
+        let ds = delta_stepping(&g, root, delta);
+        assert!(
+            ds.distances_match(&exact, 1e-4),
+            "delta {delta} root {root} diverged from Dijkstra"
+        );
+    }
+
+    #[test]
+    fn random_graphs_various_deltas() {
+        for seed in 0..4 {
+            let el = g500_gen::simple::erdos_renyi(70, 350, seed);
+            for delta in [0.05f32, 0.2, 1.0, 100.0] {
+                check_against_dijkstra(&el, 70, 3, delta);
+            }
+        }
+    }
+
+    #[test]
+    fn kronecker_graph() {
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 7));
+        let el = gen.generate_all();
+        check_against_dijkstra(&el, 256, 1, 0.125);
+    }
+
+    #[test]
+    fn heavy_only_graph() {
+        // all weights >= delta → pure heavy phases (Dijkstra-like behavior)
+        let el = g500_gen::simple::path(10, 0.9);
+        check_against_dijkstra(&el, 10, 0, 0.1);
+    }
+
+    #[test]
+    fn light_only_graph() {
+        // all weights < delta → single bucket, Bellman-Ford-like
+        let el = g500_gen::simple::erdos_renyi(40, 160, 9);
+        check_against_dijkstra(&el, 40, 0, 50.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_stay_in_bucket() {
+        let el = EdgeList::from_edges([
+            g500_graph::WEdge::new(0, 1, 0.0),
+            g500_graph::WEdge::new(1, 2, 0.0),
+            g500_graph::WEdge::new(2, 3, 0.7),
+        ]);
+        let g = Csr::from_edges(4, &el, Directedness::Undirected);
+        let sp = delta_stepping(&g, 0, 0.5);
+        assert_eq!(sp.dist, vec![0.0, 0.0, 0.0, 0.7]);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let el = g500_gen::simple::path(5, 0.2); // vertices 5..8 isolated
+        let g = Csr::from_edges(8, &el, Directedness::Undirected);
+        let sp = delta_stepping(&g, 0, 0.3);
+        assert_eq!(sp.reached_count(), 5);
+        assert!(sp.dist[6].is_infinite());
+    }
+}

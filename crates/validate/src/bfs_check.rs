@@ -1,0 +1,145 @@
+//! BFS (Graph500 kernel 2) validation.
+//!
+//! The BFS checker mirrors the SSSP one with hop counts in place of
+//! distances: levels across any edge differ by at most one, every parent is
+//! exactly one level up, and the parent pointers form a tree on the reached
+//! component.
+
+use g500_graph::{Csr, Directedness, EdgeList, VertexId};
+
+/// Sentinel level for unreached vertices.
+pub const UNREACHED: i64 = -1;
+
+/// Validate a BFS tree: `level[v]` in hops (−1 unreached), `parent[v]`
+/// (`u64::MAX` unreached, root self-parented). Returns `Ok(traversed_edges)`
+/// or the first violations.
+pub fn validate_bfs(
+    n: u64,
+    edges: &EdgeList,
+    root: VertexId,
+    level: &[i64],
+    parent: &[u64],
+) -> Result<u64, Vec<String>> {
+    let n = n as usize;
+    let mut errors = Vec::new();
+    assert_eq!(level.len(), n);
+    assert_eq!(parent.len(), n);
+
+    if level[root as usize] != 0 {
+        errors.push(format!("root level is {} not 0", level[root as usize]));
+    }
+    if parent[root as usize] != root {
+        errors.push("root is not its own parent".into());
+    }
+
+    for v in 0..n {
+        let reached = level[v] >= 0;
+        if reached != (parent[v] != u64::MAX) {
+            errors.push(format!("vertex {v}: level/parent reachability mismatch"));
+        }
+    }
+
+    // Parent levels: parent must be exactly one level up, and the edge must
+    // exist. One CSR lookup per reached non-root vertex.
+    let csr = Csr::from_edges(n, edges, Directedness::Undirected);
+    for v in 0..n {
+        if level[v] <= 0 {
+            continue;
+        }
+        let p = parent[v];
+        if p == u64::MAX || p as usize >= n {
+            continue;
+        }
+        if level[p as usize] != level[v] - 1 {
+            errors.push(format!(
+                "vertex {v} at level {} has parent {p} at level {}",
+                level[v],
+                level[p as usize]
+            ));
+        }
+        if !csr.neighbors(p as usize).contains(&(v as u64)) {
+            errors.push(format!("tree edge ({p}, {v}) not in the graph"));
+        }
+    }
+
+    // Edge rule: levels differ by at most 1; no boundary-spanning edges.
+    let mut traversed = 0u64;
+    for e in edges.iter() {
+        let (lu, lv) = (level[e.u as usize], level[e.v as usize]);
+        if lu >= 0 || lv >= 0 {
+            traversed += 1;
+        }
+        match (lu >= 0, lv >= 0) {
+            (true, true) => {
+                if (lu - lv).abs() > 1 {
+                    errors.push(format!(
+                        "edge ({}, {}) spans levels {lu} and {lv}",
+                        e.u, e.v
+                    ));
+                }
+            }
+            (false, false) => {}
+            _ => errors.push(format!(
+                "edge ({}, {}) spans the reached/unreached boundary",
+                e.u, e.v
+            )),
+        }
+        if errors.len() > 8 {
+            break;
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(traversed)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_bfs() -> (EdgeList, Vec<i64>, Vec<u64>) {
+        let el = g500_gen::simple::path(4, 1.0);
+        (el, vec![0, 1, 2, 3], vec![0, 0, 1, 2])
+    }
+
+    #[test]
+    fn correct_tree_validates() {
+        let (el, level, parent) = path_bfs();
+        assert_eq!(validate_bfs(4, &el, 0, &level, &parent), Ok(3));
+    }
+
+    #[test]
+    fn level_skip_rejected() {
+        let (el, mut level, parent) = path_bfs();
+        level[2] = 3;
+        level[3] = 4;
+        assert!(validate_bfs(4, &el, 0, &level, &parent).is_err());
+    }
+
+    #[test]
+    fn wrong_parent_level_rejected() {
+        let (el, level, mut parent) = path_bfs();
+        parent[3] = 1; // level 1, but v is level 3
+        assert!(validate_bfs(4, &el, 0, &level, &parent).is_err());
+    }
+
+    #[test]
+    fn phantom_tree_edge_rejected() {
+        let el = g500_gen::simple::path(4, 1.0);
+        // claim parent(3) = 0 at level 1... edge (0,3) missing
+        let level = vec![0, 1, 1, 1];
+        let parent = vec![0, 0, 0, 0];
+        assert!(validate_bfs(4, &el, 0, &level, &parent).is_err());
+    }
+
+    #[test]
+    fn unreached_component_ok() {
+        let el = g500_gen::simple::path(2, 1.0); // vertices 2,3 isolated
+        let level = vec![0, 1, UNREACHED, UNREACHED];
+        let parent = vec![0, 0, u64::MAX, u64::MAX];
+        assert_eq!(validate_bfs(4, &el, 0, &level, &parent), Ok(1));
+    }
+}

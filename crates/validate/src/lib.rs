@@ -1,0 +1,25 @@
+//! # g500-validate — Graph500 result validation and TEPS statistics
+//!
+//! The Graph500 benchmark does not trust the kernel under test: every run of
+//! every root is validated against the input edge list by an independent
+//! checker, and only validated runs contribute to the reported TEPS
+//! statistics. This crate implements that checker for both kernels:
+//!
+//! * [`sssp_check`] — the five SSSP validation rules (root distance, tree
+//!   well-formedness, tree-edge consistency, the edge-wise triangle
+//!   inequality, and component agreement),
+//! * [`bfs_check`] — the analogous level/parent checks for kernel 2,
+//! * [`teps`] — traversed-edge counting and the harmonic-mean TEPS summary
+//!   block the benchmark reports.
+#![warn(missing_docs)]
+
+
+pub mod bfs_check;
+pub mod dist_check;
+pub mod sssp_check;
+pub mod teps;
+
+pub use bfs_check::validate_bfs;
+pub use dist_check::{distributed_validate_sssp, DistValidation};
+pub use sssp_check::{validate_sssp, SsspResult, ValidationReport};
+pub use teps::{count_traversed_edges, TepsSummary};

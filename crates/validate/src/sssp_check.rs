@@ -1,0 +1,321 @@
+//! SSSP validation per the Graph500 specification.
+//!
+//! Given the *input* edge list (not the kernel's internal structures), a
+//! root, and the kernel's `(distance, parent)` arrays, the checker verifies:
+//!
+//! 1. the root has distance 0 and is its own parent;
+//! 2. reachability is consistent: a vertex has a distance iff it has a
+//!    parent, and every edge connects two reached or two unreached vertices;
+//! 3. the parent array encodes a tree: following parents from any reached
+//!    vertex terminates at the root within `n` steps;
+//! 4. every tree edge exists in the graph and satisfies
+//!    `dist[v] = dist[parent[v]] + w(parent[v], v)` up to float tolerance;
+//! 5. no edge is left relaxable: `|dist[u] − dist[v]| ≤ w(u, v)` for every
+//!    edge, up to tolerance.
+//!
+//! Distances accumulate in `f32` along paths of up to thousands of hops, so
+//! the checker uses a relative-plus-absolute tolerance (the official code
+//! does the same with a fixed slack).
+
+use g500_graph::{Csr, Directedness, EdgeList, VertexId, Weight, INF_WEIGHT};
+
+/// Sentinel for "no parent" in parent arrays.
+pub const NO_PARENT: u64 = u64::MAX;
+
+/// The output of one SSSP run over the whole graph, gathered to one place
+/// for validation.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Root vertex of the search.
+    pub root: VertexId,
+    /// `dist[v]` = shortest distance found, `INF_WEIGHT` if unreached.
+    pub dist: Vec<Weight>,
+    /// `parent[v]` = tree parent, `NO_PARENT` if unreached; root points at
+    /// itself.
+    pub parent: Vec<u64>,
+}
+
+/// The checker's verdict plus the statistics TEPS needs.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// All rules passed.
+    pub ok: bool,
+    /// Human-readable descriptions of the first few violations.
+    pub errors: Vec<String>,
+    /// Number of reached vertices (including the root).
+    pub reached: u64,
+    /// Input edges with at least one endpoint reached — the numerator of
+    /// the TEPS metric per the specification.
+    pub traversed_edges: u64,
+}
+
+const MAX_ERRORS: usize = 8;
+
+fn tol(a: Weight, b: Weight) -> f32 {
+    1e-4_f32.max(1e-4 * a.abs().max(b.abs()))
+}
+
+/// Validate one SSSP result against the input edge list.
+///
+/// `edges` is the raw generated list (one record per undirected edge,
+/// possibly with self-loops and duplicates, exactly as Graph500 hands it to
+/// the validator). `n` is the global vertex count.
+pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationReport {
+    let n = n as usize;
+    let mut errors = Vec::new();
+    let err = |e: String, errors: &mut Vec<String>| {
+        if errors.len() < MAX_ERRORS {
+            errors.push(e);
+        }
+    };
+
+    assert_eq!(res.dist.len(), n, "dist array sized to the vertex set");
+    assert_eq!(res.parent.len(), n, "parent array sized to the vertex set");
+
+    // Rule 1: root.
+    if res.dist[res.root as usize] != 0.0 {
+        err(format!("root distance is {} not 0", res.dist[res.root as usize]), &mut errors);
+    }
+    if res.parent[res.root as usize] != res.root {
+        err("root is not its own parent".into(), &mut errors);
+    }
+
+    // Rule 2a: dist and parent agree on reachability.
+    let reached_v: Vec<bool> = (0..n)
+        .map(|v| res.dist[v] < INF_WEIGHT)
+        .collect();
+    for v in 0..n {
+        let has_parent = res.parent[v] != NO_PARENT;
+        if reached_v[v] != has_parent {
+            err(
+                format!(
+                    "vertex {v}: dist {} but parent {}",
+                    res.dist[v],
+                    if has_parent { "set" } else { "unset" }
+                ),
+                &mut errors,
+            );
+        }
+        if res.dist[v] < 0.0 {
+            err(format!("vertex {v}: negative distance {}", res.dist[v]), &mut errors);
+        }
+    }
+
+    // Rule 3: parents form a tree rooted at `root`. Memoised walk: depth[v]
+    // is found by following parents, failing on > n steps (cycle).
+    let mut state = vec![0u8; n]; // 0 = unknown, 1 = on-ok-path, 2 = bad
+    state[res.root as usize] = 1;
+    for v0 in 0..n {
+        if !reached_v[v0] || state[v0] != 0 {
+            continue;
+        }
+        let mut chain = Vec::new();
+        let mut v = v0;
+        let verdict = loop {
+            if state[v] == 1 {
+                break 1;
+            }
+            if state[v] == 2 || !reached_v[v] || chain.len() > n {
+                break 2;
+            }
+            chain.push(v);
+            state[v] = 3; // visiting marker
+            let p = res.parent[v];
+            if p == NO_PARENT || p as usize >= n {
+                break 2;
+            }
+            let p = p as usize;
+            if state[p] == 3 {
+                break 2; // cycle
+            }
+            v = p;
+        };
+        if verdict == 2 {
+            err(format!("vertex {v0}: parent chain does not reach the root"), &mut errors);
+        }
+        for c in chain {
+            state[c] = verdict;
+        }
+    }
+
+    // Build a CSR for tree-edge lookup (rule 4).
+    let csr = Csr::from_edges(n, edges, Directedness::Undirected);
+    for v in 0..n {
+        if !reached_v[v] || v as u64 == res.root {
+            continue;
+        }
+        let p = res.parent[v];
+        if p == NO_PARENT {
+            continue; // already reported by rule 2
+        }
+        // find an edge (p, v) whose weight matches the distance delta
+        let dv = res.dist[v];
+        let dp = res.dist[p as usize];
+        let ok = csr
+            .arcs(p as usize)
+            .any(|(t, w)| t == v as u64 && (dp + w - dv).abs() <= tol(dp + w, dv));
+        if !ok {
+            err(
+                format!(
+                    "vertex {v}: no edge from parent {p} with weight {} - {} = {}",
+                    dv,
+                    dp,
+                    dv - dp
+                ),
+                &mut errors,
+            );
+        }
+    }
+
+    // Rule 5 + rule 2b: scan every input edge once.
+    let mut traversed = 0u64;
+    for e in edges.iter() {
+        let (u, v) = (e.u as usize, e.v as usize);
+        let ru = reached_v[u];
+        let rv = reached_v[v];
+        if ru || rv {
+            traversed += 1;
+        }
+        if ru != rv {
+            err(
+                format!("edge ({}, {}) spans the reached/unreached boundary", e.u, e.v),
+                &mut errors,
+            );
+            continue;
+        }
+        if ru && rv {
+            let (du, dv) = (res.dist[u], res.dist[v]);
+            if (du - dv).abs() > e.w + tol(du, dv) {
+                err(
+                    format!(
+                        "edge ({}, {}) w={} violates |{} - {}| <= w",
+                        e.u, e.v, e.w, du, dv
+                    ),
+                    &mut errors,
+                );
+            }
+        }
+    }
+
+    let reached = reached_v.iter().filter(|&&r| r).count() as u64;
+    ValidationReport { ok: errors.is_empty(), errors, reached, traversed_edges: traversed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g500_graph::WEdge;
+
+    /// dist/parent for the path 0-1-2-3 with unit weights.
+    fn path_result() -> (EdgeList, SsspResult) {
+        let el = g500_gen::simple::path(4, 1.0);
+        let res = SsspResult {
+            root: 0,
+            dist: vec![0.0, 1.0, 2.0, 3.0],
+            parent: vec![0, 0, 1, 2],
+        };
+        (el, res)
+    }
+
+    #[test]
+    fn correct_result_validates() {
+        let (el, res) = path_result();
+        let rep = validate_sssp(4, &el, &res);
+        assert!(rep.ok, "{:?}", rep.errors);
+        assert_eq!(rep.reached, 4);
+        assert_eq!(rep.traversed_edges, 3);
+    }
+
+    #[test]
+    fn wrong_root_distance_rejected() {
+        let (el, mut res) = path_result();
+        res.dist[0] = 0.5;
+        assert!(!validate_sssp(4, &el, &res).ok);
+    }
+
+    #[test]
+    fn non_optimal_distance_rejected() {
+        // dist[2] too large → edge (1,2) still relaxable
+        let (el, mut res) = path_result();
+        res.dist[2] = 2.5;
+        res.dist[3] = 3.5;
+        assert!(!validate_sssp(4, &el, &res).ok);
+    }
+
+    #[test]
+    fn parent_cycle_rejected() {
+        let (el, mut res) = path_result();
+        res.parent[1] = 2;
+        res.parent[2] = 1;
+        assert!(!validate_sssp(4, &el, &res).ok);
+    }
+
+    #[test]
+    fn phantom_tree_edge_rejected() {
+        // parent claims an edge (0, 3) that is not in the graph
+        let (el, mut res) = path_result();
+        res.parent[3] = 0;
+        res.dist[3] = 1.0;
+        let rep = validate_sssp(4, &el, &res);
+        assert!(!rep.ok);
+    }
+
+    #[test]
+    fn boundary_spanning_edge_rejected() {
+        // vertex 3 marked unreached but edge (2,3) exists
+        let (el, mut res) = path_result();
+        res.dist[3] = INF_WEIGHT;
+        res.parent[3] = NO_PARENT;
+        let rep = validate_sssp(4, &el, &res);
+        assert!(!rep.ok);
+        assert!(rep.errors.iter().any(|e| e.contains("boundary")));
+    }
+
+    #[test]
+    fn disconnected_component_accepted() {
+        // two disjoint edges; root side reached, far side untouched
+        let el = EdgeList::from_edges([WEdge::new(0, 1, 0.5), WEdge::new(2, 3, 0.5)]);
+        let res = SsspResult {
+            root: 0,
+            dist: vec![0.0, 0.5, INF_WEIGHT, INF_WEIGHT],
+            parent: vec![0, 0, NO_PARENT, NO_PARENT],
+        };
+        let rep = validate_sssp(4, &el, &res);
+        assert!(rep.ok, "{:?}", rep.errors);
+        assert_eq!(rep.reached, 2);
+        assert_eq!(rep.traversed_edges, 1);
+    }
+
+    #[test]
+    fn dist_parent_mismatch_rejected() {
+        let (el, mut res) = path_result();
+        res.parent[3] = NO_PARENT; // but dist[3] finite
+        assert!(!validate_sssp(4, &el, &res).ok);
+    }
+
+    #[test]
+    fn multigraph_duplicate_edges_ok() {
+        // duplicate (0,1) with different weights: lighter one determines dist
+        let el = EdgeList::from_edges([
+            WEdge::new(0, 1, 0.9),
+            WEdge::new(0, 1, 0.3),
+            WEdge::new(1, 1, 0.2), // self-loop must be ignored gracefully
+        ]);
+        let res = SsspResult { root: 0, dist: vec![0.0, 0.3], parent: vec![0, 0] };
+        let rep = validate_sssp(2, &el, &res);
+        assert!(rep.ok, "{:?}", rep.errors);
+        assert_eq!(rep.traversed_edges, 3);
+    }
+
+    #[test]
+    fn float_tolerance_accepts_accumulated_error() {
+        let el = g500_gen::simple::path(3, 0.1);
+        // 0.1 + 0.1 in f32 is not exactly 0.2
+        let res = SsspResult {
+            root: 0,
+            dist: vec![0.0, 0.1, 0.1 + 0.1],
+            parent: vec![0, 0, 1],
+        };
+        assert!(validate_sssp(3, &el, &res).ok);
+    }
+}

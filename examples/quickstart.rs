@@ -1,0 +1,40 @@
+//! Quickstart: run the full Graph500 SSSP benchmark on a small simulated
+//! machine and print the official-style result block.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use graph500::{run_sssp_benchmark, BenchmarkConfig};
+
+fn main() {
+    // Scale 12 (4096 vertices, 65536 edges) on 4 simulated ranks, 8 roots.
+    let mut cfg = BenchmarkConfig::graph500(12, 4);
+    cfg.num_roots = 8;
+
+    println!("running Graph500 SSSP: scale {}, {} ranks, {} roots…\n", cfg.scale, cfg.machine.ranks, cfg.num_roots);
+    let report = run_sssp_benchmark(&cfg);
+
+    println!("{}", report.render());
+    println!("all runs validated: {}", report.all_validated());
+    println!(
+        "simulated job time:  {:.3} ms  (host wall clock: {:.0} ms)",
+        (report.construction_time_s
+            + report.runs.iter().map(|r| r.sim_time_s).sum::<f64>())
+            * 1e3,
+        report.wall_time_s * 1e3
+    );
+
+    // The per-root details the summary is built from:
+    println!("\nper-root runs:");
+    for run in &report.runs {
+        println!(
+            "  root {:>6}: {:>8} edges traversed in {:.3} ms simulated ({} supersteps, {} buckets)",
+            run.root,
+            run.traversed_edges,
+            run.sim_time_s * 1e3,
+            run.stats.supersteps,
+            run.stats.buckets,
+        );
+    }
+}

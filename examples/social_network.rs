@@ -1,0 +1,70 @@
+//! Social-network analysis: the workload class Graph500 models.
+//!
+//! Kronecker graphs mimic social networks: power-law degrees, tiny
+//! diameter, one giant component. This example runs the kind of analysis a
+//! downstream user would: profile the degree skew, find the hubs, and
+//! measure "degrees of separation" (BFS levels) and weighted reach (SSSP)
+//! from a hub versus from a peripheral user.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use g500_gen::{KroneckerGenerator, KroneckerParams};
+use g500_graph::degree::{ccdf_pow2, powerlaw_slope};
+use g500_graph::{Csr, DegreeStats, Directedness};
+use g500_sssp::{delta_stepping, suggest_delta};
+
+fn main() {
+    let scale = 14u32; // 16k "users", ~260k "friendships"
+    let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 7));
+    let el = gen.generate_all();
+    let n = gen.params().num_vertices() as usize;
+    let csr = Csr::from_edges(n, &el, Directedness::Undirected);
+
+    // --- degree profile ---
+    let degrees: Vec<usize> = (0..n).map(|v| csr.degree(v)).collect();
+    let stats = DegreeStats::from_degrees(&degrees);
+    let slope = powerlaw_slope(&ccdf_pow2(&degrees));
+    println!("network: {} users, {} friendships", n, el.len());
+    println!("degree:  mean {:.1}, median {}, max {} — power-law slope {:.2}", stats.mean, stats.median, stats.max, slope);
+    println!("skew:    top 1% of users hold {:.0}% of all connections\n", 100.0 * stats.top1pct_arc_share);
+
+    // --- hubs vs periphery ---
+    let hub = (0..n).max_by_key(|&v| degrees[v]).expect("non-empty");
+    let leaf = (0..n).filter(|&v| degrees[v] == 1).next().unwrap_or(0);
+    println!("hub user:        {} ({} connections)", hub, degrees[hub]);
+    println!("peripheral user: {} ({} connection)\n", leaf, degrees[leaf]);
+
+    // --- weighted reach (tie strength = edge weight) ---
+    let delta = suggest_delta(stats.mean, 0.5);
+    for (label, start) in [("hub", hub), ("periphery", leaf)] {
+        let sp = delta_stepping(&csr, start as u64, delta);
+        let reached = sp.reached_count();
+        let dists: Vec<f32> =
+            sp.dist.iter().copied().filter(|d| d.is_finite()).collect();
+        let mean_d = dists.iter().map(|&d| d as f64).sum::<f64>() / dists.len() as f64;
+        let max_d = dists.iter().copied().fold(0.0f32, f32::max);
+        println!(
+            "from {label:>9}: reaches {reached} users, mean tie-distance {mean_d:.3}, eccentricity {max_d:.3}"
+        );
+    }
+
+    // --- degrees of separation (unweighted levels via unit weights) ---
+    let unit_el: g500_graph::EdgeList =
+        el.iter().map(|mut e| { e.w = 1.0; e }).collect();
+    let unit = Csr::from_edges(n, &unit_el, Directedness::Undirected);
+    let sp = delta_stepping(&unit, hub as u64, 1.0);
+    let mut histogram = std::collections::BTreeMap::<u32, usize>::new();
+    for &d in &sp.dist {
+        if d.is_finite() {
+            *histogram.entry(d as u32).or_insert(0) += 1;
+        }
+    }
+    println!("\ndegrees of separation from the hub:");
+    for (hops, count) in &histogram {
+        println!("  {hops} hops: {count:>6} users {}", "*".repeat((*count / 200).min(60)));
+    }
+    let diameter = histogram.keys().max().copied().unwrap_or(0);
+    println!("effective diameter from hub: {diameter} hops — the small world the benchmark stresses");
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run every experiment harness and archive outputs under results/.
+# Parameters here are the defaults recorded in EXPERIMENTS.md; override
+# with G500_* environment variables for bigger sweeps.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+BIN=target/release
+
+run() {
+  local name="$1"
+  echo "=== running $name ==="
+  local start=$SECONDS
+  if "$BIN/$name" >"results/$name.txt" 2>&1; then
+    echo "  ok in $((SECONDS - start))s"
+  else
+    echo "FAILED: $name (see results/$name.txt)"
+  fi
+}
+
+# Recorded-run parameters: chosen so the full suite completes in tens of
+# minutes on one host core; every binary accepts larger G500_* overrides.
+run t1_graph_stats
+G500_SCALE_PER_RANK=14 G500_MAX_RANKS=32 G500_ROOTS=4 run t2_headline
+run t3_ablation
+G500_SCALE_PER_RANK=13 G500_MAX_RANKS=32 G500_ROOTS=3 run f1_weak_scaling
+G500_SCALE=15 G500_MAX_RANKS=32 G500_ROOTS=3 run f2_strong_scaling
+run f3_delta_sweep
+run f4_breakdown
+G500_MAX_SCALE=16 G500_ROOTS=2 run f5_algo_compare
+run f6_comm_volume
+run f7_degree_dist
+run f8_direction
+run f9_dist_compare
+run f10_bfs_vs_sssp
+run f11_batching
+run f12_partition_balance
+run f13_2d_fanout
+G500_MAX_SCALE=13 run f14_dist2d
+run f15_weight_dist
+echo "all experiments done"

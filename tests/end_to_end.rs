@@ -1,0 +1,133 @@
+//! End-to-end integration: the full Graph500 pipeline — generate →
+//! partition → assemble → solve → gather → validate → TEPS — across
+//! kernels, partitions, machine shapes and optimization configurations.
+
+use graph500::simnet::{LogGP, Topology};
+use graph500::sssp::{Direction, OptConfig};
+use graph500::{run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, PartitionStrategy};
+
+#[test]
+fn official_shape_run_validates() {
+    // The real configuration in miniature: 64 roots, full stack.
+    let mut cfg = BenchmarkConfig::graph500(9, 4);
+    cfg.num_roots = 64;
+    let rep = run_sssp_benchmark(&cfg);
+    assert_eq!(rep.runs.len(), 64);
+    assert!(rep.all_validated());
+    assert!(rep.teps.harmonic_mean > 0.0);
+    assert!(rep.teps.min <= rep.teps.harmonic_mean);
+    assert!(rep.teps.harmonic_mean <= rep.teps.max);
+}
+
+#[test]
+fn every_topology_validates() {
+    for topo in [
+        Topology::Crossbar,
+        Topology::FatTree { radix: 4 },
+        Topology::Torus2D { w: 2, h: 2 },
+        Topology::Dragonfly { group: 2 },
+    ] {
+        let mut cfg = BenchmarkConfig::quick(8, 4);
+        cfg.machine = cfg.machine.topology(topo);
+        let rep = run_sssp_benchmark(&cfg);
+        assert!(rep.all_validated(), "{topo:?}");
+    }
+}
+
+#[test]
+fn topology_changes_time_but_not_results() {
+    let mk = |topo| {
+        let mut cfg = BenchmarkConfig::quick(9, 8);
+        cfg.machine = cfg.machine.topology(topo);
+        run_sssp_benchmark(&cfg)
+    };
+    let xbar = mk(Topology::Crossbar);
+    let torus = mk(Topology::Torus2D { w: 4, h: 2 });
+    // identical traversal work...
+    for (a, b) in xbar.runs.iter().zip(&torus.runs) {
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.traversed_edges, b.traversed_edges);
+    }
+    // ...but the multi-hop torus is slower in simulated time
+    assert!(torus.teps.harmonic_mean < xbar.teps.harmonic_mean);
+}
+
+#[test]
+fn slower_network_is_slower() {
+    let mk = |loggp| {
+        let mut cfg = BenchmarkConfig::quick(9, 4);
+        cfg.machine = cfg.machine.loggp(loggp);
+        cfg.validate = false;
+        run_sssp_benchmark(&cfg).teps.harmonic_mean
+    };
+    let fast = mk(LogGP::default());
+    let slow = mk(LogGP {
+        latency: 50e-6,
+        overhead: 10e-6,
+        per_byte: 1.0 / 1e9,
+    });
+    assert!(slow < fast, "slow {slow} vs fast {fast}");
+}
+
+#[test]
+fn bfs_and_sssp_agree_on_reachability() {
+    let cfg = BenchmarkConfig::quick(9, 4);
+    let bfs = run_bfs_benchmark(&cfg);
+    let sssp = run_sssp_benchmark(&cfg);
+    assert!(bfs.all_validated() && sssp.all_validated());
+    // same roots (same seed) → the traversed-edge counts must coincide
+    for (b, s) in bfs.runs.iter().zip(&sssp.runs) {
+        assert_eq!(b.root, s.root);
+        assert_eq!(b.traversed_edges, s.traversed_edges);
+    }
+}
+
+#[test]
+fn sssp_deterministic_across_runs() {
+    let cfg = BenchmarkConfig::quick(8, 3);
+    let a = run_sssp_benchmark(&cfg);
+    let b = run_sssp_benchmark(&cfg);
+    assert_eq!(a.teps.harmonic_mean, b.teps.harmonic_mean);
+    assert_eq!(a.net.total_bytes(), b.net.total_bytes());
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.traversed_edges, y.traversed_edges);
+        assert_eq!(x.sim_time_s, y.sim_time_s);
+    }
+}
+
+#[test]
+fn optimizations_do_not_change_traversal() {
+    let mk = |opts: OptConfig, part| {
+        let mut cfg = BenchmarkConfig::quick(9, 4);
+        cfg.opts = opts;
+        cfg.partition = part;
+        run_sssp_benchmark(&cfg)
+    };
+    let degree_aware = PartitionStrategy::DegreeAware { hub_factor: 8.0 };
+    let base = mk(OptConfig::all_on(), degree_aware);
+    for (name, rep) in [
+        ("all_off", mk(OptConfig::all_off(), PartitionStrategy::Block)),
+        ("pull", mk(OptConfig::all_on().with_direction(Direction::Pull), degree_aware)),
+        ("cyclic", mk(OptConfig::all_on(), PartitionStrategy::Cyclic)),
+    ] {
+        assert!(rep.all_validated(), "{name}");
+        for (a, b) in base.runs.iter().zip(&rep.runs) {
+            assert_eq!(a.traversed_edges, b.traversed_edges, "{name}: root {}", a.root);
+        }
+    }
+}
+
+#[test]
+fn single_rank_machine_works() {
+    let rep = run_sssp_benchmark(&BenchmarkConfig::quick(8, 1));
+    assert!(rep.all_validated());
+    // a single rank sends no point-to-point traffic
+    assert_eq!(rep.net.user_msgs, 0);
+}
+
+#[test]
+fn many_ranks_few_vertices() {
+    // more ranks than some ranks have vertices to own — degenerate shapes
+    let rep = run_sssp_benchmark(&BenchmarkConfig::quick(6, 16));
+    assert!(rep.all_validated());
+}

@@ -1,0 +1,148 @@
+//! Failure injection: the runtime must fail *stop*, not hang or lie.
+//!
+//! A 40-million-core job dies fast or corrupts results slowly; the
+//! simulated machine mirrors the fail-stop discipline (a rank fault aborts
+//! the job, waiters included) and the validator must catch every class of
+//! corrupted kernel output.
+
+use graph500::gen::simple;
+use graph500::graph::{EdgeList, INF_WEIGHT, NO_PARENT};
+use graph500::simnet::{Machine, MachineConfig};
+use graph500::validate::{validate_sssp, SsspResult};
+
+// ---------- runtime fail-stop ----------
+
+#[test]
+#[should_panic(expected = "panicked")]
+fn fault_on_one_rank_aborts_waiters() {
+    Machine::new(MachineConfig::with_ranks(4)).run(|ctx| {
+        if ctx.rank() == 2 {
+            panic!("injected fault on rank 2");
+        }
+        // everyone else waits on a collective rank 2 will never join
+        ctx.barrier();
+    });
+}
+
+#[test]
+#[should_panic(expected = "panicked")]
+fn fault_during_alltoall_aborts() {
+    Machine::new(MachineConfig::with_ranks(3)).run(|ctx| {
+        if ctx.rank() == 0 {
+            panic!("injected fault before exchange");
+        }
+        let out: Vec<Vec<u64>> = (0..ctx.size()).map(|d| vec![d as u64]).collect();
+        ctx.alltoallv(out);
+    });
+}
+
+#[test]
+fn healthy_job_after_failed_job() {
+    // a failed Machine::run must not poison the next one
+    let bad = std::panic::catch_unwind(|| {
+        Machine::new(MachineConfig::with_ranks(2)).run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            ctx.barrier();
+        });
+    });
+    assert!(bad.is_err());
+    let rep = Machine::new(MachineConfig::with_ranks(2)).run(|ctx| ctx.allreduce_sum(1));
+    assert_eq!(rep.results, vec![2, 2]);
+}
+
+#[test]
+#[should_panic(expected = "does not decode")]
+fn type_confusion_is_detected() {
+    // sender ships u32s, receiver expects (u64, f32) records: the payload
+    // length cannot divide evenly → decode failure, loudly
+    Machine::new(MachineConfig::with_ranks(2)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 5, &[7u32]);
+        } else {
+            let _: Vec<(u64, f32)> = ctx.recv(0, 5);
+        }
+    });
+}
+
+// ---------- validator catches corrupted kernel output ----------
+
+fn good_result() -> (EdgeList, SsspResult) {
+    let el = simple::path(5, 0.5);
+    (
+        el,
+        SsspResult {
+            root: 0,
+            dist: vec![0.0, 0.5, 1.0, 1.5, 2.0],
+            parent: vec![0, 0, 1, 2, 3],
+        },
+    )
+}
+
+#[test]
+fn pristine_result_passes() {
+    let (el, res) = good_result();
+    assert!(validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn corruption_too_short_distance() {
+    let (el, mut res) = good_result();
+    res.dist[3] = 0.6; // shorter than any real path
+    assert!(!validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn corruption_too_long_distance() {
+    let (el, mut res) = good_result();
+    res.dist[3] = 2.5;
+    res.dist[4] = 3.0;
+    assert!(!validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn corruption_false_unreachability() {
+    let (el, mut res) = good_result();
+    res.dist[4] = INF_WEIGHT;
+    res.parent[4] = NO_PARENT;
+    assert!(!validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn corruption_parent_loop() {
+    let (el, mut res) = good_result();
+    res.parent[3] = 4;
+    res.parent[4] = 3;
+    assert!(!validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn corruption_orphan_parent() {
+    let (el, mut res) = good_result();
+    res.parent[2] = NO_PARENT; // reached but parentless
+    assert!(!validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn corruption_nonexistent_tree_edge() {
+    let (el, mut res) = good_result();
+    res.parent[4] = 0; // no edge 0-4 in a path
+    res.dist[4] = 0.5;
+    assert!(!validate_sssp(5, &el, &res).ok);
+}
+
+#[test]
+fn every_single_bit_flip_class_is_caught() {
+    // systematic: corrupt each vertex's distance upward and downward and
+    // require rejection (excluding no-ops)
+    let (el, res) = good_result();
+    for v in 1..5 {
+        for delta in [-0.3f32, 0.3] {
+            let mut bad = res.clone();
+            bad.dist[v] += delta;
+            let rep = validate_sssp(5, &el, &bad);
+            assert!(!rep.ok, "undetected corruption at {v} delta {delta}");
+        }
+    }
+}
