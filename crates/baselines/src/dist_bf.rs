@@ -94,7 +94,12 @@ mod tests {
     use g500_partition::{assemble_local_graph, Block1D};
     use simnet::{Machine, MachineConfig};
 
-    fn run_distributed(el: &EdgeList, n: u64, p: usize, root: u64) -> Vec<(g500_graph::ShortestPaths, u64)> {
+    fn run_distributed(
+        el: &EdgeList,
+        n: u64,
+        p: usize,
+        root: u64,
+    ) -> Vec<(g500_graph::ShortestPaths, u64)> {
         Machine::new(MachineConfig::with_ranks(p))
             .run(|ctx| {
                 let part = Block1D::new(n, p);
@@ -127,7 +132,10 @@ mod tests {
         let el = g500_gen::simple::path(16, 1.0);
         let results = run_distributed(&el, 16, 4, 0);
         let (_, steps) = &results[0];
-        assert!(*steps >= 15, "path of 16 should take >= 15 supersteps, took {steps}");
+        assert!(
+            *steps >= 15,
+            "path of 16 should take >= 15 supersteps, took {steps}"
+        );
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //!   compared to in experiment F9.
 #![warn(missing_docs)]
 
-
 pub mod bellman_ford;
 pub mod dijkstra;
 pub mod dist_bf;

@@ -1,12 +1,14 @@
-//! Criterion microbenchmarks for the hot kernels: generator throughput,
-//! CSR construction, bucket-queue operations, the update codec, sequential
-//! SSSP kernels, and simnet collectives.
+//! Microbenchmarks for the hot kernels: generator throughput, CSR
+//! construction, bucket-queue operations, the update codec, sequential SSSP
+//! kernels, and simnet collectives.
 //!
 //! These complement the experiment harnesses (`src/bin/*`): the harnesses
 //! measure *simulated* time on the modeled machine, these measure *host*
-//! time of the real Rust kernels.
+//! time of the real Rust kernels. The harness is a self-contained timing
+//! loop (`harness = false`): the workspace is offline and carries no
+//! criterion, and a median-of-samples loop is enough to spot order-of-
+//! magnitude regressions. Run with `cargo bench -p g500-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use g500_baselines::dijkstra;
 use g500_gen::{KroneckerGenerator, KroneckerParams};
 use g500_graph::{compress, Csr, Directedness};
@@ -14,151 +16,160 @@ use g500_sssp::codec::{decode_updates, dedup_min, encode_updates, Update};
 use g500_sssp::{delta_stepping, parallel_delta_stepping, BucketQueue};
 use graph500::simnet::{Machine, MachineConfig};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_generator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generator");
-    g.sample_size(10);
+/// Run `f` `samples` times and report the median wall time, scaled by
+/// `elements` into a throughput figure.
+fn bench(name: &str, elements: u64, samples: usize, mut f: impl FnMut()) {
+    // one warmup to populate caches / page in data
+    f();
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    let rate = if median > 0.0 {
+        elements as f64 / median
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{name:<40} {:>12.3} ms   {:>12.3e} elem/s",
+        median * 1e3,
+        rate
+    );
+}
+
+fn bench_generator() {
     for scale in [14u32, 16] {
         let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
         let m = gen.params().num_edges();
-        g.throughput(Throughput::Elements(m));
-        g.bench_with_input(BenchmarkId::new("kronecker_all", scale), &gen, |b, gen| {
-            b.iter(|| black_box(gen.generate_all().len()))
+        bench(&format!("generator/kronecker_all/{scale}"), m, 5, || {
+            black_box(gen.generate_all().len());
         });
     }
-    g.finish();
 }
 
-fn bench_csr_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("csr");
-    g.sample_size(10);
+fn bench_csr_build() {
     for scale in [14u32, 16] {
         let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
         let el = gen.generate_all();
         let n = gen.params().num_vertices() as usize;
-        g.throughput(Throughput::Elements(el.len() as u64));
-        g.bench_with_input(BenchmarkId::new("build_undirected", scale), &el, |b, el| {
-            b.iter(|| black_box(Csr::from_edges(n, el, Directedness::Undirected).num_arcs()))
-        });
+        bench(
+            &format!("csr/build_undirected/{scale}"),
+            el.len() as u64,
+            5,
+            || {
+                black_box(Csr::from_edges(n, &el, Directedness::Undirected).num_arcs());
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_bucket_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bucket_queue");
-    g.sample_size(20);
+fn bench_bucket_queue() {
     let n = 100_000u32;
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("insert_drain_100k", |b| {
-        b.iter(|| {
-            let mut q = BucketQueue::new(0.1);
-            for i in 0..n {
-                q.insert(i, (i % 977) as f32 * 0.01);
-            }
-            let mut popped = 0usize;
-            while let Some(k) = q.min_bucket() {
-                popped += q.take_bucket(k).len();
-            }
-            black_box(popped)
-        })
+    bench("bucket_queue/insert_drain_100k", n as u64, 10, || {
+        let mut q = BucketQueue::new(0.1);
+        for i in 0..n {
+            q.insert(i, (i % 977) as f32 * 0.01);
+        }
+        let mut popped = 0usize;
+        while let Some(k) = q.min_bucket() {
+            popped += q.take_bucket(k).len();
+        }
+        black_box(popped);
     });
-    g.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("update_codec");
-    let updates: Vec<Update> =
-        (0..10_000u64).map(|i| (1_000_000 + i * 3, 0.5 + (i % 7) as f32, i)).collect();
-    g.throughput(Throughput::Elements(updates.len() as u64));
-    g.bench_function("encode_10k", |b| {
-        b.iter(|| black_box(encode_updates(&updates, true).len()))
+fn bench_codec() {
+    let updates: Vec<Update> = (0..10_000u64)
+        .map(|i| (1_000_000 + i * 3, 0.5 + (i % 7) as f32, i))
+        .collect();
+    bench("update_codec/encode_10k", updates.len() as u64, 20, || {
+        black_box(encode_updates(&updates, true).len());
     });
     let enc = encode_updates(&updates, true);
-    g.bench_function("decode_10k", |b| {
-        b.iter(|| black_box(decode_updates(&enc).expect("well-formed").len()))
+    bench("update_codec/decode_10k", updates.len() as u64, 20, || {
+        black_box(decode_updates(&enc).expect("well-formed").len());
     });
-    g.bench_function("dedup_10k_half_dup", |b| {
-        b.iter_with_setup(
-            || {
-                let mut v = updates.clone();
-                v.extend(updates.iter().map(|&(t, d, p)| (t, d + 0.1, p)));
-                v
-            },
-            |mut v| black_box(dedup_min(&mut v)),
-        )
-    });
-    g.finish();
+    bench(
+        "update_codec/dedup_10k_half_dup",
+        updates.len() as u64,
+        20,
+        || {
+            let mut v = updates.clone();
+            v.extend(updates.iter().map(|&(t, d, p)| (t, d + 0.1, p)));
+            black_box(dedup_min(&mut v));
+        },
+    );
 }
 
-fn bench_varint(c: &mut Criterion) {
-    let mut g = c.benchmark_group("varint");
+fn bench_varint() {
     let adj: Vec<u64> = (0..10_000u64).map(|i| i * 7 + 1_000_000).collect();
-    g.throughput(Throughput::Elements(adj.len() as u64));
-    g.bench_function("encode_adjacency_10k", |b| {
-        b.iter(|| black_box(compress::encode_adjacency(&adj).len()))
+    bench("varint/encode_adjacency_10k", adj.len() as u64, 20, || {
+        black_box(compress::encode_adjacency(&adj).len());
     });
     let enc = compress::encode_adjacency(&adj);
-    g.bench_function("decode_adjacency_10k", |b| {
-        b.iter(|| black_box(compress::decode_adjacency(&enc).expect("well-formed").len()))
+    bench("varint/decode_adjacency_10k", adj.len() as u64, 20, || {
+        black_box(compress::decode_adjacency(&enc).expect("well-formed").len());
     });
-    g.finish();
 }
 
-fn bench_sssp_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sssp_seq");
-    g.sample_size(10);
+fn bench_sssp_kernels() {
     let gen = KroneckerGenerator::new(KroneckerParams::graph500(14, 1));
     let el = gen.generate_all();
     let n = gen.params().num_vertices() as usize;
     let csr = Csr::from_edges(n, &el, Directedness::Undirected);
     let root = (0..n).find(|&v| csr.degree(v) > 0).unwrap_or(0) as u64;
-    g.throughput(Throughput::Elements(el.len() as u64));
-    g.bench_function("dijkstra_s14", |b| b.iter(|| black_box(dijkstra(&csr, root).reached_count())));
-    g.bench_function("delta_stepping_s14", |b| {
-        b.iter(|| black_box(delta_stepping(&csr, root, 0.125).reached_count()))
+    let m = el.len() as u64;
+    bench("sssp_seq/dijkstra_s14", m, 5, || {
+        black_box(dijkstra(&csr, root).reached_count());
     });
-    g.bench_function("parallel_delta_s14", |b| {
-        b.iter(|| black_box(parallel_delta_stepping(&csr, root, 0.125).reached_count()))
+    bench("sssp_seq/delta_stepping_s14", m, 5, || {
+        black_box(delta_stepping(&csr, root, 0.125).reached_count());
     });
-    g.finish();
+    bench("sssp_seq/parallel_delta_s14", m, 5, || {
+        black_box(parallel_delta_stepping(&csr, root, 0.125).reached_count());
+    });
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simnet_collectives");
-    g.sample_size(10);
+fn bench_collectives() {
     for ranks in [4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("allreduce_x100", ranks), &ranks, |b, &p| {
-            b.iter(|| {
-                Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
-                    let mut acc = 0u64;
-                    for i in 0..100 {
-                        acc += ctx.allreduce_sum(i);
-                    }
-                    black_box(acc)
-                })
-            })
+        bench(&format!("simnet/allreduce_x100/{ranks}"), 100, 5, || {
+            Machine::new(MachineConfig::with_ranks(ranks)).run(|ctx| {
+                let mut acc = 0u64;
+                for i in 0..100 {
+                    acc += ctx.allreduce_sum(i);
+                }
+                black_box(acc)
+            });
         });
-        g.bench_with_input(BenchmarkId::new("alltoallv_1k_records", ranks), &ranks, |b, &p| {
-            b.iter(|| {
-                Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
-                    let out: Vec<Vec<u64>> =
-                        (0..ctx.size()).map(|d| vec![d as u64; 1024 / ctx.size()]).collect();
+        bench(
+            &format!("simnet/alltoallv_1k_records/{ranks}"),
+            1024,
+            5,
+            || {
+                Machine::new(MachineConfig::with_ranks(ranks)).run(|ctx| {
+                    let out: Vec<Vec<u64>> = (0..ctx.size())
+                        .map(|d| vec![d as u64; 1024 / ctx.size()])
+                        .collect();
                     black_box(ctx.alltoallv(out).len())
-                })
-            })
-        });
+                });
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_generator,
-    bench_csr_build,
-    bench_bucket_queue,
-    bench_codec,
-    bench_varint,
-    bench_sssp_kernels,
-    bench_collectives
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<40} {:>15} {:>18}", "benchmark", "median", "throughput");
+    bench_generator();
+    bench_csr_build();
+    bench_bucket_queue();
+    bench_codec();
+    bench_varint();
+    bench_sssp_kernels();
+    bench_collectives();
+}

@@ -21,7 +21,11 @@ fn main() {
     banner(
         "F11",
         "multi-source batching",
-        &[("scale", scale.to_string()), ("ranks", ranks.to_string()), ("roots", nroots.to_string())],
+        &[
+            ("scale", scale.to_string()),
+            ("ranks", ranks.to_string()),
+            ("roots", nroots.to_string()),
+        ],
     );
 
     let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 5));
@@ -61,7 +65,8 @@ fn main() {
                 let (_, s) = multi_source_delta_stepping(ctx, &g, chunk, 0.125);
                 steps += s.supersteps;
             }
-            let elapsed = ctx.allreduce(ctx.now() - kernel_start, |a, b| if a > b { *a } else { *b });
+            let elapsed =
+                ctx.allreduce(ctx.now() - kernel_start, |a, b| if a > b { *a } else { *b });
             (steps, elapsed)
         });
         let (steps, time) = rep.results[0];

@@ -33,19 +33,29 @@ fn main() {
     );
 
     let t = Table::new(&[
-        "strategy", "hmean_GTEPS", "bytes_max/mean", "comm_s_max/mean", "validated",
+        "strategy",
+        "hmean_GTEPS",
+        "bytes_max/mean",
+        "comm_s_max/mean",
+        "validated",
     ]);
     for (name, part) in [
         ("block", PartitionStrategy::Block),
         ("cyclic", PartitionStrategy::Cyclic),
-        ("degree-aware", PartitionStrategy::DegreeAware { hub_factor: 8.0 }),
+        (
+            "degree-aware",
+            PartitionStrategy::DegreeAware { hub_factor: 8.0 },
+        ),
     ] {
         let mut cfg = BenchmarkConfig::graph500(scale, ranks);
         cfg.num_roots = 4;
         cfg.partition = part;
         let rep = run_sssp_benchmark(&cfg);
-        let bytes: Vec<f64> =
-            rep.per_rank_net.iter().map(|s| s.total_bytes() as f64).collect();
+        let bytes: Vec<f64> = rep
+            .per_rank_net
+            .iter()
+            .map(|s| s.total_bytes() as f64)
+            .collect();
         let comm: Vec<f64> = rep.per_rank_net.iter().map(|s| s.comm_s).collect();
         t.row(&[
             name.to_string(),

@@ -20,11 +20,18 @@ fn main() {
     let scale = param("G500_SCALE", 14) as u32;
     let ranks = param("G500_RANKS", 16) as usize;
     let side = (ranks as f64).sqrt().round() as usize;
-    assert_eq!(side * side, ranks, "G500_RANKS must be a perfect square for the 2D grid");
+    assert_eq!(
+        side * side,
+        ranks,
+        "G500_RANKS must be a perfect square for the 2D grid"
+    );
     banner(
         "F13",
         "1D vs 2D destination fan-out",
-        &[("scale", scale.to_string()), ("ranks", format!("{ranks} = {side}x{side}"))],
+        &[
+            ("scale", scale.to_string()),
+            ("ranks", format!("{ranks} = {side}x{side}")),
+        ],
     );
 
     let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
@@ -60,11 +67,18 @@ fn main() {
     let t = Table::new(&["fanout(ranks)", "1D_vertices", "2D_vertices"]);
     for f in 1..=ranks {
         if hist_1d[f] > 0 || hist_2d[f] > 0 {
-            t.row(&[f.to_string(), hist_1d[f].to_string(), hist_2d[f].to_string()]);
+            t.row(&[
+                f.to_string(),
+                hist_1d[f].to_string(),
+                hist_2d[f].to_string(),
+            ]);
         }
     }
-    println!("\nmean fan-out: 1D {:.2} ranks, 2D {:.2} ranks (2D bound: {side})",
-        sum_1d as f64 / count as f64, sum_2d as f64 / count as f64);
+    println!(
+        "\nmean fan-out: 1D {:.2} ranks, 2D {:.2} ranks (2D bound: {side})",
+        sum_1d as f64 / count as f64,
+        sum_2d as f64 / count as f64
+    );
     println!("max possible: 1D {ranks}, 2D {side}");
     println!("\nexpected shape: 2D caps fan-out at sqrt(p); 1D hubs touch nearly all ranks — the cost delta 2D trades against bucket-state duplication");
 }

@@ -83,7 +83,11 @@ fn main() {
     let max_scale = param("G500_MAX_SCALE", 15) as u32;
     let ranks = param("G500_RANKS", 16) as usize;
     let nroots = param("G500_ROOTS", 2) as usize;
-    banner("F14", "1D vs 2D kernel (measured)", &[("ranks", ranks.to_string())]);
+    banner(
+        "F14",
+        "1D vs 2D kernel (measured)",
+        &[("ranks", ranks.to_string())],
+    );
 
     let t = Table::new(&["scale", "kernel", "sim_time", "supersteps", "msgs", "MB"]);
     for scale in (11..=max_scale).step_by(2) {

@@ -39,7 +39,11 @@ fn main() {
     let scale = param("G500_SCALE", 14) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
     let nroots = param("G500_ROOTS", 2) as usize;
-    banner("F15", "weight-distribution sensitivity", &[("scale", scale.to_string())]);
+    banner(
+        "F15",
+        "weight-distribution sensitivity",
+        &[("scale", scale.to_string())],
+    );
 
     let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 9));
     let n = gen.params().num_vertices();
@@ -50,17 +54,31 @@ fn main() {
             seen[e.u as usize] = true;
             seen[e.v as usize] = true;
         }
-        (0..n).filter(|&v| seen[v as usize]).step_by(131).take(nroots).collect()
+        (0..n)
+            .filter(|&v| seen[v as usize])
+            .step_by(131)
+            .take(nroots)
+            .collect()
     };
 
     let dists: Vec<(&str, WeightDist)> = vec![
         ("uniform (spec)", WeightDist::Uniform),
         ("exponential m=0.5", WeightDist::Exponential { mean: 0.5 }),
-        ("bimodal 20% heavy", WeightDist::Bimodal { heavy_frac: 0.2, heavy: 4.0 }),
+        (
+            "bimodal 20% heavy",
+            WeightDist::Bimodal {
+                heavy_frac: 0.2,
+                heavy: 4.0,
+            },
+        ),
     ];
 
     let t = Table::new(&[
-        "weights", "delta_policy", "mean_time", "supersteps", "vs_adaptive",
+        "weights",
+        "delta_policy",
+        "mean_time",
+        "supersteps",
+        "vs_adaptive",
     ]);
     for (name, dist) in dists {
         let el = reweight(&base, dist, 77);

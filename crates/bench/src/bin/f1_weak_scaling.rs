@@ -18,19 +18,33 @@ fn main() {
     banner(
         "F1",
         "weak scaling across topologies",
-        &[("vertices/rank", format!("2^{spr}")), ("max ranks", max_ranks.to_string())],
+        &[
+            ("vertices/rank", format!("2^{spr}")),
+            ("max ranks", max_ranks.to_string()),
+        ],
     );
 
-    let topos: Vec<(&str, fn(usize) -> Topology)> = vec![
+    type TopoFor = fn(usize) -> Topology;
+    let topos: Vec<(&str, TopoFor)> = vec![
         ("crossbar", |_| Topology::Crossbar),
         ("fat-tree(r4)", |_| Topology::FatTree { radix: 4 }),
         ("torus2d", |p| {
             let w = (p as f64).sqrt().ceil() as u32;
-            Topology::Torus2D { w: w.max(1), h: (p as u32).div_ceil(w.max(1)) }
+            Topology::Torus2D {
+                w: w.max(1),
+                h: (p as u32).div_ceil(w.max(1)),
+            }
         }),
     ];
 
-    let t = Table::new(&["topology", "ranks", "scale", "hmean_GTEPS", "GTEPS/rank", "eff%"]);
+    let t = Table::new(&[
+        "topology",
+        "ranks",
+        "scale",
+        "hmean_GTEPS",
+        "GTEPS/rank",
+        "eff%",
+    ]);
     for (name, mk) in topos {
         let mut base = 0.0f64;
         let mut ranks = 1usize;

@@ -15,9 +15,22 @@ fn main() {
     let scale = param("G500_SCALE", 16) as u32;
     let max_ranks = param("G500_MAX_RANKS", 32) as usize;
     let roots = param("G500_ROOTS", 4) as usize;
-    banner("F2", "strong scaling", &[("scale", scale.to_string()), ("max ranks", max_ranks.to_string())]);
+    banner(
+        "F2",
+        "strong scaling",
+        &[
+            ("scale", scale.to_string()),
+            ("max ranks", max_ranks.to_string()),
+        ],
+    );
 
-    let t = Table::new(&["ranks", "hmean_GTEPS", "median_time", "speedup", "parallel_eff%"]);
+    let t = Table::new(&[
+        "ranks",
+        "hmean_GTEPS",
+        "median_time",
+        "speedup",
+        "parallel_eff%",
+    ]);
     let mut base_g = 0.0f64;
     let mut ranks = 1usize;
     while ranks <= max_ranks {
@@ -30,8 +43,7 @@ fn main() {
             base_g = g;
         }
         let speedup = g / base_g;
-        let med_time =
-            rep.runs.iter().map(|r| r.sim_time_s).sum::<f64>() / rep.runs.len() as f64;
+        let med_time = rep.runs.iter().map(|r| r.sim_time_s).sum::<f64>() / rep.runs.len() as f64;
         t.row(&[
             ranks.to_string(),
             gteps(g),

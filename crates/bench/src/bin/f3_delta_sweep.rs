@@ -15,16 +15,35 @@ fn main() {
     let scale = param("G500_SCALE", 15) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
     let roots = param("G500_ROOTS", 4) as usize;
-    banner("F3", "delta sweep", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+    banner(
+        "F3",
+        "delta sweep",
+        &[("scale", scale.to_string()), ("ranks", ranks.to_string())],
+    );
 
     // Graph500 profile: ~32 arcs/vertex, mean weight 1/2.
     let adaptive = suggest_delta(32.0, 0.5);
-    let sweep: Vec<f32> = [0.125f32 / 16.0, 0.125 / 8.0, 0.125 / 4.0, 0.125 / 2.0, 0.125,
-        0.25, 0.5, 1.0, 2.0, 8.0]
-        .to_vec();
+    let sweep: Vec<f32> = [
+        0.125f32 / 16.0,
+        0.125 / 8.0,
+        0.125 / 4.0,
+        0.125 / 2.0,
+        0.125,
+        0.25,
+        0.5,
+        1.0,
+        2.0,
+        8.0,
+    ]
+    .to_vec();
 
     let t = Table::new(&[
-        "delta", "hmean_GTEPS", "mean_time", "supersteps", "buckets", "relax/edge",
+        "delta",
+        "hmean_GTEPS",
+        "mean_time",
+        "supersteps",
+        "buckets",
+        "relax/edge",
     ]);
     for &delta in &sweep {
         let mut cfg = BenchmarkConfig::graph500(scale, ranks);
@@ -40,16 +59,22 @@ fn main() {
         let buckets: u64 =
             rep.runs.iter().map(|r| r.stats.buckets).sum::<u64>() / rep.runs.len() as u64;
         let relax: u64 = rep.runs.iter().map(|r| r.stats.relaxations).sum();
-        let mean_t =
-            rep.runs.iter().map(|r| r.sim_time_s).sum::<f64>() / rep.runs.len() as f64;
-        let marker = if (delta - adaptive).abs() < 1e-6 { " <- adaptive" } else { "" };
+        let mean_t = rep.runs.iter().map(|r| r.sim_time_s).sum::<f64>() / rep.runs.len() as f64;
+        let marker = if (delta - adaptive).abs() < 1e-6 {
+            " <- adaptive"
+        } else {
+            ""
+        };
         t.row(&[
             format!("{delta}{marker}"),
             gteps(rep.teps.harmonic_mean),
             secs(mean_t),
             steps.to_string(),
             buckets.to_string(),
-            format!("{:.2}", relax as f64 / (2.0 * rep.m as f64 * rep.runs.len() as f64)),
+            format!(
+                "{:.2}",
+                relax as f64 / (2.0 * rep.m as f64 * rep.runs.len() as f64)
+            ),
         ]);
     }
     println!("\nexpected shape: U-shaped runtime — supersteps fall and wasted relaxations rise with delta; adaptive pick near the valley");

@@ -19,7 +19,10 @@ fn show(label: &str, opts: OptConfig, scale: u32, ranks: usize) {
     cfg.opts = opts.with_phases();
     let rep = run_sssp_benchmark(&cfg);
     let run = &rep.runs[0];
-    println!("--- {label}: {} supersteps, {} buckets ---", run.stats.supersteps, run.stats.buckets);
+    println!(
+        "--- {label}: {} supersteps, {} buckets ---",
+        run.stats.supersteps, run.stats.buckets
+    );
     let t = Table::new(&["bucket", "frontier", "compute", "comm", "comm_share%"]);
     let phases = &run.stats.phases;
     // print the first 8 buckets and aggregate the tail
@@ -30,7 +33,14 @@ fn show(label: &str, opts: OptConfig, scale: u32, ranks: usize) {
             ph.frontier.to_string(),
             secs(ph.compute_s),
             secs(ph.comm_s),
-            format!("{:.1}", if total > 0.0 { 100.0 * ph.comm_s / total } else { 0.0 }),
+            format!(
+                "{:.1}",
+                if total > 0.0 {
+                    100.0 * ph.comm_s / total
+                } else {
+                    0.0
+                }
+            ),
         ]);
     }
     if phases.len() > 8 {
@@ -52,9 +62,18 @@ fn show(label: &str, opts: OptConfig, scale: u32, ranks: usize) {
 fn main() {
     let scale = param("G500_SCALE", 15) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
-    banner("F4", "per-bucket time breakdown", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+    banner(
+        "F4",
+        "per-bucket time breakdown",
+        &[("scale", scale.to_string()), ("ranks", ranks.to_string())],
+    );
 
-    show("fusion OFF", OptConfig::all_on().without_fusion(), scale, ranks);
+    show(
+        "fusion OFF",
+        OptConfig::all_on().without_fusion(),
+        scale,
+        ranks,
+    );
     show("fusion ON", OptConfig::all_on(), scale, ranks);
     println!("expected shape: early buckets compute-heavy; the tail is comm/sync-dominated and fusion collapses it");
 }

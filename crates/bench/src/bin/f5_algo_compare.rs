@@ -25,10 +25,11 @@ fn timed<F: FnMut() -> ShortestPaths>(mut f: F) -> (ShortestPaths, f64) {
 fn main() {
     let max_scale = param("G500_MAX_SCALE", 17) as u32;
     let roots = param("G500_ROOTS", 3);
-    banner("F5", "sequential/shared-memory algorithm comparison", &[(
-        "scales",
-        format!("14..={max_scale}"),
-    )]);
+    banner(
+        "F5",
+        "sequential/shared-memory algorithm comparison",
+        &[("scales", format!("14..={max_scale}"))],
+    );
 
     let t = Table::new(&["scale", "algorithm", "time", "MTEPS", "vs_dijkstra"]);
     for scale in (14..=max_scale).step_by(1) {
@@ -40,16 +41,28 @@ fn main() {
             csr.num_arcs() as f64 / n as f64,
             csr.total_weight() / csr.num_arcs() as f64,
         );
-        let root = (0..n as u64).find(|&v| csr.degree(v as usize) > 0).unwrap_or(0);
+        let root = (0..n as u64)
+            .find(|&v| csr.degree(v as usize) > 0)
+            .unwrap_or(0);
         let m_eff = el.len() as f64;
 
-        let algos: Vec<(&str, Box<dyn FnMut() -> ShortestPaths>)> = vec![
+        type Solver<'a> = Box<dyn FnMut() -> ShortestPaths + 'a>;
+        let algos: Vec<(&str, Solver)> = vec![
             ("dijkstra", Box::new(|| dijkstra(&csr, root))),
             ("bellman-ford", Box::new(|| bellman_ford(&csr, root))),
             ("near-far", Box::new(|| near_far(&csr, root, delta))),
-            ("delta-stepping", Box::new(|| delta_stepping(&csr, root, delta))),
-            ("bf-parallel", Box::new(|| bellman_ford_parallel(&csr, root))),
-            ("delta-parallel", Box::new(|| parallel_delta_stepping(&csr, root, delta))),
+            (
+                "delta-stepping",
+                Box::new(|| delta_stepping(&csr, root, delta)),
+            ),
+            (
+                "bf-parallel",
+                Box::new(|| bellman_ford_parallel(&csr, root)),
+            ),
+            (
+                "delta-parallel",
+                Box::new(|| parallel_delta_stepping(&csr, root, delta)),
+            ),
         ];
 
         let mut dijkstra_t = 0.0f64;

@@ -14,17 +14,38 @@ use graph500::{run_sssp_benchmark, BenchmarkConfig};
 fn main() {
     let scale = param("G500_SCALE", 14) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
-    banner("F6", "communication volume", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+    banner(
+        "F6",
+        "communication volume",
+        &[("scale", scale.to_string()), ("ranks", ranks.to_string())],
+    );
 
     let variants: Vec<(&str, OptConfig)> = vec![
-        ("naive (no coalesce, raw)", OptConfig::all_on().without_coalescing().without_dedup().without_compression()),
-        ("coalesced, raw", OptConfig::all_on().without_dedup().without_compression()),
-        ("coalesced + dedup", OptConfig::all_on().without_compression()),
+        (
+            "naive (no coalesce, raw)",
+            OptConfig::all_on()
+                .without_coalescing()
+                .without_dedup()
+                .without_compression(),
+        ),
+        (
+            "coalesced, raw",
+            OptConfig::all_on().without_dedup().without_compression(),
+        ),
+        (
+            "coalesced + dedup",
+            OptConfig::all_on().without_compression(),
+        ),
         ("coalesced + dedup + compress", OptConfig::all_on()),
     ];
 
     let t = Table::new(&[
-        "variant", "msgs", "MB", "updates_sent", "bytes/update", "hmean_GTEPS",
+        "variant",
+        "msgs",
+        "MB",
+        "updates_sent",
+        "bytes/update",
+        "hmean_GTEPS",
     ]);
     let mut base_msgs = 0u64;
     for (name, opts) in variants {
@@ -43,7 +64,10 @@ fn main() {
             format!("{msgs} ({:.0}x less)", base_msgs as f64 / msgs as f64),
             format!("{:.2}", rep.net.total_bytes() as f64 / 1e6),
             updates.to_string(),
-            format!("{:.1}", rep.net.user_bytes.max(rep.net.coll_bytes) as f64 / updates.max(1) as f64),
+            format!(
+                "{:.1}",
+                rep.net.user_bytes.max(rep.net.coll_bytes) as f64 / updates.max(1) as f64
+            ),
             gteps(rep.teps.harmonic_mean),
         ]);
     }

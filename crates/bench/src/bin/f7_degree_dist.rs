@@ -15,7 +15,11 @@ use g500_graph::{Csr, DegreeStats, Directedness};
 fn main() {
     let scale = param("G500_SCALE", 16) as u32;
     let seed = param("G500_SEED", 1);
-    banner("F7", "Kronecker degree distribution", &[("scale", scale.to_string())]);
+    banner(
+        "F7",
+        "Kronecker degree distribution",
+        &[("scale", scale.to_string())],
+    );
 
     let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, seed));
     let el = gen.generate_all();
@@ -29,7 +33,11 @@ fn main() {
     let t = Table::new(&["degree>=", "vertices", "fraction", "loglog_bar"]);
     for &(d, c) in &ccdf {
         let frac = c as f64 / n as f64;
-        let bar_len = if c > 0 { ((c as f64).log2().max(0.0)) as usize } else { 0 };
+        let bar_len = if c > 0 {
+            ((c as f64).log2().max(0.0)) as usize
+        } else {
+            0
+        };
         t.row(&[
             d.to_string(),
             c.to_string(),
@@ -40,7 +48,11 @@ fn main() {
     println!("\nmax degree:        {}", stats.max);
     println!("mean degree:       {:.1}", stats.mean);
     println!("median degree:     {}", stats.median);
-    println!("isolated vertices: {} ({:.1}%)", stats.isolated, 100.0 * stats.isolated as f64 / n as f64);
+    println!(
+        "isolated vertices: {} ({:.1}%)",
+        stats.isolated,
+        100.0 * stats.isolated as f64 / n as f64
+    );
     println!("top-1% arc share:  {:.1}%", 100.0 * stats.top1pct_arc_share);
     println!("fitted CCDF slope: {slope:.2} (power law)");
     println!("\nexpected shape: near-straight log-log CCDF; top-1% of vertices carry a large multiple of 1% of arcs");

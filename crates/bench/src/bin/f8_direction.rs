@@ -15,14 +15,26 @@ fn main() {
     let scale = param("G500_SCALE", 15) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
     let roots = param("G500_ROOTS", 4) as usize;
-    banner("F8", "direction optimization", &[("scale", scale.to_string()), ("ranks", ranks.to_string())]);
+    banner(
+        "F8",
+        "direction optimization",
+        &[("scale", scale.to_string()), ("ranks", ranks.to_string())],
+    );
 
     let t = Table::new(&[
-        "policy", "hmean_GTEPS", "push_iters", "pull_iters", "msgs", "MB", "validated",
+        "policy",
+        "hmean_GTEPS",
+        "push_iters",
+        "pull_iters",
+        "msgs",
+        "MB",
+        "validated",
     ]);
-    for (name, dir) in
-        [("push", Direction::Push), ("pull", Direction::Pull), ("hybrid", Direction::Hybrid)]
-    {
+    for (name, dir) in [
+        ("push", Direction::Push),
+        ("pull", Direction::Pull),
+        ("hybrid", Direction::Hybrid),
+    ] {
         let mut cfg = BenchmarkConfig::graph500(scale, ranks);
         cfg.num_roots = roots;
         cfg.opts = OptConfig::all_on().with_direction(dir);

@@ -23,7 +23,11 @@ fn pick_roots(gen: &KroneckerGenerator, count: usize) -> Vec<u64> {
         deg[e.u as usize] = true;
         deg[e.v as usize] = true;
     }
-    (0..n as u64).filter(|&v| deg[v as usize]).step_by(97).take(count).collect()
+    (0..n as u64)
+        .filter(|&v| deg[v as usize])
+        .step_by(97)
+        .take(count)
+        .collect()
 }
 
 /// Run `kernel` once per root on a fresh simulated machine; return the mean
@@ -59,9 +63,19 @@ fn main() {
     let max_scale = param("G500_MAX_SCALE", 16) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
     let nroots = param("G500_ROOTS", 2) as usize;
-    banner("F9", "distributed algorithm comparison", &[("ranks", ranks.to_string())]);
+    banner(
+        "F9",
+        "distributed algorithm comparison",
+        &[("ranks", ranks.to_string())],
+    );
 
-    let t = Table::new(&["scale", "algorithm", "mean_time", "supersteps", "speedup_vs_bf"]);
+    let t = Table::new(&[
+        "scale",
+        "algorithm",
+        "mean_time",
+        "supersteps",
+        "speedup_vs_bf",
+    ]);
     for scale in (12..=max_scale).step_by(2) {
         let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
         let roots = pick_roots(&gen, nroots);
@@ -69,11 +83,19 @@ fn main() {
         let (bf_t, bf_steps) = measure(&gen, ranks, &roots, |ctx, g, r| {
             distributed_bellman_ford(ctx, g, r).1
         });
-        t.row(&[scale.to_string(), "dist-bellman-ford".into(), secs(bf_t), bf_steps.to_string(), "1.00x".into()]);
+        t.row(&[
+            scale.to_string(),
+            "dist-bellman-ford".into(),
+            secs(bf_t),
+            bf_steps.to_string(),
+            "1.00x".into(),
+        ]);
 
         let plain_opts = OptConfig::all_off().with_delta(0.125);
         let (plain_t, plain_steps) = measure(&gen, ranks, &roots, |ctx, g, r| {
-            distributed_delta_stepping(ctx, g, r, &plain_opts).1.supersteps
+            distributed_delta_stepping(ctx, g, r, &plain_opts)
+                .1
+                .supersteps
         });
         t.row(&[
             scale.to_string(),
@@ -85,7 +107,9 @@ fn main() {
 
         let opt_opts = OptConfig::all_on();
         let (opt_t, opt_steps) = measure(&gen, ranks, &roots, |ctx, g, r| {
-            distributed_delta_stepping(ctx, g, r, &opt_opts).1.supersteps
+            distributed_delta_stepping(ctx, g, r, &opt_opts)
+                .1
+                .supersteps
         });
         t.row(&[
             scale.to_string(),

@@ -17,12 +17,23 @@ fn main() {
     banner(
         "T1",
         "Kronecker graph statistics (edgefactor 16)",
-        &[("scales", format!("14..={max_scale}")), ("seed", seed.to_string())],
+        &[
+            ("scales", format!("14..={max_scale}")),
+            ("seed", seed.to_string()),
+        ],
     );
 
     let t = Table::new(&[
-        "scale", "vertices", "edges", "max_deg", "mean_deg", "median", "isolated%",
-        "top1%share", "giant%", "components",
+        "scale",
+        "vertices",
+        "edges",
+        "max_deg",
+        "mean_deg",
+        "median",
+        "isolated%",
+        "top1%share",
+        "giant%",
+        "components",
     ]);
     for scale in 14..=max_scale {
         let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, seed));

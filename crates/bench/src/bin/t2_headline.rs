@@ -30,7 +30,13 @@ fn main() {
     );
 
     let t = Table::new(&[
-        "ranks", "scale", "edges", "hmean_GTEPS", "GTEPS/rank", "efficiency%", "median_t",
+        "ranks",
+        "scale",
+        "edges",
+        "hmean_GTEPS",
+        "GTEPS/rank",
+        "efficiency%",
+        "median_t",
         "validated",
     ]);
     let mut points: Vec<(usize, f64)> = Vec::new();

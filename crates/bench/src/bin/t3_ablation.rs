@@ -20,7 +20,11 @@ fn main() {
     banner(
         "T3",
         "optimization ablation",
-        &[("scale", scale.to_string()), ("ranks", ranks.to_string()), ("roots", roots.to_string())],
+        &[
+            ("scale", scale.to_string()),
+            ("ranks", ranks.to_string()),
+            ("roots", roots.to_string()),
+        ],
     );
 
     let variants: Vec<(&str, OptConfig, PartitionStrategy)> = vec![
@@ -54,12 +58,22 @@ fn main() {
             OptConfig::all_on().with_direction(Direction::Push),
             PartitionStrategy::DegreeAware { hub_factor: 8.0 },
         ),
-        ("- hub partition", OptConfig::all_on(), PartitionStrategy::Block),
+        (
+            "- hub partition",
+            OptConfig::all_on(),
+            PartitionStrategy::Block,
+        ),
         ("all-off", OptConfig::all_off(), PartitionStrategy::Block),
     ];
 
     let t = Table::new(&[
-        "variant", "hmean_GTEPS", "slowdown", "supersteps", "msgs", "MB_sent", "validated",
+        "variant",
+        "hmean_GTEPS",
+        "slowdown",
+        "supersteps",
+        "msgs",
+        "MB_sent",
+        "validated",
     ]);
     let mut baseline = 0.0f64;
     for (name, opts, part) in variants {

@@ -10,7 +10,6 @@
 //! printing.
 #![warn(missing_docs)]
 
-
 use std::fmt::Display;
 
 /// Read an integer parameter from the environment with a default, e.g.

@@ -20,7 +20,7 @@ use graph500::{run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, Partition
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json]\n  g500 stats --scale N [--seed S]"
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json]\n  g500 stats --scale N [--seed S]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic."
     );
     std::process::exit(2)
 }
@@ -56,7 +56,9 @@ impl Args {
 fn main() {
     let mut argv = std::env::args().skip(1);
     let cmd = argv.next().unwrap_or_else(|| usage());
-    let args = Args { flags: argv.collect() };
+    let args = Args {
+        flags: argv.collect(),
+    };
 
     match cmd.as_str() {
         "sssp" => cmd_sssp(&args),
@@ -77,12 +79,18 @@ fn build_cfg(args: &Args) -> BenchmarkConfig {
     cfg.num_roots = args.num("--roots", 64) as usize;
     cfg.seed = args.num("--seed", cfg.seed);
     cfg.validate = !args.has("--no-validate");
+    if args.has("--deterministic") || args.has("--sched-seed") {
+        cfg = cfg.deterministic(args.num("--sched-seed", 0));
+    }
     if let Some(t) = args.value("--topology") {
         let side = (ranks as f64).sqrt().ceil().max(1.0) as u32;
         cfg.machine = cfg.machine.topology(match t {
             "crossbar" => Topology::Crossbar,
             "fat-tree" => Topology::FatTree { radix: 4 },
-            "torus" => Topology::Torus2D { w: side, h: (ranks as u32).div_ceil(side) },
+            "torus" => Topology::Torus2D {
+                w: side,
+                h: (ranks as u32).div_ceil(side),
+            },
             "dragonfly" => Topology::Dragonfly { group: side.max(2) },
             other => {
                 eprintln!("unknown topology: {other}");
@@ -196,8 +204,16 @@ fn cmd_stats(args: &Args) {
     println!("max degree:       {}", d.max);
     println!("mean degree:      {:.2}", d.mean);
     println!("median degree:    {}", d.median);
-    println!("isolated:         {} ({:.1}%)", d.isolated, 100.0 * d.isolated as f64 / n as f64);
+    println!(
+        "isolated:         {} ({:.1}%)",
+        d.isolated,
+        100.0 * d.isolated as f64 / n as f64
+    );
     println!("top-1% arc share: {:.1}%", 100.0 * d.top1pct_arc_share);
     println!("components:       {}", cc.components);
-    println!("giant component:  {} ({:.1}%)", cc.giant_size, 100.0 * cc.giant_size as f64 / n as f64);
+    println!(
+        "giant component:  {} ({:.1}%)",
+        cc.giant_size,
+        100.0 * cc.giant_size as f64 / n as f64
+    );
 }

@@ -53,6 +53,10 @@ pub struct BenchmarkConfig {
     /// Validate every root against the input edge list (host-side,
     /// untimed). Disable only for large scaling sweeps.
     pub validate: bool,
+    /// Keep each root's gathered distance/parent vectors in the report
+    /// (`RootRun::paths`). Off by default — O(n) memory per root — but the
+    /// replay tests use it to compare runs vector-for-vector.
+    pub keep_paths: bool,
 }
 
 impl BenchmarkConfig {
@@ -68,17 +72,30 @@ impl BenchmarkConfig {
             opts: OptConfig::all_on(),
             partition: PartitionStrategy::DegreeAware { hub_factor: 8.0 },
             validate: true,
+            keep_paths: false,
         }
     }
 
     /// A fast variant for tests/examples: 4 roots, otherwise official.
     pub fn quick(scale: u32, ranks: usize) -> Self {
-        Self { num_roots: 4, ..Self::graph500(scale, ranks) }
+        Self {
+            num_roots: 4,
+            ..Self::graph500(scale, ranks)
+        }
+    }
+
+    /// Run the simulated machine under the deterministic scheduler with
+    /// `sched_seed` (see [`simnet::SchedMode`]): the same configuration then
+    /// reproduces byte-identical distance vectors, `NetStats`, and superstep
+    /// counts across runs, and non-zero seeds fuzz delivery order.
+    pub fn deterministic(mut self, sched_seed: u64) -> Self {
+        self.machine = self.machine.deterministic(sched_seed);
+        self
     }
 }
 
 /// One root's outcome.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct RootRun {
     /// The sampled search key (original vertex id).
     pub root: VertexId,
@@ -90,10 +107,13 @@ pub struct RootRun {
     pub validated: Option<bool>,
     /// Rank-0 kernel counters for this run.
     pub stats: SsspRunStats,
+    /// The gathered distance/parent vectors (original vertex ids), kept
+    /// only when [`BenchmarkConfig::keep_paths`] is set.
+    pub paths: Option<ShortestPaths>,
 }
 
 /// The full benchmark outcome.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct BenchmarkReport {
     /// Problem scale.
     pub scale: u32,
@@ -143,9 +163,56 @@ impl BenchmarkReport {
     }
 
     /// Machine-readable form of the whole report (per-root runs, kernel
-    /// counters, per-rank traffic), for archiving sweeps.
+    /// counters, per-rank traffic), for archiving sweeps. Hand-rolled JSON:
+    /// the workspace carries no serde, and every field is numeric.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let f = |x: f64| {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| {
+                let validated = match r.validated {
+                    Some(true) => "true",
+                    Some(false) => "false",
+                    None => "null",
+                };
+                format!(
+                    "    {{\"root\":{},\"sim_time_s\":{},\"traversed_edges\":{},\
+                     \"validated\":{},\"stats\":{}}}",
+                    r.root,
+                    f(r.sim_time_s),
+                    r.traversed_edges,
+                    validated,
+                    r.stats.to_json()
+                )
+            })
+            .collect();
+        let per_rank: Vec<String> = self
+            .per_rank_net
+            .iter()
+            .map(|s| format!("    {}", s.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"scale\": {},\n  \"n\": {},\n  \"m\": {},\n  \"ranks\": {},\n  \
+             \"construction_time_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"teps\": {},\n  \
+             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"wall_time_s\": {}\n}}",
+            self.scale,
+            self.n,
+            self.m,
+            self.ranks,
+            f(self.construction_time_s),
+            runs.join(",\n"),
+            self.teps.to_json(),
+            self.net.to_json(),
+            per_rank.join(",\n"),
+            f(self.wall_time_s)
+        )
     }
 }
 
@@ -246,8 +313,11 @@ fn run_ranks<P: VertexPartition>(
                         let l = r.apply(v);
                         orig.dist[v as usize] = gathered.dist[l as usize];
                         let p = gathered.parent[l as usize];
-                        orig.parent[v as usize] =
-                            if p == NO_PARENT { NO_PARENT } else { r.invert(p) };
+                        orig.parent[v as usize] = if p == NO_PARENT {
+                            NO_PARENT
+                        } else {
+                            r.invert(p)
+                        };
                     }
                     orig
                 }
@@ -273,7 +343,10 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     // Host-side: the reference edge list for roots + validation.
     let full_el = gen.generate_all();
     let roots = sample_roots(&full_el, n, cfg.seed, cfg.num_roots);
-    assert!(!roots.is_empty(), "no vertex with an edge — graph too small?");
+    assert!(
+        !roots.is_empty(),
+        "no vertex with an edge — graph too small?"
+    );
 
     let gen_for_ranks = gen.clone();
     let partition = cfg.partition;
@@ -331,7 +404,11 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         let reached = |v: u64| sp.dist[v as usize].is_finite();
         let traversed = g500_validate::count_traversed_edges(&full_el, reached);
         let validated = if cfg.validate {
-            let res = SsspResult { root, dist: sp.dist.clone(), parent: sp.parent.clone() };
+            let res = SsspResult {
+                root,
+                dist: sp.dist.clone(),
+                parent: sp.parent.clone(),
+            };
             let rep = validate_sssp(n, &full_el, &res);
             if !rep.ok {
                 eprintln!("validation FAILED for root {root}: {:?}", rep.errors);
@@ -340,11 +417,22 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         } else {
             None
         };
-        runs.push(RootRun { root, sim_time_s: time, traversed_edges: traversed, validated, stats });
+        let paths = cfg.keep_paths.then_some(sp);
+        runs.push(RootRun {
+            root,
+            sim_time_s: time,
+            traversed_edges: traversed,
+            validated,
+            stats,
+            paths,
+        });
     }
 
     let teps = TepsSummary::from_samples(
-        &runs.iter().map(|r| (r.traversed_edges, r.sim_time_s)).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| (r.traversed_edges, r.sim_time_s))
+            .collect::<Vec<_>>(),
     );
 
     BenchmarkReport {
@@ -427,11 +515,15 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
             traversed_edges: traversed,
             validated,
             stats: SsspRunStats::default(),
+            paths: None,
         });
     }
 
     let teps = TepsSummary::from_samples(
-        &runs.iter().map(|r| (r.traversed_edges, r.sim_time_s)).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| (r.traversed_edges, r.sim_time_s))
+            .collect::<Vec<_>>(),
     );
 
     BenchmarkReport {
@@ -457,7 +549,11 @@ mod tests {
         let cfg = BenchmarkConfig::quick(8, 2);
         let rep = run_sssp_benchmark(&cfg);
         assert_eq!(rep.runs.len(), 4);
-        assert!(rep.all_validated(), "{:#?}", rep.runs.iter().map(|r| r.validated).collect::<Vec<_>>());
+        assert!(
+            rep.all_validated(),
+            "{:#?}",
+            rep.runs.iter().map(|r| r.validated).collect::<Vec<_>>()
+        );
         assert!(rep.teps.harmonic_mean > 0.0);
         assert!(rep.construction_time_s > 0.0);
         assert!(rep.render().contains("harmonic_mean"));

@@ -19,7 +19,6 @@
 //! can depend on `graph500` alone.
 #![warn(missing_docs)]
 
-
 pub mod driver;
 
 pub use driver::{

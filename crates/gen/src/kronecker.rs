@@ -35,7 +35,14 @@ pub struct KroneckerParams {
 impl KroneckerParams {
     /// The official Graph500 parameters at `scale` with a chosen seed.
     pub fn graph500(scale: u32, seed: u64) -> Self {
-        Self { scale, edgefactor: 16, a: 0.57, b: 0.19, c: 0.19, seed }
+        Self {
+            scale,
+            edgefactor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
     }
 
     /// Number of vertices, `2^scale`.
@@ -72,7 +79,10 @@ pub struct KroneckerGenerator {
 impl KroneckerGenerator {
     /// Build a generator for `params`.
     pub fn new(params: KroneckerParams) -> Self {
-        assert!(params.scale >= 1 && params.scale <= 62, "scale out of range");
+        assert!(
+            params.scale >= 1 && params.scale <= 62,
+            "scale out of range"
+        );
         let ab = params.a + params.b;
         assert!(ab < 1.0, "A + B must be < 1");
         Self {
@@ -237,7 +247,12 @@ mod tests {
             let r2 = topo.unit_f64(base + 1);
             let ab = params.a + params.b;
             let row = r1 > ab;
-            let col = r2 > if row { params.c / (1.0 - ab) } else { params.a / ab };
+            let col = r2
+                > if row {
+                    params.c / (1.0 - ab)
+                } else {
+                    params.a / ab
+                };
             match (row, col) {
                 (false, false) => a += 1,
                 (false, true) => b += 1,
@@ -283,6 +298,9 @@ mod tests {
             deg[e.v as usize] += 1;
         }
         let max = *deg.iter().max().unwrap();
-        assert!(deg0 < max, "vertex 0 is still the hub — scrambler inactive?");
+        assert!(
+            deg0 < max,
+            "vertex 0 is still the hub — scrambler inactive?"
+        );
     }
 }

@@ -13,7 +13,6 @@
 //! inputs.
 #![warn(missing_docs)]
 
-
 pub mod kronecker;
 pub mod rng;
 pub mod simple;

@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn bimodal_fractions_respected() {
-        let d = WeightDist::Bimodal { heavy_frac: 0.2, heavy: 5.0 };
+        let d = WeightDist::Bimodal {
+            heavy_frac: 0.2,
+            heavy: 5.0,
+        };
         let el = erdos_renyi(100, 20_000, 2);
         let rw = reweight(&el, d, 5);
         let heavy = rw.weights().iter().filter(|&&w| w == 5.0).count();

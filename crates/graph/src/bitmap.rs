@@ -15,7 +15,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap of `len` bits.
     pub fn new(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(64)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Number of bits.

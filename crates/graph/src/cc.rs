@@ -107,7 +107,11 @@ pub fn component_stats(n: usize, edges: &EdgeList) -> ComponentStats {
             }
         }
     }
-    ComponentStats { components: uf.num_components(), giant_size: giant, nontrivial_components: nontrivial }
+    ComponentStats {
+        components: uf.num_components(),
+        giant_size: giant,
+        nontrivial_components: nontrivial,
+    }
 }
 
 #[cfg(test)]

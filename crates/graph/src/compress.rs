@@ -229,7 +229,11 @@ mod tests {
     fn gap_coding_beats_raw_on_clustered_ids() {
         let adj: Vec<u64> = (1000..2000).collect();
         let enc = encode_adjacency(&adj);
-        assert!(enc.len() < adj.len() * 8 / 4, "expected ≥4x ratio, got {} bytes", enc.len());
+        assert!(
+            enc.len() < adj.len() * 8 / 4,
+            "expected ≥4x ratio, got {} bytes",
+            enc.len()
+        );
     }
 
     #[test]
@@ -252,10 +256,7 @@ mod tests {
 
     #[test]
     fn compressed_csr_weights_follow_sorted_ids() {
-        let el = EdgeList::from_edges([
-            WEdge::new(0, 2, 0.2),
-            WEdge::new(0, 1, 0.1),
-        ]);
+        let el = EdgeList::from_edges([WEdge::new(0, 2, 0.2), WEdge::new(0, 1, 0.1)]);
         let csr = Csr::from_edges(3, &el, Directedness::Undirected);
         let c = CompressedCsr::from_csr(&csr);
         assert_eq!(c.arcs(0), vec![(1, 0.1), (2, 0.2)]);

@@ -95,7 +95,12 @@ impl Csr {
             }
         }
 
-        Csr { n, offsets, targets, weights }
+        Csr {
+            n,
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Build a *rectangular* CSR: `rows` source rows, targets unconstrained
@@ -122,7 +127,12 @@ impl Csr {
             weights[*c as usize] = e.w;
             *c += 1;
         }
-        Csr { n: rows, offsets, targets, weights }
+        Csr {
+            n: rows,
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -158,7 +168,10 @@ impl Csr {
     /// `(neighbor, weight)` pairs of `u`.
     #[inline]
     pub fn arcs(&self, u: usize) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.neighbors(u).iter().copied().zip(self.edge_weights(u).iter().copied())
+        self.neighbors(u)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(u).iter().copied())
     }
 
     /// Offset array (length `n + 1`).
@@ -182,7 +195,8 @@ impl Csr {
     /// Iterate over all arcs as `WEdge`s.
     pub fn iter_edges(&self) -> impl Iterator<Item = WEdge> + '_ {
         (0..self.n).flat_map(move |u| {
-            self.arcs(u).map(move |(v, w)| WEdge::new(u as VertexId, v, w))
+            self.arcs(u)
+                .map(move |(v, w)| WEdge::new(u as VertexId, v, w))
         })
     }
 
@@ -212,8 +226,12 @@ impl Csr {
                 continue;
             }
             perm_scratch.clear();
-            perm_scratch
-                .extend(self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied()));
+            perm_scratch.extend(
+                self.targets[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(self.weights[lo..hi].iter().copied()),
+            );
             perm_scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
             for (i, (t, w)) in perm_scratch.iter().enumerate() {
                 self.targets[lo + i] = *t;

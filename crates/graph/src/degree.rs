@@ -63,7 +63,11 @@ impl DegreeStats {
             median: sorted[n / 2],
             p99: sorted[(n as f64 * 0.99) as usize % n],
             isolated,
-            top1pct_arc_share: if arcs == 0 { 0.0 } else { top_arcs as f64 / arcs as f64 },
+            top1pct_arc_share: if arcs == 0 {
+                0.0
+            } else {
+                top_arcs as f64 / arcs as f64
+            },
         }
     }
 
@@ -163,8 +167,7 @@ mod tests {
     #[test]
     fn powerlaw_slope_of_exact_powerlaw() {
         // ccdf(d) = 1024 / d  → slope -1
-        let ccdf: Vec<(usize, usize)> =
-            (0..10).map(|i| (1usize << i, 1024usize >> i)).collect();
+        let ccdf: Vec<(usize, usize)> = (0..10).map(|i| (1usize << i, 1024usize >> i)).collect();
         let slope = powerlaw_slope(&ccdf);
         assert!((slope + 1.0).abs() < 1e-9, "slope {slope}");
     }

@@ -69,7 +69,11 @@ impl EdgeList {
     /// Edge at position `i`.
     #[inline]
     pub fn get(&self, i: usize) -> WEdge {
-        WEdge { u: self.src[i], v: self.dst[i], w: self.w[i] }
+        WEdge {
+            u: self.src[i],
+            v: self.dst[i],
+            w: self.w[i],
+        }
     }
 
     /// Source column.

@@ -17,7 +17,6 @@
 //!   counting sort with pre-sized buffers, no per-edge allocation.
 #![warn(missing_docs)]
 
-
 pub mod bitmap;
 pub mod cc;
 pub mod compress;

@@ -26,7 +26,10 @@ impl Permutation {
     /// Identity permutation on `n` ids.
     pub fn identity(n: usize) -> Self {
         let fwd: Vec<VertexId> = (0..n as VertexId).collect();
-        Self { inv: fwd.clone(), fwd }
+        Self {
+            inv: fwd.clone(),
+            fwd,
+        }
     }
 
     /// Build from a forward map (`map[i]` = new label of old id `i`).
@@ -133,7 +136,15 @@ impl BitMixPermutation {
         let mul1 = splitmix64(seed) | 1;
         let mul2 = splitmix64(seed ^ 0xDEAD_BEEF) | 1;
         let shift = (scale / 2).max(1);
-        Self { scale, mask, mul1, mul2, inv1: inv_mod_pow2(mul1), inv2: inv_mod_pow2(mul2), shift }
+        Self {
+            scale,
+            mask,
+            mul1,
+            mul2,
+            inv1: inv_mod_pow2(mul1),
+            inv2: inv_mod_pow2(mul2),
+            shift,
+        }
     }
 
     /// The id-space size, `2^scale`.

@@ -33,7 +33,10 @@ pub struct ShortestPaths {
 impl ShortestPaths {
     /// All-unreached state over `n` vertices.
     pub fn unreached(n: usize) -> Self {
-        Self { dist: vec![INF_WEIGHT; n], parent: vec![NO_PARENT; n] }
+        Self {
+            dist: vec![INF_WEIGHT; n],
+            parent: vec![NO_PARENT; n],
+        }
     }
 
     /// Initial state with `root` settled at distance 0.
@@ -54,9 +57,11 @@ impl ShortestPaths {
     /// algorithms when shortest paths tie).
     pub fn distances_match(&self, other: &Self, tol: Weight) -> bool {
         self.dist.len() == other.dist.len()
-            && self.dist.iter().zip(&other.dist).all(|(&a, &b)| {
-                (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= tol
-            })
+            && self
+                .dist
+                .iter()
+                .zip(&other.dist)
+                .all(|(&a, &b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() <= tol)
     }
 }
 
@@ -82,7 +87,11 @@ impl WEdge {
     /// Graph500 graphs, which are undirected).
     #[inline]
     pub fn reversed(self) -> Self {
-        Self { u: self.v, v: self.u, w: self.w }
+        Self {
+            u: self.v,
+            v: self.u,
+            w: self.w,
+        }
     }
 
     /// True for self-loops, which SSSP kernels may skip.
@@ -100,7 +109,10 @@ impl WEdge {
 /// and therefore distances are always `>= 0`, so the precondition holds.
 #[inline]
 pub fn weight_to_bits(w: Weight) -> u32 {
-    debug_assert!(w >= 0.0 || w.is_nan(), "negative weights are not orderable via bits");
+    debug_assert!(
+        w >= 0.0 || w.is_nan(),
+        "negative weights are not orderable via bits"
+    );
     w.to_bits()
 }
 
@@ -134,7 +146,12 @@ mod tests {
     fn weight_bits_preserve_order() {
         let samples = [0.0f32, 1e-30, 0.001, 0.5, 0.999, 1.0, 7.25, f32::INFINITY];
         for w in samples.windows(2) {
-            assert!(weight_to_bits(w[0]) < weight_to_bits(w[1]), "{} vs {}", w[0], w[1]);
+            assert!(
+                weight_to_bits(w[0]) < weight_to_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
         }
         for &w in &samples {
             assert_eq!(bits_to_weight(weight_to_bits(w)), w);

@@ -37,7 +37,11 @@ pub fn assemble_local_graph<P: VertexPartition>(
     part: P,
 ) -> LocalGraph<P> {
     let p = ctx.size();
-    assert_eq!(p, part.num_ranks(), "partition sized for a different machine");
+    assert_eq!(
+        p,
+        part.num_ranks(),
+        "partition sized for a different machine"
+    );
 
     // Bucket both directions of each edge by owner of the arc's source.
     let mut out: Vec<Vec<ArcRec>> = vec![Vec::new(); p];
@@ -83,7 +87,13 @@ pub fn assemble_local_graph<P: VertexPartition>(
 
     let global_arcs = ctx.allreduce_sum(total as u64);
 
-    LocalGraph { part, offsets, targets, weights, global_arcs }
+    LocalGraph {
+        part,
+        offsets,
+        targets,
+        weights,
+        global_arcs,
+    }
 }
 
 impl<P: VertexPartition> LocalGraph<P> {
@@ -118,7 +128,10 @@ impl<P: VertexPartition> LocalGraph<P> {
     pub fn arcs(&self, l: usize) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let lo = self.offsets[l] as usize;
         let hi = self.offsets[l + 1] as usize;
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Global targets of local vertex `l`.
@@ -175,8 +188,7 @@ mod tests {
             let mut adj: Vec<(u64, Vec<(u64, u32)>)> = Vec::new();
             for l in 0..g.local_vertices() {
                 let v = part.to_global(ctx.rank(), l);
-                let mut ns: Vec<(u64, u32)> =
-                    g.arcs(l).map(|(t, w)| (t, w.to_bits())).collect();
+                let mut ns: Vec<(u64, u32)> = g.arcs(l).map(|(t, w)| (t, w.to_bits())).collect();
                 ns.sort_unstable();
                 adj.push((v, ns));
             }
@@ -186,8 +198,10 @@ mod tests {
         let csr = Csr::from_edges(40, &el, Directedness::Undirected);
         for rank_adj in rep.results {
             for (v, ns) in rank_adj {
-                let mut expect: Vec<(u64, u32)> =
-                    csr.arcs(v as usize).map(|(t, w)| (t, w.to_bits())).collect();
+                let mut expect: Vec<(u64, u32)> = csr
+                    .arcs(v as usize)
+                    .map(|(t, w)| (t, w.to_bits()))
+                    .collect();
                 expect.sort_unstable();
                 assert_eq!(ns, expect, "vertex {v}");
             }
@@ -215,6 +229,9 @@ mod tests {
             assemble_local_graph(ctx, mine.into_iter(), part);
         });
         let stats = rep.total_stats();
-        assert!(stats.coll_bytes > 0, "assembly must move arcs between ranks");
+        assert!(
+            stats.coll_bytes > 0,
+            "assembly must move arcs between ranks"
+        );
     }
 }

@@ -23,7 +23,10 @@ pub struct DistShortestPaths {
 impl DistShortestPaths {
     /// All-unreached state over `n_local` vertices.
     pub fn unreached(n_local: usize) -> Self {
-        Self { dist: vec![INF_WEIGHT; n_local], parent: vec![NO_PARENT; n_local] }
+        Self {
+            dist: vec![INF_WEIGHT; n_local],
+            parent: vec![NO_PARENT; n_local],
+        }
     }
 
     /// Number of locally reached vertices.
@@ -36,11 +39,7 @@ impl DistShortestPaths {
     /// Each rank contributes `(global_id, dist, parent)` for its *reached*
     /// vertices only (unreached are implied), so the payload is proportional
     /// to the component size, as in the real benchmark's validation gather.
-    pub fn gather_to_all<P: VertexPartition>(
-        &self,
-        ctx: &mut RankCtx,
-        part: &P,
-    ) -> ShortestPaths {
+    pub fn gather_to_all<P: VertexPartition>(&self, ctx: &mut RankCtx, part: &P) -> ShortestPaths {
         let me = ctx.rank();
         let mine: Vec<(u64, f32, u64)> = self
             .dist

@@ -158,7 +158,12 @@ impl SparseHubRelabel {
         }
         let mut by_id = hubs_by_priority.clone();
         by_id.sort_unstable();
-        Self { n, by_priority: hubs_by_priority, by_id, rank_of }
+        Self {
+            n,
+            by_priority: hubs_by_priority,
+            by_id,
+            rank_of,
+        }
     }
 
     /// Number of hubs (the cyclic prefix length for [`HybridPartition`]).
@@ -196,7 +201,7 @@ impl SparseHubRelabel {
         let (mut lo, mut hi) = (0u64, self.n);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if mid - self.hubs_below(mid) >= target + 1 {
+            if mid - self.hubs_below(mid) > target {
                 hi = mid;
             } else {
                 lo = mid + 1;

@@ -8,7 +8,6 @@
 //! independently generated edge blocks into per-rank CSRs over `simnet`.
 #![warn(missing_docs)]
 
-
 pub mod assemble;
 pub mod dist_result;
 pub mod hybrid;

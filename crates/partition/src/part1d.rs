@@ -131,7 +131,11 @@ mod tests {
             let r = part.owner(v);
             assert!(r < p);
             let l = part.to_local(v);
-            assert!(l < part.local_count(r), "local {l} vs count {}", part.local_count(r));
+            assert!(
+                l < part.local_count(r),
+                "local {l} vs count {}",
+                part.local_count(r)
+            );
             assert_eq!(part.to_global(r, l), v);
         }
         for r in 0..p {

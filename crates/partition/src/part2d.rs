@@ -26,7 +26,12 @@ impl EdgePartition2D {
     /// Build a grid of `pr` row blocks × `pc` column blocks.
     pub fn new(n: u64, pr: usize, pc: usize) -> Self {
         assert!(pr > 0 && pc > 0);
-        Self { rows: Block1D::new(n, pr), cols: Block1D::new(n, pc), pr, pc }
+        Self {
+            rows: Block1D::new(n, pr),
+            cols: Block1D::new(n, pc),
+            pr,
+            pc,
+        }
     }
 
     /// Total ranks in the grid.
@@ -88,7 +93,7 @@ mod tests {
     #[test]
     fn edges_cover_all_ranks() {
         let g = EdgePartition2D::new(16, 2, 2);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for u in 0..16 {
             for v in 0..16 {
                 seen[g.owner_edge(u, v)] = true;

@@ -1,0 +1,182 @@
+//! Sequential drop-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment is fully offline (no crates.io mirror), so the
+//! workspace must compile from std alone. This shim keeps every call site
+//! (`par_iter`, `into_par_iter`, `par_sort_unstable*`, `chunks`,
+//! `flat_map_iter`, `current_num_threads`) compiling against plain
+//! sequential std iterators. Sequential execution is also exactly what the
+//! deterministic replay harness wants: a given seed replays bit-identically,
+//! with no dependence on the host thread scheduler.
+//!
+//! Swapping this crate back for real `rayon` requires no source changes in
+//! the rest of the workspace — the trait and function names match.
+
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads. The shim executes sequentially, so always 1;
+/// callers only use this to size work chunks.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`. Every std iterator
+/// qualifies; the rayon-only adapters are provided as real methods.
+pub trait ParallelIterator: Iterator + Sized {
+    /// rayon's `flat_map_iter` — identical to `flat_map` when sequential.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// rayon's `chunks`: yields `Vec`s of up to `n` consecutive items.
+    fn chunks(self, n: usize) -> Chunks<Self> {
+        assert!(n > 0, "chunk size must be positive");
+        Chunks { it: self, n }
+    }
+
+    /// Scheduling hint; a no-op sequentially.
+    fn with_min_len(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Scheduling hint; a no-op sequentially.
+    fn with_max_len(self, _n: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Marker mirroring rayon's indexed-iterator trait; sequentially every
+/// iterator yields items in order, so every iterator qualifies.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+impl<I: Iterator> IndexedParallelIterator for I {}
+
+/// Iterator over owned chunks, mirroring rayon's `chunks` adapter.
+pub struct Chunks<I: Iterator> {
+    it: I,
+    n: usize,
+}
+
+impl<I: Iterator> Iterator for Chunks<I> {
+    type Item = Vec<I::Item>;
+
+    fn next(&mut self) -> Option<Vec<I::Item>> {
+        let out: Vec<I::Item> = self.it.by_ref().take(self.n).collect();
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+/// `into_par_iter` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Shared-slice views (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(n)
+    }
+}
+
+/// Mutable-slice operations (`par_iter_mut`, `par_sort_unstable*`).
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(cmp);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        let chunks: Vec<Vec<usize>> = (0..10).into_par_iter().chunks(4).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn slice_ops_match_std() {
+        let v = vec![3u64, 1, 2];
+        let total: u64 = v.par_iter().sum();
+        assert_eq!(total, 6);
+        let mut s = v.clone();
+        s.par_sort_unstable();
+        assert_eq!(s, vec![1, 2, 3]);
+        let mut by_key = v.clone();
+        by_key.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(by_key, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn flat_map_iter_matches_flat_map() {
+        let out: Vec<u32> = [1u32, 3]
+            .par_iter()
+            .flat_map_iter(|&x| [x, x + 1])
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}

@@ -97,7 +97,7 @@ impl RankCtx {
             let tag = self.coll_tag(round);
             if have.is_some() {
                 let dest = me + step;
-                if me % (step * 2) == 0 && dest < p && step >= 1 {
+                if me.is_multiple_of(step * 2) && dest < p && step >= 1 {
                     let v = have.clone().expect("checked");
                     self.send_coll(dest, tag, &[v]);
                 }
@@ -477,8 +477,9 @@ mod tests {
             let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
                 let me = ctx.rank() as u64;
                 // block for rank d: [me + d, me + d] (len 2)
-                let blocks: Vec<Vec<u64>> =
-                    (0..ctx.size() as u64).map(|d| vec![me + d, me * d]).collect();
+                let blocks: Vec<Vec<u64>> = (0..ctx.size() as u64)
+                    .map(|d| vec![me + d, me * d])
+                    .collect();
                 ctx.reduce_scatter(blocks, |a, b| a + b)
             });
             let sum_r: u64 = (0..p as u64).sum();
@@ -492,8 +493,7 @@ mod tests {
 
     #[test]
     fn collective_traffic_is_metered() {
-        let rep =
-            Machine::new(MachineConfig::with_ranks(8)).run(|ctx| ctx.allreduce_sum(1));
+        let rep = Machine::new(MachineConfig::with_ranks(8)).run(|ctx| ctx.allreduce_sum(1));
         let total = rep.total_stats();
         assert!(total.coll_msgs > 0);
         assert!(total.coll_bytes > 0);

@@ -171,7 +171,11 @@ mod tests {
 
     #[test]
     fn loggp_transit_scales() {
-        let m = LogGP { latency: 1e-6, overhead: 0.0, per_byte: 1e-9 };
+        let m = LogGP {
+            latency: 1e-6,
+            overhead: 0.0,
+            per_byte: 1e-9,
+        };
         assert!((m.transit(0, 1) - 1e-6).abs() < 1e-15);
         assert!((m.transit(1000, 2) - (2e-6 + 1e-6)).abs() < 1e-15);
     }

@@ -38,11 +38,11 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod collectives;
 pub mod cost;
 pub mod machine;
 pub mod rank;
+pub mod sched;
 pub mod stats;
 pub mod subcomm;
 pub mod wire;
@@ -50,6 +50,7 @@ pub mod wire;
 pub use cost::{ComputeModel, LogGP, Topology};
 pub use machine::{Machine, MachineConfig, SimReport};
 pub use rank::{RankCtx, Tag};
+pub use sched::SchedMode;
 pub use stats::NetStats;
 pub use subcomm::SubComm;
 pub use wire::Wire;

@@ -1,11 +1,11 @@
 //! Machine construction and SPMD launch.
 
 use crate::cost::{ComputeModel, LogGP, Topology};
-use crate::rank::{Envelope, RankCtx};
+use crate::rank::{Envelope, RankCtx, Tag, Transport};
+use crate::sched::{SchedCore, SchedMode};
 use crate::stats::NetStats;
-use crossbeam::channel::unbounded;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 /// Configuration of a simulated machine.
 #[derive(Clone, Copy, Debug)]
@@ -18,16 +18,26 @@ pub struct MachineConfig {
     pub topology: Topology,
     /// Per-rank compute throughput.
     pub compute: ComputeModel,
+    /// Execution scheduling: free threads or deterministic replay.
+    pub sched: SchedMode,
+    /// When true, a job that completes while undelivered (orphan) messages
+    /// remain panics with a diagnostic listing them — this is how misrouted
+    /// messages surface in tests. Authoritative under
+    /// [`SchedMode::Deterministic`]; best-effort under threads.
+    pub debug_checks: bool,
 }
 
 impl MachineConfig {
-    /// `ranks` ranks on a crossbar with default LogGP/compute constants.
+    /// `ranks` ranks on a crossbar with default LogGP/compute constants,
+    /// threaded scheduling, and debug checks on.
     pub fn with_ranks(ranks: usize) -> Self {
         Self {
             ranks,
             loggp: LogGP::default(),
             topology: Topology::Crossbar,
             compute: ComputeModel::default(),
+            sched: SchedMode::Threads,
+            debug_checks: true,
         }
     }
 
@@ -46,6 +56,25 @@ impl MachineConfig {
     /// Builder-style compute-model override.
     pub fn compute(mut self, c: ComputeModel) -> Self {
         self.compute = c;
+        self
+    }
+
+    /// Builder-style scheduling-mode override.
+    pub fn sched(mut self, s: SchedMode) -> Self {
+        self.sched = s;
+        self
+    }
+
+    /// Switch to the deterministic scheduler with `seed`. Seed 0 is the
+    /// canonical schedule; any other seed fuzzes delivery order.
+    pub fn deterministic(mut self, seed: u64) -> Self {
+        self.sched = SchedMode::Deterministic { seed };
+        self
+    }
+
+    /// Builder-style debug-check (orphan detection) override.
+    pub fn debug_checks(mut self, on: bool) -> Self {
+        self.debug_checks = on;
         self
     }
 }
@@ -75,6 +104,11 @@ pub struct Machine {
     cfg: MachineConfig,
 }
 
+/// What each rank thread hands back: its result, traffic counters, final
+/// simulated clock, and (threads mode) any messages left undelivered in its
+/// mailbox — `(src, tag, seq)` per leftover, for the orphan check.
+type RankOutcome<R> = (R, NetStats, f64, Vec<(usize, Tag, u64)>);
+
 impl Machine {
     /// Build a machine from `cfg`. Panics if `cfg.ranks == 0`.
     pub fn new(cfg: MachineConfig) -> Self {
@@ -91,7 +125,10 @@ impl Machine {
     /// its own [`RankCtx`]. Returns when every rank's closure returns.
     ///
     /// A panic on any rank propagates out of `run` (with the rank id in the
-    /// message), mirroring a fail-stop job abort.
+    /// message), mirroring a fail-stop job abort. Under
+    /// [`SchedMode::Deterministic`] a deadlocked job aborts immediately
+    /// with the wait-for list instead of hanging, and (with
+    /// `debug_checks`) leftover undelivered messages fail the run.
     pub fn run<R, F>(&self, f: F) -> SimReport<R>
     where
         R: Send,
@@ -99,44 +136,63 @@ impl Machine {
     {
         let p = self.cfg.ranks;
         let start = std::time::Instant::now();
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..p).map(|_| unbounded::<Envelope>()).unzip();
+
+        // Shared infrastructure for whichever transport this run uses.
+        let core = match self.cfg.sched {
+            SchedMode::Deterministic { seed } => Some(Arc::new(SchedCore::new(p, seed))),
+            SchedMode::Threads => None,
+        };
+        let (senders, mut receivers): (Vec<_>, Vec<_>) = if core.is_none() {
+            (0..p).map(|_| mpsc::channel::<Envelope>()).unzip()
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let abort = Arc::new(AtomicBool::new(false));
 
-        let outcome: Vec<(R, NetStats, f64)> = std::thread::scope(|scope| {
+        let outcome: Vec<RankOutcome<R>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let senders = senders.clone();
+            for rank in 0..p {
+                let transport = match &core {
+                    Some(core) => Transport::Det {
+                        core: Arc::clone(core),
+                    },
+                    None => Transport::Threads {
+                        senders: senders.clone(),
+                        rx: receivers.remove(0),
+                        pending: Default::default(),
+                        abort: Arc::clone(&abort),
+                        seq: 0,
+                    },
+                };
                 let cfg = self.cfg;
                 let f = &f;
                 let abort = Arc::clone(&abort);
+                let core = core.clone();
                 let h = std::thread::Builder::new()
                     .name(format!("simnet-rank-{rank}"))
                     .spawn_scoped(scope, move || {
-                        let mut ctx = RankCtx::new(
-                            rank,
-                            p,
-                            senders,
-                            rx,
-                            cfg.loggp,
-                            cfg.topology,
-                            cfg.compute,
-                            Arc::clone(&abort),
-                        );
-                        // Fail-stop semantics: a panic on one rank raises the
-                        // abort flag so peers blocked in recv abort too,
-                        // instead of deadlocking the job.
-                        let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || f(&mut ctx),
-                        )) {
+                        if let Some(core) = &core {
+                            core.acquire(rank);
+                        }
+                        let mut ctx =
+                            RankCtx::new(rank, p, transport, cfg.loggp, cfg.topology, cfg.compute);
+                        // Fail-stop semantics: a panic on one rank raises
+                        // the abort flag so peers blocked in recv abort
+                        // too, instead of deadlocking the job.
+                        let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&mut ctx)
+                        })) {
                             Ok(r) => r,
                             Err(payload) => {
                                 abort.store(true, Ordering::Release);
+                                if let Some(core) = &core {
+                                    core.abort_all();
+                                }
                                 std::panic::resume_unwind(payload);
                             }
                         };
-                        let (stats, now) = ctx.into_stats();
-                        (r, stats, now)
+                        let (stats, now, leftovers) = ctx.into_parts();
+                        (r, stats, now, leftovers)
                     })
                     .expect("spawning a rank thread");
                 handles.push(h);
@@ -146,8 +202,8 @@ impl Machine {
                 .enumerate()
                 .map(|(rank, h)| {
                     h.join().unwrap_or_else(|payload| {
-                        // surface the original panic text so job aborts are
-                        // debuggable from the top-level message
+                        // surface the original panic text so job aborts
+                        // are debuggable from the top-level message
                         let msg = payload
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
@@ -159,15 +215,49 @@ impl Machine {
                 .collect()
         });
 
+        if self.cfg.debug_checks {
+            // Orphan detection: a finished job must have consumed every
+            // message it sent; leftovers mean a misroute or forgotten recv.
+            let mut orphans: Vec<String> = Vec::new();
+            if let Some(core) = &core {
+                if !core.is_aborted() {
+                    for (dest, src, tag, seq) in core.orphans() {
+                        orphans.push(format!(
+                            "rank {dest} never received (src {src}, tag {tag:#x}, seq {seq})"
+                        ));
+                    }
+                }
+            } else {
+                for (dest, (.., leftovers)) in outcome.iter().enumerate() {
+                    for (src, tag, seq) in leftovers {
+                        orphans.push(format!(
+                            "rank {dest} never received (src {src}, tag {tag:#x}, seq {seq})"
+                        ));
+                    }
+                }
+            }
+            assert!(
+                orphans.is_empty(),
+                "orphan message(s) left in mailboxes at job end — misrouted send or missing \
+                 recv: {}",
+                orphans.join("; ")
+            );
+        }
+
         let mut results = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
         let mut sim_time_s: f64 = 0.0;
-        for (r, s, now) in outcome {
+        for (r, s, now, _) in outcome {
             results.push(r);
             stats.push(s);
             sim_time_s = sim_time_s.max(now);
         }
-        SimReport { results, stats, sim_time_s, wall_time_s: start.elapsed().as_secs_f64() }
+        SimReport {
+            results,
+            stats,
+            sim_time_s,
+            wall_time_s: start.elapsed().as_secs_f64(),
+        }
     }
 }
 
@@ -246,8 +336,8 @@ mod tests {
             if ctx.rank() == 1 {
                 panic!("injected fault");
             }
-            // rank 0 blocks on a message that will never come; the channel
-            // disconnect from rank 1's teardown unblocks it with a panic.
+            // rank 0 blocks on a message that will never come; the abort
+            // flag raised by rank 1's teardown unblocks it with a panic.
             ctx.recv::<u64>(1, 9);
         });
     }
@@ -256,5 +346,130 @@ mod tests {
     fn results_are_rank_ordered() {
         let rep = Machine::new(MachineConfig::with_ranks(8)).run(|ctx| ctx.rank() * 10);
         assert_eq!(rep.results, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    // ---- deterministic scheduler ----
+
+    fn det(ranks: usize, seed: u64) -> Machine {
+        Machine::new(MachineConfig::with_ranks(ranks).deterministic(seed))
+    }
+
+    #[test]
+    fn deterministic_roundtrip_matches_threads() {
+        let prog = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, &[1u64, 2, 3]);
+                ctx.recv::<u64>(1, 8)
+            } else {
+                let got = ctx.recv::<u64>(0, 7);
+                ctx.send(0, 8, &[got.iter().sum::<u64>()]);
+                got
+            }
+        };
+        let threaded = Machine::new(MachineConfig::with_ranks(2)).run(prog);
+        let canonical = det(2, 0).run(prog);
+        assert_eq!(threaded.results, canonical.results);
+        assert_eq!(threaded.stats, canonical.stats);
+        assert_eq!(threaded.sim_time_s, canonical.sim_time_s);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let prog = |ctx: &mut RankCtx| {
+            let p = ctx.size();
+            let mut acc = ctx.rank() as u64;
+            for round in 0..3 {
+                for d in 0..p {
+                    if d != ctx.rank() {
+                        ctx.send_one(d, 10 + round, acc);
+                    }
+                }
+                for s in 0..p {
+                    if s != ctx.rank() {
+                        acc = acc.wrapping_add(ctx.recv_one::<u64>(s, 10 + round));
+                    }
+                }
+            }
+            (acc, ctx.now())
+        };
+        let a = det(4, 0xFEED).run(prog);
+        let b = det(4, 0xFEED).run(prog);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sim_time_s, b.sim_time_s);
+    }
+
+    #[test]
+    fn different_seeds_same_values() {
+        let prog = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                (1..ctx.size())
+                    .map(|s| ctx.recv_one::<u64>(s, 3))
+                    .sum::<u64>()
+            } else {
+                ctx.send_one(0, 3, ctx.rank() as u64);
+                0
+            }
+        };
+        let vals: Vec<u64> = (0..8u64)
+            .map(|seed| det(5, seed).run(prog).results[0])
+            .collect();
+        assert!(vals.iter().all(|&v| v == 1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deterministic_deadlock_is_detected() {
+        // Rank 0 waits for a message rank 1 never sends; rank 1 finishes.
+        det(2, 0).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.recv::<u64>(1, 9);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "orphan")]
+    fn misrouted_message_is_caught() {
+        // Rank 0 sends to rank 1 with a tag nobody receives; the job
+        // completes, and teardown flags the orphan envelope.
+        det(2, 0).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_one(1, 0x77, 1u64);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn deterministic_rank_panic_propagates() {
+        det(2, 0).run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected fault");
+            }
+            ctx.recv::<u64>(1, 9);
+        });
+    }
+
+    #[test]
+    fn delivery_order_is_identity_for_seed_zero_and_threads() {
+        let rep = Machine::new(MachineConfig::with_ranks(1)).run(|ctx| ctx.delivery_order(5));
+        assert_eq!(rep.results[0], vec![0, 1, 2, 3, 4]);
+        let rep = det(1, 0).run(|ctx| ctx.delivery_order(5));
+        assert_eq!(rep.results[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delivery_order_is_a_seeded_permutation() {
+        let perm_for =
+            |seed: u64| det(1, seed).run(|ctx| ctx.delivery_order(16)).results[0].clone();
+        let a = perm_for(1);
+        let b = perm_for(1);
+        assert_eq!(a, b, "same seed must replay the same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "must be a permutation");
+        let c = perm_for(2);
+        assert_ne!(a, c, "different seeds should permute differently");
     }
 }

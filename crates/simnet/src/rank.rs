@@ -2,18 +2,24 @@
 //! messaging.
 //!
 //! A [`RankCtx`] is handed to the SPMD closure for each rank. It owns the
-//! rank's receive channel, sender handles to every peer, the rank's virtual
-//! clock, and its traffic counters. Message *matching* follows MPI: a
-//! receive names `(source, tag)` and non-matching envelopes are parked in a
-//! pending queue — this is what keeps back-to-back collectives from stealing
-//! each other's traffic even when ranks run arbitrarily skewed.
+//! rank's identity, virtual clock, traffic counters, and a transport that is
+//! either one free-running channel per rank ([`SchedMode::Threads`]) or the
+//! shared deterministic scheduler ([`SchedMode::Deterministic`]). Message
+//! *matching* follows MPI: a receive names `(source, tag)` and non-matching
+//! envelopes are parked — this is what keeps back-to-back collectives from
+//! stealing each other's traffic even when ranks run arbitrarily skewed.
+//!
+//! [`SchedMode`]: crate::sched::SchedMode
+//! [`SchedMode::Threads`]: crate::sched::SchedMode::Threads
+//! [`SchedMode::Deterministic`]: crate::sched::SchedMode::Deterministic
 
 use crate::cost::{ComputeModel, LogGP, Topology};
+use crate::sched::{splitmix64, SchedCore};
 use crate::stats::NetStats;
 use crate::wire::{decode_vec, encode_slice, Wire};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,6 +35,10 @@ pub(crate) struct Envelope {
     pub tag: Tag,
     /// Virtual time at which the payload is available at the receiver.
     pub arrive: f64,
+    /// Global deposit sequence number (deterministic mode; a per-sender
+    /// counter in threaded mode). Breaks delivery-order ties and names the
+    /// message in orphan diagnostics.
+    pub seq: u64,
     pub payload: Vec<u8>,
 }
 
@@ -39,13 +49,28 @@ pub(crate) enum TrafficClass {
     Collective,
 }
 
-/// The per-rank handle: identity, clock, mailbox, counters.
+/// How this rank talks to its peers.
+pub(crate) enum Transport {
+    /// Free-running threads: a channel per rank, abort-flag watchdog.
+    Threads {
+        senders: Vec<Sender<Envelope>>,
+        rx: Receiver<Envelope>,
+        pending: VecDeque<Envelope>,
+        /// Set when any rank panics; waiting ranks notice and abort too, so
+        /// a single fault fail-stops the whole job instead of deadlocking.
+        abort: Arc<AtomicBool>,
+        /// Per-sender sequence counter (diagnostics only in this mode).
+        seq: u64,
+    },
+    /// Serialized seeded execution through the shared scheduler.
+    Det { core: Arc<SchedCore> },
+}
+
+/// The per-rank handle: identity, clock, transport, counters.
 pub struct RankCtx {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Envelope>>,
-    rx: Receiver<Envelope>,
-    pending: VecDeque<Envelope>,
+    transport: Transport,
     now: f64,
     loggp: LogGP,
     topo: Topology,
@@ -53,29 +78,34 @@ pub struct RankCtx {
     stats: NetStats,
     pub(crate) coll_seq: u64,
     subcomm_counter: u64,
-    /// Set when any rank panics; waiting ranks notice and abort too, so a
-    /// single fault fail-stops the whole job instead of deadlocking it.
-    abort: Arc<AtomicBool>,
+    /// SplitMix64 stream behind [`RankCtx::delivery_order`]; zero means
+    /// "identity orders" (threaded mode, or deterministic seed 0).
+    perm_state: u64,
 }
 
 impl RankCtx {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        senders: Vec<Sender<Envelope>>,
-        rx: Receiver<Envelope>,
+        transport: Transport,
         loggp: LogGP,
         topo: Topology,
         compute: ComputeModel,
-        abort: Arc<AtomicBool>,
     ) -> Self {
+        let perm_state = match &transport {
+            Transport::Threads { .. } => 0,
+            Transport::Det { core } => {
+                if core.seed() == 0 {
+                    0
+                } else {
+                    splitmix64(core.seed() ^ (rank as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+                }
+            }
+        };
         Self {
             rank,
             size,
-            senders,
-            rx,
-            pending: VecDeque::new(),
+            transport,
             now: 0.0,
             loggp,
             topo,
@@ -83,7 +113,7 @@ impl RankCtx {
             stats: NetStats::default(),
             coll_seq: 0,
             subcomm_counter: 0,
-            abort,
+            perm_state,
         }
     }
 
@@ -105,13 +135,52 @@ impl RankCtx {
         self.now
     }
 
+    /// True when running under the deterministic scheduler.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self.transport, Transport::Det { .. })
+    }
+
+    /// A permutation of `0..n` that algorithms apply to any *semantically
+    /// order-free* loop over per-peer data (e.g. merging the blocks of an
+    /// all-to-all). Identity in threaded mode and for deterministic seed 0;
+    /// a seeded Fisher–Yates shuffle otherwise. This is the schedule
+    /// fuzzer's lever: a correct algorithm must produce identical results
+    /// for every permutation, because message delivery order between ranks
+    /// is never guaranteed.
+    pub fn delivery_order(&mut self, n: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.perm_state != 0 && n > 1 {
+            for i in (1..n).rev() {
+                self.perm_state = splitmix64(self.perm_state);
+                let j = (self.perm_state % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+        order
+    }
+
     /// Snapshot of the traffic counters so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
     }
 
-    pub(crate) fn into_stats(self) -> (NetStats, f64) {
-        (self.stats, self.now)
+    /// Tear down, returning counters, final clock, and (threaded mode) any
+    /// envelopes that were delivered but never received — best-effort orphan
+    /// diagnostics as `(src, tag, seq)`. In deterministic mode the scheduler
+    /// core holds the authoritative orphan list.
+    pub(crate) fn into_parts(self) -> (NetStats, f64, Vec<(usize, Tag, u64)>) {
+        let leftovers = match self.transport {
+            Transport::Threads { rx, pending, .. } => pending
+                .into_iter()
+                .map(|e| (e.src, e.tag, e.seq))
+                .chain(rx.try_iter().map(|e| (e.src, e.tag, e.seq)))
+                .collect(),
+            Transport::Det { core } => {
+                core.finish(self.rank, self.now);
+                Vec::new()
+            }
+        };
+        (self.stats, self.now, leftovers)
     }
 
     pub(crate) fn bump_collective(&mut self) {
@@ -157,7 +226,10 @@ impl RankCtx {
         let bytes = payload.len() as u64;
         match class {
             TrafficClass::User => {
-                debug_assert!(tag < TAG_COLLECTIVE_BASE, "tag collides with collective space");
+                debug_assert!(
+                    tag < TAG_COLLECTIVE_BASE,
+                    "tag collides with collective space"
+                );
                 self.stats.user_msgs += 1;
                 self.stats.user_bytes += bytes;
             }
@@ -171,8 +243,27 @@ impl RankCtx {
         self.stats.comm_s += self.loggp.overhead;
         let hops = self.topo.hops(self.rank, dest);
         let arrive = self.now + self.loggp.transit(payload.len(), hops);
-        let env = Envelope { src: self.rank, tag, arrive, payload };
-        self.senders[dest].send(env).expect("peer rank hung up (panicked?)");
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrive,
+            seq: 0,
+            payload,
+        };
+        match &mut self.transport {
+            Transport::Threads { senders, seq, .. } => {
+                let mut env = env;
+                env.seq = *seq;
+                *seq += 1;
+                senders[dest]
+                    .send(env)
+                    .expect("peer rank hung up (panicked?)");
+            }
+            Transport::Det { core } => {
+                let core = Arc::clone(core);
+                core.deposit(self.rank, self.now, dest, env);
+            }
+        }
     }
 
     /// Send a raw byte payload to `dest` with `tag`.
@@ -186,39 +277,58 @@ impl RankCtx {
     }
 
     pub(crate) fn recv_bytes_class(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        // First look in the pending queue.
-        if let Some(idx) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
-            let env = self.pending.remove(idx).expect("index just found");
-            return self.consume(env);
-        }
-        // Otherwise pull from the channel, parking non-matching envelopes.
-        // Poll with a timeout so a fault elsewhere (abort flag) is noticed
-        // instead of waiting forever on a message that will never come.
-        loop {
-            match self.rx.recv_timeout(Duration::from_millis(5)) {
-                Ok(env) => {
-                    if env.src == src && env.tag == tag {
-                        return self.consume(env);
+        let env = match &mut self.transport {
+            Transport::Det { core } => {
+                let core = Arc::clone(core);
+                core.recv_match(self.rank, self.now, src, tag)
+            }
+            Transport::Threads {
+                rx, pending, abort, ..
+            } => {
+                // First look in the pending queue.
+                if let Some(idx) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                    pending.remove(idx).expect("index just found")
+                } else {
+                    // Otherwise pull from the channel, parking non-matching
+                    // envelopes. Poll with a timeout so a fault elsewhere
+                    // (abort flag) is noticed instead of waiting forever on
+                    // a message that will never come.
+                    loop {
+                        match rx.recv_timeout(Duration::from_millis(5)) {
+                            Ok(env) => {
+                                if env.src == src && env.tag == tag {
+                                    break env;
+                                }
+                                pending.push_back(env);
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if abort.load(Ordering::Acquire) {
+                                    panic!(
+                                        "rank {}: job aborted — another rank failed while this \
+                                         rank was waiting for ({src}, tag {tag})",
+                                        self.rank
+                                    );
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => {
+                                panic!(
+                                    "rank {}: all peers hung up while waiting for \
+                                     ({src}, tag {tag})",
+                                    self.rank
+                                );
+                            }
+                        }
                     }
-                    self.pending.push_back(env);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.abort.load(Ordering::Acquire) {
-                        panic!(
-                            "rank {}: job aborted — another rank failed while this rank \
-                             was waiting for ({src}, tag {tag})",
-                            self.rank
-                        );
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "rank {}: all peers hung up while waiting for ({src}, tag {tag})",
-                        self.rank
-                    );
                 }
             }
-        }
+        };
+        debug_assert!(
+            env.src == src && env.tag == tag,
+            "misrouted envelope: got (src {}, tag {:#x}), wanted (src {src}, tag {tag:#x})",
+            env.src,
+            env.tag
+        );
+        self.consume(env)
     }
 
     fn consume(&mut self, env: Envelope) -> Vec<u8> {

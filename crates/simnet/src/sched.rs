@@ -1,0 +1,356 @@
+//! Deterministic seeded scheduling of rank execution.
+//!
+//! In [`SchedMode::Threads`] the machine runs one free OS thread per rank and
+//! delivery interleavings are whatever the host scheduler produces. Results
+//! are still *value*-deterministic (receives match on `(src, tag)` and each
+//! stream is FIFO), but execution order is not replayable, a lost message
+//! hangs until the watchdog timeout, and nothing checks that every envelope
+//! was consumed.
+//!
+//! [`SchedMode::Deterministic`] serializes the job: exactly one rank runs at
+//! a time, holding an execution token that is handed off at every blocking
+//! point (a receive that cannot be satisfied yet, a seeded preemption on
+//! send, or rank completion). The next rank is always the *ready* rank with
+//! the minimum `(virtual_time, tie_break)` key, where `tie_break` is the rank
+//! id for seed 0 (the canonical schedule) or a seeded hash for fuzzing.
+//! Every envelope is stamped with a global sequence number at deposit time,
+//! so the delivery order is totally ordered by `(virtual_time, src, tag,
+//! seq)`: receives take the lowest-seq matching envelope, and within one
+//! `(src, tag)` stream sequence order equals virtual-arrival order because
+//! sender clocks are monotone. The same seed therefore replays the exact
+//! same schedule — byte-identical `NetStats`, superstep counts, and distance
+//! vectors — while different seeds explore different legal interleavings.
+//!
+//! The serialized scheduler also sees the whole job state, which buys two
+//! checks the threaded mode cannot do:
+//!
+//! * **Deadlock detection** — if no rank is runnable and not all are done,
+//!   the job aborts immediately with the full wait-for list instead of
+//!   hanging.
+//! * **Orphan detection** — at teardown, envelopes that were delivered but
+//!   never received (e.g. a message routed to the wrong rank) are reported
+//!   (see `Machine::run`, gated on `MachineConfig::debug_checks`).
+
+use crate::rank::{Envelope, Tag};
+use std::sync::{Condvar, Mutex};
+
+/// How the machine schedules rank execution and message delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// One free-running OS thread per rank (the historical default).
+    Threads,
+    /// Serialized seeded execution: replayable schedules, deadlock and
+    /// orphan detection, and seeded delivery-order fuzzing. Seed 0 is the
+    /// canonical schedule (lowest virtual time first, rank id tie-break);
+    /// other seeds permute tie-breaks, preemption points, and the orders
+    /// returned by `RankCtx::delivery_order`.
+    Deterministic {
+        /// Schedule seed. Same seed ⇒ byte-identical replay.
+        seed: u64,
+    },
+}
+
+impl SchedMode {
+    /// True if this is a deterministic mode.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, SchedMode::Deterministic { .. })
+    }
+}
+
+/// SplitMix64 — the tie-break / permutation hash used throughout the
+/// deterministic scheduler. Public within the crate so `RankCtx` can derive
+/// per-rank permutation streams from the same generator.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Status {
+    /// Runnable: may be granted the execution token.
+    Ready,
+    /// Parked in a receive that no deposited envelope matches yet.
+    Blocked { src: usize, tag: Tag },
+    /// The rank's closure returned.
+    Done,
+}
+
+struct Inner {
+    /// Rank currently holding the execution token.
+    current: usize,
+    status: Vec<Status>,
+    /// Per-receiver undelivered envelopes, in deposit (sequence) order.
+    mailbox: Vec<Vec<Envelope>>,
+    /// Last reported virtual clock of each rank (refreshed at yield points);
+    /// the primary sort key for granting the token.
+    vtime: Vec<f64>,
+    /// Global deposit counter: stamps `Envelope::seq`.
+    next_seq: u64,
+    /// Scheduling-decision counter, mixed into seeded tie-breaks.
+    step: u64,
+    /// Set on rank panic or detected deadlock; wakes and fails all waiters.
+    aborted: bool,
+    /// Diagnostic attached to the abort (deadlock wait-for list).
+    fail_msg: Option<String>,
+}
+
+/// Shared state of one deterministic job. One instance per `Machine::run`.
+pub(crate) struct SchedCore {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    seed: u64,
+}
+
+impl SchedCore {
+    /// Lock the scheduler state, ignoring poisoning: a panicking rank
+    /// poisons the mutex by design (fail-stop), and peers still need the
+    /// state to report clean abort diagnostics.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn new(ranks: usize, seed: u64) -> Self {
+        let mut inner = Inner {
+            current: 0,
+            status: vec![Status::Ready; ranks],
+            mailbox: (0..ranks).map(|_| Vec::new()).collect(),
+            vtime: vec![0.0; ranks],
+            next_seq: 0,
+            step: 0,
+            aborted: false,
+            fail_msg: None,
+        };
+        // Initial grant: all ranks are ready at virtual time zero, so the
+        // tie-break alone decides who starts.
+        inner.current = pick_next(&mut inner, seed).expect("at least one rank is ready");
+        SchedCore {
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+            seed,
+        }
+    }
+
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Block until `rank` is granted the execution token for the first time.
+    pub(crate) fn acquire(&self, rank: usize) {
+        let mut inner = self.lock();
+        while !inner.aborted && inner.current != rank {
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        if inner.aborted {
+            panic_aborted(&inner, rank, None);
+        }
+    }
+
+    /// Deposit `env` into `dest`'s mailbox, stamping the global sequence
+    /// number. With a non-zero seed this is also a potential preemption
+    /// point: the sender may yield the token so a woken receiver (or any
+    /// other ready rank) runs before the sender's next step.
+    pub(crate) fn deposit(&self, me: usize, now: f64, dest: usize, mut env: Envelope) {
+        let mut inner = self.lock();
+        debug_assert_eq!(inner.current, me, "send from a rank not holding the token");
+        inner.vtime[me] = now;
+        env.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if let Status::Blocked { src, tag } = inner.status[dest] {
+            if src == env.src && tag == env.tag {
+                inner.status[dest] = Status::Ready;
+            }
+        }
+        inner.mailbox[dest].push(env);
+
+        if self.seed != 0 {
+            inner.step += 1;
+            let coin = splitmix64(self.seed ^ inner.step.wrapping_mul(0xD134_2543_DE82_EF95));
+            if coin & 1 == 0 {
+                // Yield while staying ready; the grant key decides who runs.
+                self.yield_token(inner, me);
+            }
+        }
+    }
+
+    /// Take the lowest-sequence envelope matching `(src, tag)` from `rank`'s
+    /// mailbox, parking the rank (and handing off the token) until one is
+    /// available. Detects deadlock if parking leaves no rank runnable.
+    pub(crate) fn recv_match(&self, rank: usize, now: f64, src: usize, tag: Tag) -> Envelope {
+        let mut inner = self.lock();
+        inner.vtime[rank] = now;
+        loop {
+            if inner.aborted {
+                panic_aborted(&inner, rank, Some((src, tag)));
+            }
+            if let Some(i) = inner.mailbox[rank]
+                .iter()
+                .position(|e| e.src == src && e.tag == tag)
+            {
+                return inner.mailbox[rank].remove(i);
+            }
+            inner.status[rank] = Status::Blocked { src, tag };
+            match pick_next(&mut inner, self.seed) {
+                Some(next) => {
+                    inner.current = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    // No rank is runnable and this one just blocked: the job
+                    // can never make progress again.
+                    let msg = deadlock_report(&inner);
+                    inner.aborted = true;
+                    inner.fail_msg = Some(msg.clone());
+                    self.cv.notify_all();
+                    panic!("{msg}");
+                }
+            }
+            while !inner.aborted && inner.current != rank {
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Mark `rank`'s closure as finished and hand the token onward. If every
+    /// remaining rank is blocked, raise the deadlock abort (the blocked
+    /// ranks themselves panic with the diagnostic).
+    pub(crate) fn finish(&self, rank: usize, now: f64) {
+        let mut inner = self.lock();
+        inner.vtime[rank] = now;
+        inner.status[rank] = Status::Done;
+        match pick_next(&mut inner, self.seed) {
+            Some(next) => {
+                inner.current = next;
+                self.cv.notify_all();
+            }
+            None => {
+                if inner
+                    .status
+                    .iter()
+                    .any(|s| matches!(s, Status::Blocked { .. }))
+                    && !inner.aborted
+                {
+                    inner.aborted = true;
+                    inner.fail_msg = Some(deadlock_report(&inner));
+                }
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Raise the abort flag (rank panic propagation) and wake all waiters.
+    pub(crate) fn abort_all(&self) {
+        let mut inner = self.lock();
+        inner.aborted = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.lock().aborted
+    }
+
+    /// `(dest, src, tag, seq)` of every deposited-but-never-received
+    /// envelope. Non-empty at teardown means a message was misrouted or a
+    /// receive was forgotten.
+    pub(crate) fn orphans(&self) -> Vec<(usize, usize, Tag, u64)> {
+        let inner = self.lock();
+        let mut out = Vec::new();
+        for (dest, mbox) in inner.mailbox.iter().enumerate() {
+            for env in mbox {
+                out.push((dest, env.src, env.tag, env.seq));
+            }
+        }
+        out.sort_unstable_by_key(|&(.., seq)| seq);
+        out
+    }
+
+    /// Yield the token while staying ready, then wait to be re-granted.
+    fn yield_token<'a>(&'a self, mut inner: std::sync::MutexGuard<'a, Inner>, me: usize) {
+        debug_assert_eq!(inner.status[me], Status::Ready);
+        if let Some(next) = pick_next(&mut inner, self.seed) {
+            inner.current = next;
+            self.cv.notify_all();
+            while !inner.aborted && inner.current != me {
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+            if inner.aborted {
+                panic_aborted(&inner, me, None);
+            }
+        }
+    }
+}
+
+/// Grant key: the ready rank with the minimum `(virtual_time, tie_break)`.
+/// Seed 0 tie-breaks by rank id — the canonical schedule. Other seeds hash
+/// `(seed, step, rank)` so equal-time ranks run in a seeded order.
+fn pick_next(inner: &mut Inner, seed: u64) -> Option<usize> {
+    inner.step += 1;
+    let step = inner.step;
+    let mut best: Option<(f64, u64, usize)> = None;
+    for (r, s) in inner.status.iter().enumerate() {
+        if *s != Status::Ready {
+            continue;
+        }
+        let tie = if seed == 0 {
+            r as u64
+        } else {
+            splitmix64(seed ^ step.wrapping_mul(0x9E6C_63D0_876A_68DD) ^ r as u64)
+        };
+        let key = (inner.vtime[r], tie, r);
+        if best.is_none_or(|(bt, btie, _)| (key.0, key.1) < (bt, btie)) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, r)| r)
+}
+
+fn deadlock_report(inner: &Inner) -> String {
+    let mut msg = String::from("deterministic scheduler deadlock: no rank can make progress; ");
+    let waits: Vec<String> = inner
+        .status
+        .iter()
+        .enumerate()
+        .filter_map(|(r, s)| match s {
+            Status::Blocked { src, tag } => {
+                Some(format!("rank {r} waits for (src {src}, tag {tag:#x})"))
+            }
+            _ => None,
+        })
+        .collect();
+    msg.push_str(&waits.join(", "));
+    msg
+}
+
+fn panic_aborted(inner: &Inner, rank: usize, waiting: Option<(usize, Tag)>) -> ! {
+    if let Some(msg) = &inner.fail_msg {
+        panic!("rank {rank}: {msg}");
+    }
+    match waiting {
+        Some((src, tag)) => panic!(
+            "rank {rank}: job aborted — another rank failed while this rank \
+             was waiting for ({src}, tag {tag})"
+        ),
+        None => panic!("rank {rank}: job aborted — another rank failed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_pure_and_spreads() {
+        // The replay guarantee depends on this function being pure.
+        assert_eq!(splitmix64(42), splitmix64(42));
+        let outs: std::collections::HashSet<u64> = (0..64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 64, "first 64 outputs must be distinct");
+    }
+
+    #[test]
+    fn sched_mode_flags() {
+        assert!(!SchedMode::Threads.is_deterministic());
+        assert!(SchedMode::Deterministic { seed: 7 }.is_deterministic());
+    }
+}

@@ -6,7 +6,7 @@
 //! components split compute from communication in the breakdown figure.
 
 /// Counters one rank accumulates over a run.
-#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetStats {
     /// Point-to-point messages sent by application code.
     pub user_msgs: u64,
@@ -38,6 +38,23 @@ impl NetStats {
         self.user_bytes + self.coll_bytes
     }
 
+    /// Render as a JSON object (the workspace is dependency-free, so JSON
+    /// output is hand-rolled; all fields are numeric and need no escaping).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"user_msgs\":{},\"user_bytes\":{},\"coll_msgs\":{},\"coll_bytes\":{},\
+             \"barriers\":{},\"collectives\":{},\"compute_s\":{},\"comm_s\":{}}}",
+            self.user_msgs,
+            self.user_bytes,
+            self.coll_msgs,
+            self.coll_bytes,
+            self.barriers,
+            self.collectives,
+            crate::stats::json_f64(self.compute_s),
+            crate::stats::json_f64(self.comm_s),
+        )
+    }
+
     /// Element-wise accumulate (for cross-rank aggregation).
     pub fn merge(&mut self, other: &NetStats) {
         self.user_msgs += other.user_msgs;
@@ -48,6 +65,16 @@ impl NetStats {
         self.collectives += other.collectives;
         self.compute_s += other.compute_s;
         self.comm_s += other.comm_s;
+    }
+}
+
+/// Format an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 

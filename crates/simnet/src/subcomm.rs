@@ -54,7 +54,12 @@ impl RankCtx {
             .expect("caller is a member of its own color group");
         // Groups born from the same split share a namespace safely: their
         // member sets are disjoint, so their messages can never meet.
-        SubComm { members, me: my_index, comm_id, seq: 0 }
+        SubComm {
+            members,
+            me: my_index,
+            comm_id,
+            seq: 0,
+        }
     }
 }
 
@@ -145,7 +150,7 @@ impl SubComm {
             let tag = self.tag(round);
             if let Some(v) = have.clone() {
                 let dest = me + step;
-                if me % (step * 2) == 0 && dest < p {
+                if me.is_multiple_of(step * 2) && dest < p {
                     self.send(ctx, dest, tag, &[v]);
                 }
             } else if me % (step * 2) == step {
@@ -193,7 +198,10 @@ impl SubComm {
         }
         self.next();
         ctx.bump_collective();
-        blocks.into_iter().map(|b| b.expect("ring covered group")).collect()
+        blocks
+            .into_iter()
+            .map(|b| b.expect("ring covered group"))
+            .collect()
     }
 
     /// Personalised all-to-all within the subgroup.
@@ -279,7 +287,10 @@ mod tests {
             (a, b, c)
         });
         // rows {0,1} {2,3}: sums 3, 7; cols {0,2} {1,3}: sums 4, 6
-        assert_eq!(rep.results, vec![(3, 4, 20), (3, 6, 20), (7, 4, 20), (7, 6, 20)]);
+        assert_eq!(
+            rep.results,
+            vec![(3, 4, 20), (3, 6, 20), (7, 4, 20), (7, 6, 20)]
+        );
     }
 
     #[test]
@@ -288,8 +299,9 @@ mod tests {
             let color = (ctx.rank() / 3) as u64;
             let mut g = ctx.split(color, ctx.rank() as u64);
             let gathered = g.allgatherv(ctx, &[ctx.rank() as u64]);
-            let out: Vec<Vec<u64>> =
-                (0..g.size()).map(|d| vec![(ctx.rank() * 10 + d) as u64]).collect();
+            let out: Vec<Vec<u64>> = (0..g.size())
+                .map(|d| vec![(ctx.rank() * 10 + d) as u64])
+                .collect();
             let exchanged = g.alltoallv(ctx, out);
             (gathered, exchanged)
         });

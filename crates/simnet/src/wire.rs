@@ -121,7 +121,12 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
 
     #[inline]
     fn read(buf: &[u8], pos: &mut usize) -> Option<Self> {
-        Some((A::read(buf, pos)?, B::read(buf, pos)?, C::read(buf, pos)?, D::read(buf, pos)?))
+        Some((
+            A::read(buf, pos)?,
+            B::read(buf, pos)?,
+            C::read(buf, pos)?,
+            D::read(buf, pos)?,
+        ))
     }
 }
 
@@ -138,9 +143,13 @@ pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
 /// of the record size or a record is malformed.
 pub fn decode_vec<T: Wire>(buf: &[u8]) -> Option<Vec<T>> {
     if T::SIZE == 0 {
-        return if buf.is_empty() { Some(Vec::new()) } else { None };
+        return if buf.is_empty() {
+            Some(Vec::new())
+        } else {
+            None
+        };
     }
-    if buf.len() % T::SIZE != 0 {
+    if !buf.len().is_multiple_of(T::SIZE) {
         return None;
     }
     let mut out = Vec::with_capacity(buf.len() / T::SIZE);

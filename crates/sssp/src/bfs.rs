@@ -102,7 +102,10 @@ pub fn distributed_bfs<P: VertexPartition>(
     let part = graph.part();
     let n_local = graph.local_vertices();
 
-    let mut res = DistBfs { level: vec![-1; n_local], parent: vec![BFS_NO_PARENT; n_local] };
+    let mut res = DistBfs {
+        level: vec![-1; n_local],
+        parent: vec![BFS_NO_PARENT; n_local],
+    };
     let mut stats = BfsStats::default();
     let mut frontier: Vec<u32> = Vec::new();
     let mut unexplored_arcs: u64 = graph.local_arcs() as u64;
@@ -117,8 +120,10 @@ pub fn distributed_bfs<P: VertexPartition>(
 
     let mut cur_level: i64 = 0;
     loop {
-        let f_arcs_local: u64 =
-            frontier.iter().map(|&v| graph.degree(v as usize) as u64).sum();
+        let f_arcs_local: u64 = frontier
+            .iter()
+            .map(|&v| graph.degree(v as usize) as u64)
+            .sum();
         let (f_size, f_arcs, unexplored) = ctx.allreduce(
             (frontier.len() as u64, f_arcs_local, unexplored_arcs),
             |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
@@ -211,8 +216,12 @@ pub fn distributed_bfs<P: VertexPartition>(
                 b.sort_unstable_by_key(|c| c.0);
                 b.dedup_by_key(|c| c.0);
             }
-            let incoming = ctx.alltoallv(out);
-            for block in incoming {
+            let mut incoming = ctx.alltoallv(out);
+            // Claims are applied in the (possibly fuzzed) delivery order;
+            // level assignment is first-claim-wins, so parents may differ
+            // across orders but levels never do.
+            let order = ctx.delivery_order(incoming.len());
+            for block in order.into_iter().map(|s| std::mem::take(&mut incoming[s])) {
                 for (v, parent) in block {
                     let l = part.to_local(v);
                     if res.level[l] < 0 {
@@ -225,8 +234,7 @@ pub fn distributed_bfs<P: VertexPartition>(
         }
 
         for &v in &next {
-            unexplored_arcs =
-                unexplored_arcs.saturating_sub(graph.degree(v as usize) as u64);
+            unexplored_arcs = unexplored_arcs.saturating_sub(graph.degree(v as usize) as u64);
         }
         frontier = next;
         cur_level += 1;
@@ -270,15 +278,18 @@ mod tests {
         let el = g500_gen::simple::path(10, 1.0);
         for dir in [Direction::Push, Direction::Pull, Direction::Hybrid] {
             let (level, parent, _) = run_bfs(&el, 10, 3, 0, dir);
-            assert_eq!(level, (0..10).map(|i| i as i64).collect::<Vec<_>>(), "{dir:?}");
+            assert_eq!(
+                level,
+                (0..10).map(|i| i as i64).collect::<Vec<_>>(),
+                "{dir:?}"
+            );
             assert_eq!(parent[5], 4);
         }
     }
 
     #[test]
     fn bfs_tree_validates() {
-        let gen =
-            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 5));
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 5));
         let el = gen.generate_all();
         for dir in [Direction::Push, Direction::Pull, Direction::Hybrid] {
             let (level, parent, _) = run_bfs(&el, 256, 4, 3, dir);
@@ -309,7 +320,10 @@ mod tests {
         // complete graph: level-1 frontier is (almost) everyone → bitmap
         let el = g500_gen::simple::complete(64, 1.0);
         let (_, _, stats) = run_bfs(&el, 64, 2, 0, Direction::Pull);
-        assert!(stats.bitmap_levels >= 1, "dense pull should pick the bitmap path");
+        assert!(
+            stats.bitmap_levels >= 1,
+            "dense pull should pick the bitmap path"
+        );
     }
 
     #[test]
@@ -317,7 +331,10 @@ mod tests {
         // long path: frontiers of size 1 → id list, never bitmap
         let el = g500_gen::simple::path(128, 1.0);
         let (_, _, stats) = run_bfs(&el, 128, 2, 0, Direction::Pull);
-        assert_eq!(stats.bitmap_levels, 0, "singleton frontiers must not pay n-bit broadcasts");
+        assert_eq!(
+            stats.bitmap_levels, 0,
+            "singleton frontiers must not pay n-bit broadcasts"
+        );
         assert!(stats.pull_levels > 100);
     }
 

@@ -24,8 +24,16 @@ pub struct BucketQueue {
 impl BucketQueue {
     /// New queue with bucket width `delta`.
     pub fn new(delta: Weight) -> Self {
-        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
-        Self { delta, buckets: Vec::new(), cursor: 0, entries: 0 }
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "delta must be positive and finite"
+        );
+        Self {
+            delta,
+            buckets: Vec::new(),
+            cursor: 0,
+            entries: 0,
+        }
     }
 
     /// Bucket width.

@@ -116,8 +116,9 @@ mod tests {
     #[test]
     fn compression_beats_raw_on_clustered_targets() {
         // targets in one rank's contiguous range — the realistic case
-        let updates: Vec<Update> =
-            (0..1000u64).map(|i| (100_000 + i * 3, 0.5, 77_000 + i)).collect();
+        let updates: Vec<Update> = (0..1000u64)
+            .map(|i| (100_000 + i * 3, 0.5, 77_000 + i))
+            .collect();
         let enc = encode_updates(&updates, true);
         let raw = updates.len() * 20;
         assert!(
@@ -143,7 +144,12 @@ mod tests {
 
     #[test]
     fn dedup_keeps_min_per_target() {
-        let mut u = vec![(7u64, 0.75f32, 3u64), (5, 0.5, 100), (7, 0.25, 2), (7, 0.9, 4)];
+        let mut u = vec![
+            (7u64, 0.75f32, 3u64),
+            (5, 0.5, 100),
+            (7, 0.25, 2),
+            (7, 0.9, 4),
+        ];
         let removed = dedup_min(&mut u);
         assert_eq!(removed, 2);
         assert_eq!(u, vec![(5, 0.5, 100), (7, 0.25, 2)]);

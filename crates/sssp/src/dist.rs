@@ -32,7 +32,7 @@ use simnet::RankCtx;
 use std::collections::HashMap;
 
 /// Per-bucket phase timing record (for the breakdown figure F4).
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PhaseRecord {
     /// Bucket index.
     pub bucket: u64,
@@ -46,7 +46,7 @@ pub struct PhaseRecord {
 
 /// Counters one run of the distributed kernel produces (per rank; counts
 /// like `supersteps` are identical on every rank by construction).
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SsspRunStats {
     /// Global communication rounds (inner light iterations + heavy phases
     /// + fused-tail rounds).
@@ -73,6 +73,53 @@ pub struct SsspRunStats {
     pub comm_s: f64,
     /// Per-bucket phases (only when `OptConfig::record_phases`).
     pub phases: Vec<PhaseRecord>,
+}
+
+impl PhaseRecord {
+    /// Render as a JSON object (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bucket\":{},\"frontier\":{},\"compute_s\":{},\"comm_s\":{}}}",
+            self.bucket,
+            self.frontier,
+            json_f64(self.compute_s),
+            json_f64(self.comm_s)
+        )
+    }
+}
+
+impl SsspRunStats {
+    /// Render as a JSON object (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self.phases.iter().map(|p| p.to_json()).collect();
+        format!(
+            "{{\"supersteps\":{},\"buckets\":{},\"relaxations\":{},\"updates_sent\":{},\
+             \"updates_offered\":{},\"push_iterations\":{},\"pull_iterations\":{},\
+             \"tail_fused\":{},\"sim_time_s\":{},\"compute_s\":{},\"comm_s\":{},\
+             \"phases\":[{}]}}",
+            self.supersteps,
+            self.buckets,
+            self.relaxations,
+            self.updates_sent,
+            self.updates_offered,
+            self.push_iterations,
+            self.pull_iterations,
+            self.tail_fused,
+            json_f64(self.sim_time_s),
+            json_f64(self.compute_s),
+            json_f64(self.comm_s),
+            phases.join(",")
+        )
+    }
+}
+
+/// `f64` → JSON number (`null` when non-finite).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Working state threaded through the phases.
@@ -175,8 +222,10 @@ impl<P: VertexPartition> Kernel<'_, P> {
             // ---- light-edge inner loop ----
             loop {
                 let frontier = self.collect_frontier(k as usize);
-                let f_arcs_local: u64 =
-                    frontier.iter().map(|&v| self.graph.degree(v as usize) as u64).sum();
+                let f_arcs_local: u64 = frontier
+                    .iter()
+                    .map(|&v| self.graph.degree(v as usize) as u64)
+                    .sum();
                 let (f_size, f_arcs, unsettled) = ctx.allreduce(
                     (frontier.len() as u64, f_arcs_local, self.unsettled_arcs),
                     |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
@@ -194,9 +243,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 let use_pull = match self.opts.direction {
                     Direction::Push => false,
                     Direction::Pull => true,
-                    Direction::Hybrid => {
-                        f_arcs as f64 * self.opts.pull_ratio > unsettled as f64
-                    }
+                    Direction::Hybrid => f_arcs as f64 * self.opts.pull_ratio > unsettled as f64,
                 };
                 if use_pull {
                     self.stats.pull_iterations += 1;
@@ -233,9 +280,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
                     |a, b| (a.0 + b.0, a.1 + b.1),
                 );
                 let bulk_done = relaxed * 2 > self.graph.global_arcs();
-                if active > 0
-                    && active < self.opts.tail_threshold * ctx.size() as u64
-                    && bulk_done
+                if active > 0 && active < self.opts.tail_threshold * ctx.size() as u64 && bulk_done
                 {
                     self.fused_tail(ctx);
                     self.stats.tail_fused = true;
@@ -261,8 +306,9 @@ impl<P: VertexPartition> Kernel<'_, P> {
         for &v in &out {
             if !self.unsettled_mark[v as usize] {
                 self.unsettled_mark[v as usize] = true;
-                self.unsettled_arcs =
-                    self.unsettled_arcs.saturating_sub(self.graph.degree(v as usize) as u64);
+                self.unsettled_arcs = self
+                    .unsettled_arcs
+                    .saturating_sub(self.graph.degree(v as usize) as u64);
             }
         }
         out
@@ -355,12 +401,20 @@ impl<P: VertexPartition> Kernel<'_, P> {
         let graph = self.graph;
         let mine: Vec<(u64, f32)> = frontier
             .iter()
-            .map(|&v| (graph.part().to_global(me, v as usize), self.sp.dist[v as usize]))
+            .map(|&v| {
+                (
+                    graph.part().to_global(me, v as usize),
+                    self.sp.dist[v as usize],
+                )
+            })
             .collect();
         let blocks = ctx.allgatherv(&mine);
+        // Min-merge the per-rank frontier blocks in the (possibly fuzzed)
+        // delivery order — the min makes the merge order-free.
+        let order = ctx.delivery_order(blocks.len());
         let mut fmap: HashMap<u64, f32> = HashMap::new();
-        for block in &blocks {
-            for &(v, d) in block {
+        for s in order {
+            for &(v, d) in &blocks[s] {
                 fmap.entry(v).and_modify(|e| *e = e.min(d)).or_insert(d);
             }
         }
@@ -582,8 +636,7 @@ mod tests {
 
     #[test]
     fn kronecker_exactness() {
-        let gen =
-            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 42));
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 42));
         let el = gen.generate_all();
         let oracle = exact(&el, 256, 5);
         let (sp, stats) = run_dist(&el, 256, 4, 5, OptConfig::all_on());
@@ -627,8 +680,7 @@ mod tests {
 
     #[test]
     fn dedup_reduces_shipped_updates() {
-        let gen =
-            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 4));
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 4));
         let el = gen.generate_all();
         let (_, with) = run_dist(&el, 512, 4, 0, OptConfig::all_on());
         let (_, without) = run_dist(&el, 512, 4, 0, OptConfig::all_on().without_dedup());

@@ -115,7 +115,11 @@ impl Grid2DSssp {
         let col_comm = ctx.split(side as u64 + col as u64, row as u64);
 
         // Diagonal ranks own the state of their block.
-        let state_n = if row == col { blocks.local_count(row) } else { 0 };
+        let state_n = if row == col {
+            blocks.local_count(row)
+        } else {
+            0
+        };
         Grid2DSssp {
             side,
             row,
@@ -210,13 +214,22 @@ impl Grid2DSssp {
     ) {
         // 1. row broadcast: only the diagonal member contributes
         let mine: Vec<(u64, f32)> = if self.is_diag() {
-            frontier.iter().map(|&l| (l as u64, self.dist[l as usize])).collect()
+            frontier
+                .iter()
+                .map(|&l| (l as u64, self.dist[l as usize]))
+                .collect()
         } else {
             Vec::new()
         };
         stats.frontier_records += mine.len() as u64 * (self.side as u64 - 1);
-        let blocks_in = self.row_comm.allgatherv(ctx, &mine);
-        let active: Vec<(u64, f32)> = blocks_in.into_iter().flatten().collect();
+        let mut blocks_in = self.row_comm.allgatherv(ctx, &mine);
+        // Flatten in the (possibly fuzzed) delivery order; relaxation below
+        // min-aggregates, so the order cannot change distances.
+        let order = ctx.delivery_order(blocks_in.len());
+        let active: Vec<(u64, f32)> = order
+            .into_iter()
+            .flat_map(|s| std::mem::take(&mut blocks_in[s]))
+            .collect();
 
         // 2. local relax: candidates per global target, min-aggregated
         let mut best: HashMap<u64, (f32, u64)> = HashMap::new();
@@ -242,8 +255,7 @@ impl Grid2DSssp {
 
         // 3. column reduce: ship candidates to the diagonal rank of my
         // column (sub-rank == col index within the column communicator)
-        let mut col_out: Vec<Vec<(u64, f32, u64)>> =
-            vec![Vec::new(); self.col_comm.size()];
+        let mut col_out: Vec<Vec<(u64, f32, u64)>> = vec![Vec::new(); self.col_comm.size()];
         let diag_sub = self.col; // in column c, the diagonal is grid row c
         col_out[diag_sub] = best.into_iter().map(|(v, (d, par))| (v, d, par)).collect();
         stats.update_records += col_out[diag_sub].len() as u64;
@@ -252,8 +264,10 @@ impl Grid2DSssp {
 
         // 4. apply on the diagonal
         if self.is_diag() {
+            let mut incoming = incoming;
+            let order = ctx.delivery_order(incoming.len());
             let mut applied = 0u64;
-            for block in incoming {
+            for block in order.into_iter().map(|s| std::mem::take(&mut incoming[s])) {
                 for (v, nd, par) in block {
                     applied += 1;
                     let l = self.blocks.to_local(v);
@@ -298,7 +312,13 @@ mod tests {
     use g500_baselines::dijkstra;
     use simnet::{Machine, MachineConfig};
 
-    fn run_2d(el: &EdgeList, n: u64, p: usize, root: u64, delta: f32) -> (ShortestPaths, Sssp2DStats) {
+    fn run_2d(
+        el: &EdgeList,
+        n: u64,
+        p: usize,
+        root: u64,
+        delta: f32,
+    ) -> (ShortestPaths, Sssp2DStats) {
         Machine::new(MachineConfig::with_ranks(p))
             .run(|ctx| {
                 let m = el.len();
@@ -332,8 +352,7 @@ mod tests {
 
     #[test]
     fn matches_on_kronecker() {
-        let gen =
-            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 6));
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 6));
         let el = gen.generate_all();
         let exact = oracle(&el, 256, 1);
         let (sp, stats) = run_2d(&el, 256, 4, 1, 0.125);

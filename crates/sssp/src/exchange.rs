@@ -39,8 +39,10 @@ pub fn exchange_updates(
 ) -> (Vec<Update>, ExchangeOutcome) {
     let p = ctx.size();
     assert_eq!(out.len(), p);
-    let mut outcome = ExchangeOutcome::default();
-    outcome.records_offered = out.iter().map(|b| b.len() as u64).sum();
+    let mut outcome = ExchangeOutcome {
+        records_offered: out.iter().map(|b| b.len() as u64).sum(),
+        ..Default::default()
+    };
 
     if opts.dedup {
         let mut work = 0u64;
@@ -57,12 +59,16 @@ pub fn exchange_updates(
         exchange_one_message_per_update(ctx, out)
     } else if opts.compression {
         // encode per destination; sortedness comes from dedup when enabled
-        let enc: Vec<Vec<u8>> =
-            out.iter().map(|b| encode_updates(b, opts.dedup)).collect();
+        let enc: Vec<Vec<u8>> = out.iter().map(|b| encode_updates(b, opts.dedup)).collect();
         ctx.charge_compute(outcome.records_sent);
-        let blocks = ctx.alltoallv(enc);
+        let mut blocks = ctx.alltoallv(enc);
+        // Apply per-source blocks in the (possibly fuzzed) delivery order:
+        // min-relaxation makes the merge order-free, and the schedule fuzzer
+        // verifies exactly that by permuting it.
+        let order = ctx.delivery_order(blocks.len());
         let mut all = Vec::new();
-        for block in blocks {
+        for s in order {
+            let block = std::mem::take(&mut blocks[s]);
             let mut dec =
                 decode_updates(&block).expect("self-produced update encoding is well-formed");
             ctx.charge_compute(dec.len() as u64);
@@ -70,8 +76,12 @@ pub fn exchange_updates(
         }
         all
     } else {
-        let blocks = ctx.alltoallv(out);
-        blocks.into_iter().flatten().collect()
+        let mut blocks = ctx.alltoallv(out);
+        let order = ctx.delivery_order(blocks.len());
+        order
+            .into_iter()
+            .flat_map(|s| std::mem::take(&mut blocks[s]))
+            .collect()
     };
 
     outcome.records_received = incoming.len() as u64;
@@ -97,11 +107,14 @@ fn exchange_one_message_per_update(ctx: &mut RankCtx, out: Vec<Vec<Update>>) -> 
             }
         }
     }
-    for (s, c) in counts_in.iter().enumerate() {
+    // Drain peers in the (possibly fuzzed) delivery order; each per-sender
+    // stream stays FIFO, but the interleave across senders is order-free.
+    let order = ctx.delivery_order(counts_in.len());
+    for s in order {
         if s == me {
             continue;
         }
-        for _ in 0..c[0] {
+        for _ in 0..counts_in[s][0] {
             incoming.push(ctx.recv_one::<Update>(s, TAG_SINGLE_UPDATE));
         }
     }
@@ -193,9 +206,7 @@ mod tests {
             Machine::new(MachineConfig::with_ranks(2))
                 .run(move |ctx| {
                     let out: Vec<Vec<Update>> = (0..2)
-                        .map(|d| {
-                            (0..500u64).map(|i| (d * 1000 + i, 0.25, 42)).collect()
-                        })
+                        .map(|d| (0..500u64).map(|i| (d * 1000 + i, 0.25, 42)).collect())
                         .collect();
                     exchange_updates(ctx, out, &opts);
                     ctx.stats().total_bytes()

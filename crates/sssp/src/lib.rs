@@ -28,7 +28,6 @@
 //!     profile instead of a magic constant.
 #![warn(missing_docs)]
 
-
 pub mod bfs;
 pub mod bucket;
 pub mod codec;

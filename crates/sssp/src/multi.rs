@@ -80,7 +80,10 @@ pub fn multi_source_delta_stepping<P: VertexPartition>(
             let l = part.to_local(root);
             dist[s][l] = 0.0;
             parent[s][l] = root;
-            elems.push(Elem { source: s as u32, local: l as u32 });
+            elems.push(Elem {
+                source: s as u32,
+                local: l as u32,
+            });
             buckets.insert(elems.len() as u32 - 1, 0.0);
         }
     }
@@ -128,9 +131,7 @@ pub fn multi_source_delta_stepping<P: VertexPartition>(
 
             // coalesced exchange with per-(source, target) dedup
             for b in out.iter_mut() {
-                b.sort_unstable_by(|a, b| {
-                    (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
-                });
+                b.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
                 b.dedup_by_key(|u| (u.0, u.1));
             }
             stats.updates_sent += out.iter().map(|b| b.len() as u64).sum::<u64>();
@@ -141,7 +142,15 @@ pub fn multi_source_delta_stepping<P: VertexPartition>(
                 ctx.charge_compute(block.len() as u64);
                 for (s, v, nd, par) in block {
                     apply(
-                        part, &mut dist, &mut parent, &mut elems, &mut buckets, s, v, nd, par,
+                        part,
+                        &mut dist,
+                        &mut parent,
+                        &mut elems,
+                        &mut buckets,
+                        s,
+                        v,
+                        nd,
+                        par,
                     );
                 }
             }
@@ -173,7 +182,17 @@ pub fn multi_source_delta_stepping<P: VertexPartition>(
         for block in incoming {
             ctx.charge_compute(block.len() as u64);
             for (s, v, nd, par) in block {
-                apply(part, &mut dist, &mut parent, &mut elems, &mut buckets, s, v, nd, par);
+                apply(
+                    part,
+                    &mut dist,
+                    &mut parent,
+                    &mut elems,
+                    &mut buckets,
+                    s,
+                    v,
+                    nd,
+                    par,
+                );
             }
         }
     }
@@ -197,7 +216,10 @@ fn apply<P: VertexPartition>(
     if nd < dist[s as usize][l] {
         dist[s as usize][l] = nd;
         parent[s as usize][l] = par;
-        elems.push(Elem { source: s, local: l as u32 });
+        elems.push(Elem {
+            source: s,
+            local: l as u32,
+        });
         buckets.insert(elems.len() as u32 - 1, nd);
     }
 }
@@ -246,8 +268,7 @@ mod tests {
     #[test]
     fn batching_amortizes_supersteps() {
         // B sequential runs pay ~B× the supersteps of one batched run
-        let gen =
-            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 8));
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 8));
         let el = gen.generate_all();
         let n = 512u64;
         let roots = [1u64, 3, 5, 7, 11, 13, 17, 19];
@@ -289,8 +310,11 @@ mod tests {
             };
             let g = assemble_local_graph(ctx, mine.into_iter(), part);
             let (md, _) = multi_source_delta_stepping(ctx, &g, &[0], 0.5);
-            g500_partition::DistShortestPaths { dist: md.dist[0].clone(), parent: md.parent[0].clone() }
-                .gather_to_all(ctx, g.part())
+            g500_partition::DistShortestPaths {
+                dist: md.dist[0].clone(),
+                parent: md.parent[0].clone(),
+            }
+            .gather_to_all(ctx, g.part())
         });
         assert!(rep.results[0].distances_match(&oracle, 1e-5));
     }

@@ -18,8 +18,9 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 /// Shared-memory parallel delta-stepping from `root` with width `delta`.
 pub fn parallel_delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> ShortestPaths {
     let n = graph.num_vertices();
-    let dist: Vec<AtomicU32> =
-        (0..n).map(|_| AtomicU32::new(weight_to_bits(f32::INFINITY))).collect();
+    let dist: Vec<AtomicU32> = (0..n)
+        .map(|_| AtomicU32::new(weight_to_bits(f32::INFINITY)))
+        .collect();
     let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
     dist[root as usize].store(weight_to_bits(0.0), Ordering::Relaxed);
     parent[root as usize].store(root, Ordering::Relaxed);
@@ -88,7 +89,10 @@ pub fn parallel_delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> Sh
     }
 
     ShortestPaths {
-        dist: dist.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+        dist: dist
+            .into_iter()
+            .map(|a| f32::from_bits(a.into_inner()))
+            .collect(),
         parent: parent.into_iter().map(AtomicU64::into_inner).collect(),
     }
 }

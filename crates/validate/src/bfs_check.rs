@@ -53,8 +53,7 @@ pub fn validate_bfs(
         if level[p as usize] != level[v] - 1 {
             errors.push(format!(
                 "vertex {v} at level {} has parent {p} at level {}",
-                level[v],
-                level[p as usize]
+                level[v], level[p as usize]
             ));
         }
         if !csr.neighbors(p as usize).contains(&(v as u64)) {

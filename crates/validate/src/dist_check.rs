@@ -101,7 +101,7 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
     let part = graph.part();
     let n_local = graph.local_vertices();
     let mut errors: Vec<String> = Vec::new();
-    let mut err = |errors: &mut Vec<String>, e: String| {
+    let err = |errors: &mut Vec<String>, e: String| {
         if errors.len() < 8 {
             errors.push(e);
         }
@@ -129,12 +129,7 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
     }
 
     // ---- ghost distances for everything my edge slice touches ----
-    let ghosts = fetch_ghost_dists(
-        ctx,
-        part,
-        sp,
-        my_edges.iter().flat_map(|e| [e.u, e.v]),
-    );
+    let ghosts = fetch_ghost_dists(ctx, part, sp, my_edges.iter().flat_map(|e| [e.u, e.v]));
     let dist_of = |v: VertexId| -> f32 { ghosts.get(&v).copied().unwrap_or(INF_WEIGHT) };
 
     // ---- rule 5 + boundary rule + traversed count over my edge slice ----
@@ -146,7 +141,10 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
             traversed_local += 1;
         }
         if ru != rv {
-            err(&mut errors, format!("edge ({}, {}) spans boundary", e.u, e.v));
+            err(
+                &mut errors,
+                format!("edge ({}, {}) spans boundary", e.u, e.v),
+            );
         } else if ru && (du - dv).abs() > e.w + tol(du, dv) {
             err(
                 &mut errors,
@@ -220,9 +218,9 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
             certified[part.to_local(v)] = true;
         }
     }
-    for l in 0..n_local {
+    for (l, &cert) in certified.iter().enumerate() {
         let v_global = part.to_global(me, l);
-        if sp.dist[l].is_finite() && v_global != root && !certified[l] {
+        if sp.dist[l].is_finite() && v_global != root && !cert {
             err(
                 &mut errors,
                 format!("vertex {v_global}: no tree edge certifies its parent/dist"),
@@ -240,7 +238,13 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
     let n_global = part.num_vertices().max(2);
     let rounds = 64 - (n_global - 1).leading_zeros() + 1;
     let mut anc: Vec<u64> = (0..n_local)
-        .map(|l| if sp.dist[l].is_finite() { sp.parent[l] } else { NO_PARENT })
+        .map(|l| {
+            if sp.dist[l].is_finite() {
+                sp.parent[l]
+            } else {
+                NO_PARENT
+            }
+        })
         .collect();
     for _ in 0..rounds {
         let mut req: Vec<Vec<u64>> = vec![Vec::new(); p];
@@ -264,8 +268,7 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
                     .collect()
             })
             .collect();
-        let jump: HashMap<u64, u64> =
-            ctx.alltoallv(replies).into_iter().flatten().collect();
+        let jump: HashMap<u64, u64> = ctx.alltoallv(replies).into_iter().flatten().collect();
         ctx.charge_compute(anc.len() as u64);
         for a in anc.iter_mut() {
             if *a != NO_PARENT && *a != root {
@@ -289,7 +292,12 @@ pub fn distributed_validate_sssp<P: VertexPartition>(
     let reached = ctx.allreduce_sum(sp.reached_local());
     let traversed_edges = ctx.allreduce_sum(traversed_local);
     let ok = ctx.allreduce_and(errors.is_empty());
-    DistValidation { ok, errors, reached, traversed_edges }
+    DistValidation {
+        ok,
+        errors,
+        reached,
+        traversed_edges,
+    }
 }
 
 #[cfg(test)]
@@ -301,9 +309,7 @@ mod tests {
 
     /// Run SSSP-by-hand (correct dist/parent laid out distributedly) and
     /// validate; optionally corrupt one rank's state first.
-    fn validate_path(
-        corrupt: impl Fn(usize, &mut DistShortestPaths) + Sync,
-    ) -> (bool, u64, u64) {
+    fn validate_path(corrupt: impl Fn(usize, &mut DistShortestPaths) + Sync) -> (bool, u64, u64) {
         let el = g500_gen::simple::path(9, 0.5);
         let p = 3;
         let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
@@ -376,8 +382,7 @@ mod tests {
 
     #[test]
     fn agrees_with_real_kernel_on_kronecker() {
-        let gen =
-            g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 12));
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(8, 12));
         let el: EdgeList = gen.generate_all();
         let p = 4;
         let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {

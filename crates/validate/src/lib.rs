@@ -13,7 +13,6 @@
 //!   block the benchmark reports.
 #![warn(missing_docs)]
 
-
 pub mod bfs_check;
 pub mod dist_check;
 pub mod sssp_check;

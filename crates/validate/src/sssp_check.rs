@@ -74,19 +74,20 @@ pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationRe
 
     // Rule 1: root.
     if res.dist[res.root as usize] != 0.0 {
-        err(format!("root distance is {} not 0", res.dist[res.root as usize]), &mut errors);
+        err(
+            format!("root distance is {} not 0", res.dist[res.root as usize]),
+            &mut errors,
+        );
     }
     if res.parent[res.root as usize] != res.root {
         err("root is not its own parent".into(), &mut errors);
     }
 
     // Rule 2a: dist and parent agree on reachability.
-    let reached_v: Vec<bool> = (0..n)
-        .map(|v| res.dist[v] < INF_WEIGHT)
-        .collect();
-    for v in 0..n {
+    let reached_v: Vec<bool> = (0..n).map(|v| res.dist[v] < INF_WEIGHT).collect();
+    for (v, &reached) in reached_v.iter().enumerate() {
         let has_parent = res.parent[v] != NO_PARENT;
-        if reached_v[v] != has_parent {
+        if reached != has_parent {
             err(
                 format!(
                     "vertex {v}: dist {} but parent {}",
@@ -97,7 +98,10 @@ pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationRe
             );
         }
         if res.dist[v] < 0.0 {
-            err(format!("vertex {v}: negative distance {}", res.dist[v]), &mut errors);
+            err(
+                format!("vertex {v}: negative distance {}", res.dist[v]),
+                &mut errors,
+            );
         }
     }
 
@@ -131,7 +135,10 @@ pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationRe
             v = p;
         };
         if verdict == 2 {
-            err(format!("vertex {v0}: parent chain does not reach the root"), &mut errors);
+            err(
+                format!("vertex {v0}: parent chain does not reach the root"),
+                &mut errors,
+            );
         }
         for c in chain {
             state[c] = verdict;
@@ -140,8 +147,8 @@ pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationRe
 
     // Build a CSR for tree-edge lookup (rule 4).
     let csr = Csr::from_edges(n, edges, Directedness::Undirected);
-    for v in 0..n {
-        if !reached_v[v] || v as u64 == res.root {
+    for (v, &reached) in reached_v.iter().enumerate() {
+        if !reached || v as u64 == res.root {
             continue;
         }
         let p = res.parent[v];
@@ -178,7 +185,10 @@ pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationRe
         }
         if ru != rv {
             err(
-                format!("edge ({}, {}) spans the reached/unreached boundary", e.u, e.v),
+                format!(
+                    "edge ({}, {}) spans the reached/unreached boundary",
+                    e.u, e.v
+                ),
                 &mut errors,
             );
             continue;
@@ -198,7 +208,12 @@ pub fn validate_sssp(n: u64, edges: &EdgeList, res: &SsspResult) -> ValidationRe
     }
 
     let reached = reached_v.iter().filter(|&&r| r).count() as u64;
-    ValidationReport { ok: errors.is_empty(), errors, reached, traversed_edges: traversed }
+    ValidationReport {
+        ok: errors.is_empty(),
+        errors,
+        reached,
+        traversed_edges: traversed,
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +316,11 @@ mod tests {
             WEdge::new(0, 1, 0.3),
             WEdge::new(1, 1, 0.2), // self-loop must be ignored gracefully
         ]);
-        let res = SsspResult { root: 0, dist: vec![0.0, 0.3], parent: vec![0, 0] };
+        let res = SsspResult {
+            root: 0,
+            dist: vec![0.0, 0.3],
+            parent: vec![0, 0],
+        };
         let rep = validate_sssp(2, &el, &res);
         assert!(rep.ok, "{:?}", rep.errors);
         assert_eq!(rep.traversed_edges, 3);

@@ -11,11 +11,14 @@ use g500_graph::EdgeList;
 /// TEPS numerator per the specification (self-loops and duplicates count,
 /// exactly as generated).
 pub fn count_traversed_edges(edges: &EdgeList, reached: impl Fn(u64) -> bool) -> u64 {
-    edges.iter().filter(|e| reached(e.u) || reached(e.v)).count() as u64
+    edges
+        .iter()
+        .filter(|e| reached(e.u) || reached(e.v))
+        .count() as u64
 }
 
 /// Distribution summary of per-root TEPS samples.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TepsSummary {
     /// Number of (validated) runs.
     pub runs: usize,
@@ -65,6 +68,29 @@ impl TepsSummary {
             harmonic_mean,
             mean,
         }
+    }
+
+    /// Render as a JSON object (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let f = |x: f64| {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        };
+        format!(
+            "{{\"runs\":{},\"min\":{},\"q1\":{},\"median\":{},\"q3\":{},\"max\":{},\
+             \"harmonic_mean\":{},\"mean\":{}}}",
+            self.runs,
+            f(self.min),
+            f(self.q1),
+            f(self.median),
+            f(self.q3),
+            f(self.max),
+            f(self.harmonic_mean),
+            f(self.mean)
+        )
     }
 
     /// Render the official-style output block.

@@ -104,7 +104,11 @@ fn main() {
             rounds = *r;
         }
         // isolated vertices label themselves → total components must match
-        assert_eq!(all.len(), truth.components, "distributed CC disagrees with union-find");
+        assert_eq!(
+            all.len(),
+            truth.components,
+            "distributed CC disagrees with union-find"
+        );
         println!(
             "{name:>9}: {} components in {rounds} rounds — {:.2} ms simulated, {:.1} MB moved",
             all.len(),

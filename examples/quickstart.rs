@@ -12,16 +12,17 @@ fn main() {
     let mut cfg = BenchmarkConfig::graph500(12, 4);
     cfg.num_roots = 8;
 
-    println!("running Graph500 SSSP: scale {}, {} ranks, {} roots…\n", cfg.scale, cfg.machine.ranks, cfg.num_roots);
+    println!(
+        "running Graph500 SSSP: scale {}, {} ranks, {} roots…\n",
+        cfg.scale, cfg.machine.ranks, cfg.num_roots
+    );
     let report = run_sssp_benchmark(&cfg);
 
     println!("{}", report.render());
     println!("all runs validated: {}", report.all_validated());
     println!(
         "simulated job time:  {:.3} ms  (host wall clock: {:.0} ms)",
-        (report.construction_time_s
-            + report.runs.iter().map(|r| r.sim_time_s).sum::<f64>())
-            * 1e3,
+        (report.construction_time_s + report.runs.iter().map(|r| r.sim_time_s).sum::<f64>()) * 1e3,
         report.wall_time_s * 1e3
     );
 

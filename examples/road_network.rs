@@ -35,7 +35,13 @@ fn main() {
     let el = city_grid(w, h, 42);
     let n = (w * h) as usize;
     let csr = Csr::from_edges(n, &el, Directedness::Undirected);
-    println!("city grid: {}x{} = {} intersections, {} streets\n", w, h, n, el.len());
+    println!(
+        "city grid: {}x{} = {} intersections, {} streets\n",
+        w,
+        h,
+        n,
+        el.len()
+    );
 
     let depot = 0u64; // northwest corner
     let t0 = Instant::now();
@@ -47,7 +53,12 @@ fn main() {
     let bf = bellman_ford(&csr, depot);
     let bf_t = t0.elapsed().as_secs_f64();
     assert!(bf.distances_match(&oracle, 1e-3));
-    println!("{:<24} {:>9.1} ms   ({:.2}x dijkstra)", "bellman-ford", bf_t * 1e3, dijkstra_t / bf_t);
+    println!(
+        "{:<24} {:>9.1} ms   ({:.2}x dijkstra)",
+        "bellman-ford",
+        bf_t * 1e3,
+        dijkstra_t / bf_t
+    );
 
     for delta in [0.5f32, 2.0, 8.0, 32.0] {
         let t0 = Instant::now();
@@ -66,7 +77,12 @@ fn main() {
     let nf = near_far(&csr, depot, 2.0);
     let nf_t = t0.elapsed().as_secs_f64();
     assert!(nf.distances_match(&oracle, 1e-3));
-    println!("{:<24} {:>9.1} ms   ({:.2}x dijkstra)", "near-far d=2", nf_t * 1e3, dijkstra_t / nf_t);
+    println!(
+        "{:<24} {:>9.1} ms   ({:.2}x dijkstra)",
+        "near-far d=2",
+        nf_t * 1e3,
+        dijkstra_t / nf_t
+    );
 
     // Route readout: corner-to-corner path via the parent tree.
     let target = (w * h - 1) as usize;

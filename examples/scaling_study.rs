@@ -25,7 +25,10 @@ fn main() {
     let spr = 13u32; // 2^13 vertices per rank
 
     println!("weak scaling, 2^{spr} vertices/rank, GTEPS (simulated):\n");
-    println!("{:>6} | {:>10} | {:>12} | {:>10}", "ranks", "crossbar", "fat-tree(4)", "torus2d");
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>10}",
+        "ranks", "crossbar", "fat-tree(4)", "torus2d"
+    );
     println!("{}", "-".repeat(50));
     for p in [1usize, 2, 4, 8, 16] {
         let scale = spr + p.trailing_zeros();
@@ -35,7 +38,10 @@ fn main() {
         let torus = point(
             scale,
             p,
-            Topology::Torus2D { w: w.max(1), h: (p as u32).div_ceil(w.max(1)) },
+            Topology::Torus2D {
+                w: w.max(1),
+                h: (p as u32).div_ceil(w.max(1)),
+            },
             LogGP::default(),
         );
         println!(
@@ -51,9 +57,27 @@ fn main() {
     let base = LogGP::default();
     let cases = [
         ("baseline (1us, 10GB/s)", base),
-        ("4x latency", LogGP { latency: base.latency * 4.0, ..base }),
-        ("1/4 bandwidth", LogGP { per_byte: base.per_byte * 4.0, ..base }),
-        ("4x overhead", LogGP { overhead: base.overhead * 4.0, ..base }),
+        (
+            "4x latency",
+            LogGP {
+                latency: base.latency * 4.0,
+                ..base
+            },
+        ),
+        (
+            "1/4 bandwidth",
+            LogGP {
+                per_byte: base.per_byte * 4.0,
+                ..base
+            },
+        ),
+        (
+            "4x overhead",
+            LogGP {
+                overhead: base.overhead * 4.0,
+                ..base
+            },
+        ),
     ];
     for (name, loggp) in cases {
         let g = point(spr + 3, 8, Topology::FatTree { radix: 4 }, loggp);

@@ -27,12 +27,18 @@ fn main() {
     let stats = DegreeStats::from_degrees(&degrees);
     let slope = powerlaw_slope(&ccdf_pow2(&degrees));
     println!("network: {} users, {} friendships", n, el.len());
-    println!("degree:  mean {:.1}, median {}, max {} — power-law slope {:.2}", stats.mean, stats.median, stats.max, slope);
-    println!("skew:    top 1% of users hold {:.0}% of all connections\n", 100.0 * stats.top1pct_arc_share);
+    println!(
+        "degree:  mean {:.1}, median {}, max {} — power-law slope {:.2}",
+        stats.mean, stats.median, stats.max, slope
+    );
+    println!(
+        "skew:    top 1% of users hold {:.0}% of all connections\n",
+        100.0 * stats.top1pct_arc_share
+    );
 
     // --- hubs vs periphery ---
     let hub = (0..n).max_by_key(|&v| degrees[v]).expect("non-empty");
-    let leaf = (0..n).filter(|&v| degrees[v] == 1).next().unwrap_or(0);
+    let leaf = (0..n).find(|&v| degrees[v] == 1).unwrap_or(0);
     println!("hub user:        {} ({} connections)", hub, degrees[hub]);
     println!("peripheral user: {} ({} connection)\n", leaf, degrees[leaf]);
 
@@ -41,8 +47,7 @@ fn main() {
     for (label, start) in [("hub", hub), ("periphery", leaf)] {
         let sp = delta_stepping(&csr, start as u64, delta);
         let reached = sp.reached_count();
-        let dists: Vec<f32> =
-            sp.dist.iter().copied().filter(|d| d.is_finite()).collect();
+        let dists: Vec<f32> = sp.dist.iter().copied().filter(|d| d.is_finite()).collect();
         let mean_d = dists.iter().map(|&d| d as f64).sum::<f64>() / dists.len() as f64;
         let max_d = dists.iter().copied().fold(0.0f32, f32::max);
         println!(
@@ -51,8 +56,13 @@ fn main() {
     }
 
     // --- degrees of separation (unweighted levels via unit weights) ---
-    let unit_el: g500_graph::EdgeList =
-        el.iter().map(|mut e| { e.w = 1.0; e }).collect();
+    let unit_el: g500_graph::EdgeList = el
+        .iter()
+        .map(|mut e| {
+            e.w = 1.0;
+            e
+        })
+        .collect();
     let unit = Csr::from_edges(n, &unit_el, Directedness::Undirected);
     let sp = delta_stepping(&unit, hub as u64, 1.0);
     let mut histogram = std::collections::BTreeMap::<u32, usize>::new();
@@ -63,8 +73,13 @@ fn main() {
     }
     println!("\ndegrees of separation from the hub:");
     for (hops, count) in &histogram {
-        println!("  {hops} hops: {count:>6} users {}", "*".repeat((*count / 200).min(60)));
+        println!(
+            "  {hops} hops: {count:>6} users {}",
+            "*".repeat((*count / 200).min(60))
+        );
     }
     let diameter = histogram.keys().max().copied().unwrap_or(0);
-    println!("effective diameter from hub: {diameter} hops — the small world the benchmark stresses");
+    println!(
+        "effective diameter from hub: {diameter} hops — the small world the benchmark stresses"
+    );
 }

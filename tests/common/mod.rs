@@ -1,0 +1,76 @@
+//! Tiny self-contained property-testing toolkit shared by the integration
+//! tests. The workspace builds offline (no proptest), so randomized tests
+//! run a fixed number of cases from a seeded SplitMix64 stream: failures
+//! print the case seed, and rerunning is always deterministic.
+
+// Different test binaries use different subsets of this module.
+#![allow(dead_code)]
+
+/// SplitMix64 — tiny, seedable, and statistically fine for test-case
+/// generation. Same constants as `simnet::sched::splitmix64`.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`; requires `hi > lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32 * (hi - lo)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Arbitrary small weighted multigraph: `(n, edges)` with `n` in `[2, 40)`,
+/// up to 120 edges (self-loops and duplicates allowed — the kernels must
+/// cope), weights in `(0, 1]`.
+pub fn arb_graph(rng: &mut Rng) -> (u64, Vec<(u64, u64, f32)>) {
+    let n = rng.range(2, 40);
+    let m = rng.usize(0, 120);
+    let edges = (0..m)
+        .map(|_| (rng.range(0, n), rng.range(0, n), rng.f32(1e-3, 1.0)))
+        .collect();
+    (n, edges)
+}
+
+/// Run `f` over `cases` deterministic seeds derived from `base_seed`,
+/// reporting the failing case seed on panic so it can be replayed alone.
+pub fn for_cases(base_seed: u64, cases: usize, f: impl Fn(&mut Rng) + std::panic::RefUnwindSafe) {
+    for case in 0..cases {
+        let seed = base_seed ^ (case as u64).wrapping_mul(0xD134_2543_DE82_EF95);
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = Rng::new(seed);
+            f(&mut rng);
+        });
+        if let Err(e) = result {
+            eprintln!("property failed on case {case} (replay seed {seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}

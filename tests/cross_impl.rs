@@ -94,7 +94,9 @@ fn distributed_delta_every_config_on_kronecker() {
         OptConfig::all_on().without_coalescing(),
         OptConfig::all_on().without_dedup().without_compression(),
         OptConfig::all_on().with_direction(Direction::Pull),
-        OptConfig::all_on().with_direction(Direction::Push).without_fusion(),
+        OptConfig::all_on()
+            .with_direction(Direction::Push)
+            .without_fusion(),
         OptConfig::all_on().with_delta(0.03),
         OptConfig::all_on().with_delta(5.0),
     ];
@@ -165,7 +167,10 @@ fn distributed_validator_accepts_real_kernel_output() {
         assert_eq!(*reached, reached0);
         assert_eq!(*traversed, traversed0);
     }
-    assert!(traversed0 > 0 && reached0 > 1, "kernel reached a real component");
+    assert!(
+        traversed0 > 0 && reached0 > 1,
+        "kernel reached a real component"
+    );
 }
 
 #[test]
@@ -181,13 +186,18 @@ fn distributed_validator_rejects_corrupted_kernel_output() {
         let (mut sp, _) = distributed_delta_stepping(ctx, &g, 0, &OptConfig::all_on());
         // corrupt one reached vertex on rank 2
         if ctx.rank() == 2 {
-            if let Some(l) = (0..g.local_vertices()).find(|&l| sp.dist[l] > 0.0 && sp.dist[l].is_finite()) {
+            if let Some(l) =
+                (0..g.local_vertices()).find(|&l| sp.dist[l] > 0.0 && sp.dist[l].is_finite())
+            {
                 sp.dist[l] *= 0.5;
             }
         }
         graph500::validate::distributed_validate_sssp(ctx, &g, &mine, 0, &sp).ok
     });
-    assert!(rep.results.iter().all(|&ok| !ok), "corruption must fail on every rank");
+    assert!(
+        rep.results.iter().all(|&ok| !ok),
+        "corruption must fail on every rank"
+    );
 }
 
 #[test]

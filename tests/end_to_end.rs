@@ -2,8 +2,10 @@
 //! partition → assemble → solve → gather → validate → TEPS — across
 //! kernels, partitions, machine shapes and optimization configurations.
 
-use graph500::simnet::{LogGP, Topology};
-use graph500::sssp::{Direction, OptConfig};
+use graph500::gen::{KroneckerGenerator, KroneckerParams};
+use graph500::simnet::{LogGP, Machine, MachineConfig, Topology};
+use graph500::sssp::{Direction, Grid2DSssp, OptConfig};
+use graph500::validate::{validate_sssp, SsspResult};
 use graph500::{run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, PartitionStrategy};
 
 #[test]
@@ -106,15 +108,128 @@ fn optimizations_do_not_change_traversal() {
     let degree_aware = PartitionStrategy::DegreeAware { hub_factor: 8.0 };
     let base = mk(OptConfig::all_on(), degree_aware);
     for (name, rep) in [
-        ("all_off", mk(OptConfig::all_off(), PartitionStrategy::Block)),
-        ("pull", mk(OptConfig::all_on().with_direction(Direction::Pull), degree_aware)),
+        (
+            "all_off",
+            mk(OptConfig::all_off(), PartitionStrategy::Block),
+        ),
+        (
+            "pull",
+            mk(
+                OptConfig::all_on().with_direction(Direction::Pull),
+                degree_aware,
+            ),
+        ),
         ("cyclic", mk(OptConfig::all_on(), PartitionStrategy::Cyclic)),
     ] {
         assert!(rep.all_validated(), "{name}");
         for (a, b) in base.runs.iter().zip(&rep.runs) {
-            assert_eq!(a.traversed_edges, b.traversed_edges, "{name}: root {}", a.root);
+            assert_eq!(
+                a.traversed_edges, b.traversed_edges,
+                "{name}: root {}",
+                a.root
+            );
         }
     }
+}
+
+/// The acceptance check for deterministic mode: two `run_sssp_benchmark`
+/// calls with identical seeds run the scale-10 pipeline end to end (1D
+/// degree-aware layout, 8 ranks) and must agree on every distance vector,
+/// every superstep count, and every per-rank `NetStats` — and every root
+/// passes the full five-rule validator.
+#[test]
+fn scale10_deterministic_pipeline_1d_replays_identically() {
+    let mut cfg = BenchmarkConfig::quick(10, 8).deterministic(0);
+    cfg.keep_paths = true;
+    let a = run_sssp_benchmark(&cfg);
+    let b = run_sssp_benchmark(&cfg);
+    assert!(a.all_validated(), "first run fails validation");
+    assert!(b.all_validated(), "second run fails validation");
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.root, y.root);
+        assert_eq!(x.stats, y.stats, "kernel counters moved between replays");
+        let (px, py) = (
+            x.paths.as_ref().expect("kept"),
+            y.paths.as_ref().expect("kept"),
+        );
+        assert_eq!(px.dist.len(), 1 << 10);
+        for v in 0..px.dist.len() {
+            assert_eq!(
+                px.dist[v].to_bits(),
+                py.dist[v].to_bits(),
+                "root {}: distance moved at vertex {v}",
+                x.root
+            );
+        }
+        assert_eq!(px.parent, py.parent, "root {}: parents moved", x.root);
+        assert_eq!(x.sim_time_s, y.sim_time_s);
+        assert_eq!(x.traversed_edges, y.traversed_edges);
+    }
+    assert_eq!(a.per_rank_net, b.per_rank_net, "per-rank NetStats moved");
+    assert_eq!(a.net, b.net, "aggregate NetStats moved");
+    assert_eq!(a.construction_time_s, b.construction_time_s);
+}
+
+/// Same property for the 2D grid layout (not driven by the benchmark
+/// driver): the full scale-10 pipeline — generate, 2D-partition, solve,
+/// gather — replays byte-identically under the deterministic scheduler,
+/// and the result passes the full five-rule validator.
+#[test]
+fn scale10_deterministic_pipeline_2d_replays_identically() {
+    let gen = KroneckerGenerator::new(KroneckerParams::graph500(10, 20220814));
+    let el = gen.generate_all();
+    let n = 1u64 << 10;
+    let p = 4usize;
+    let csr_root = {
+        // deterministic non-isolated root: first vertex that has an edge
+        let mut has_edge = vec![false; n as usize];
+        for e in el.iter() {
+            has_edge[e.u as usize] = true;
+            has_edge[e.v as usize] = true;
+        }
+        (0..n)
+            .find(|&v| has_edge[v as usize])
+            .expect("nonempty graph")
+    };
+
+    let run = || {
+        let report = Machine::new(MachineConfig::with_ranks(p).deterministic(0)).run(|ctx| {
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine = (lo..hi).map(|i| el.get(i));
+            let mut g = Grid2DSssp::build(ctx, n, mine, 0.25);
+            let stats = g.run(ctx, csr_root);
+            (g.gather(ctx), stats.supersteps)
+        });
+        let stats = report.stats.clone();
+        let (sp, supersteps) = report.results.into_iter().next().expect("rank 0");
+        (sp, supersteps, stats)
+    };
+
+    let (sp_a, steps_a, net_a) = run();
+    let (sp_b, steps_b, net_b) = run();
+
+    // full five-rule validation on the gathered result
+    let res = SsspResult {
+        root: csr_root,
+        dist: sp_a.dist.clone(),
+        parent: sp_a.parent.clone(),
+    };
+    let rep = validate_sssp(n, &el, &res);
+    assert!(rep.ok, "2D pipeline fails validation: {:?}", rep.errors);
+    assert!(rep.reached > 1 && rep.traversed_edges > 0);
+
+    for v in 0..n as usize {
+        assert_eq!(
+            sp_a.dist[v].to_bits(),
+            sp_b.dist[v].to_bits(),
+            "distance moved at {v}"
+        );
+    }
+    assert_eq!(sp_a.parent, sp_b.parent, "parents moved between replays");
+    assert_eq!(steps_a, steps_b, "superstep count moved between replays");
+    assert_eq!(net_a, net_b, "per-rank NetStats moved between replays");
 }
 
 #[test]

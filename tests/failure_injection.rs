@@ -66,6 +66,76 @@ fn type_confusion_is_detected() {
     });
 }
 
+// ---------- deterministic-mode fail-stop ----------
+
+#[test]
+#[should_panic(expected = "panicked")]
+fn det_fault_on_one_rank_aborts_waiters() {
+    // the serialized scheduler must hand the token past the dead rank and
+    // abort the waiters instead of spinning on them forever
+    Machine::new(MachineConfig::with_ranks(4).deterministic(0)).run(|ctx| {
+        if ctx.rank() == 2 {
+            panic!("injected fault on rank 2");
+        }
+        ctx.barrier();
+    });
+}
+
+#[test]
+#[should_panic(expected = "panicked")]
+fn det_fault_under_fuzzed_schedule_aborts() {
+    // same, under a non-canonical (preempting) schedule
+    Machine::new(MachineConfig::with_ranks(4).deterministic(0xBAD)).run(|ctx| {
+        if ctx.rank() == 1 {
+            panic!("injected fault before exchange");
+        }
+        let out: Vec<Vec<u64>> = (0..ctx.size()).map(|d| vec![d as u64]).collect();
+        ctx.alltoallv(out);
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn det_mismatched_recv_is_reported_as_deadlock() {
+    // rank 0 waits for a message rank 1 never sends: with every rank
+    // blocked or done, the scheduler must name the deadlock rather than
+    // hang (the threads-mode watchdog would abort too, but without the
+    // blocked-on diagnosis)
+    Machine::new(MachineConfig::with_ranks(2).deterministic(0)).run(|ctx| {
+        if ctx.rank() == 0 {
+            let _: Vec<u64> = ctx.recv(1, 9);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "orphan")]
+fn det_misrouted_message_is_caught() {
+    // rank 0 sends rank 1 a message nobody receives: debug-mode orphan
+    // detection fails the job at exit instead of dropping it silently
+    Machine::new(MachineConfig::with_ranks(2).deterministic(0)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 3, &[1u64]);
+        }
+    });
+}
+
+#[test]
+fn det_healthy_job_after_failed_job() {
+    let bad = std::panic::catch_unwind(|| {
+        Machine::new(MachineConfig::with_ranks(2).deterministic(7)).run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            ctx.barrier();
+        });
+    });
+    assert!(bad.is_err());
+    let rep =
+        Machine::new(MachineConfig::with_ranks(2).deterministic(7)).run(|ctx| ctx.allreduce_sum(1));
+    assert_eq!(rep.results, vec![2, 2]);
+}
+
 // ---------- validator catches corrupted kernel output ----------
 
 fn good_result() -> (EdgeList, SsspResult) {
