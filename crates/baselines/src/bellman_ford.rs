@@ -46,8 +46,12 @@ pub fn bellman_ford(graph: &Csr, root: VertexId) -> ShortestPaths {
 /// bits (non-negative `f32` orders identically to its bit pattern).
 ///
 /// Rounds are synchronous: all relaxations of round `k` read the distances
-/// of round `k − 1` or better; monotonicity of `fetch_min` keeps the result
-/// exact regardless of interleaving.
+/// of round `k − 1` or better; monotonicity of `fetch_min` keeps the
+/// *distances* exact regardless of interleaving (the Bellman fixpoint is
+/// unique). Parent ties, however, are settled by scheduling — this baseline
+/// deliberately keeps the racy atomic formulation that the deterministic
+/// two-phase kernels (`g500_sssp::parallel_delta_stepping`) avoid, and is
+/// used only where tolerance-based distance comparison suffices.
 pub fn bellman_ford_parallel(graph: &Csr, root: VertexId) -> ShortestPaths {
     let n = graph.num_vertices();
     let dist: Vec<AtomicU32> = (0..n)

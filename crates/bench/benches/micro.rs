@@ -8,6 +8,11 @@
 //! loop (`harness = false`): the workspace is offline and carries no
 //! criterion, and a median-of-samples loop is enough to spot order-of-
 //! magnitude regressions. Run with `cargo bench -p g500-bench`.
+//!
+//! Besides the text table, the run finishes with a thread-count sweep over
+//! the pool-parallel hot kernels (re-exec'd children under
+//! `G500_THREADS ∈ {1,2,4}`, since the pool is fixed at first use) and
+//! writes the medians to `results/bench_micro.json` at the workspace root.
 
 use g500_baselines::dijkstra;
 use g500_gen::{KroneckerGenerator, KroneckerParams};
@@ -16,6 +21,8 @@ use g500_sssp::codec::{decode_updates, dedup_min, encode_updates, Update};
 use g500_sssp::{delta_stepping, parallel_delta_stepping, BucketQueue};
 use graph500::simnet::{Machine, MachineConfig};
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::process::Command;
 use std::time::Instant;
 
 /// Run `f` `samples` times and report the median wall time, scaled by
@@ -163,7 +170,212 @@ fn bench_collectives() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Thread-count sweep → results/bench_micro.json
+//
+// The worker pool is process-global and fixed at first use, so a sweep over
+// thread counts must re-exec: the parent spawns itself once per count in
+// `SWEEP_THREADS` with `G500_BENCH_CHILD=1` and `G500_THREADS=<t>` set; the
+// child runs only the pool-parallel hot kernels and prints one
+// machine-readable `G500_BENCH\t<kernel>\t<median_ns>` line each, which the
+// parent collects into JSON. Determinism contract: the *results* of every
+// kernel are bitwise identical across the sweep — only the times differ.
+// ---------------------------------------------------------------------------
+
+const CHILD_ENV: &str = "G500_BENCH_CHILD";
+const SWEEP_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds (one warmup).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    times[times.len() / 2] as u64
+}
+
+/// Child mode: time the pool-parallel hot kernels under whatever
+/// `G500_THREADS` the parent set, and emit parse-friendly lines.
+fn child_main() {
+    let gen = KroneckerGenerator::new(KroneckerParams::graph500(14, 1));
+    let el = gen.generate_all();
+    let n = gen.params().num_vertices() as usize;
+    let csr = Csr::from_edges(n, &el, Directedness::Undirected);
+    let root = (0..n).find(|&v| csr.degree(v) > 0).unwrap_or(0) as u64;
+    let results: [(&str, u64); 3] = [
+        (
+            "generator/kronecker_s14",
+            median_ns(5, || {
+                black_box(gen.generate_all().len());
+            }),
+        ),
+        (
+            "csr/build_undirected_s14",
+            median_ns(5, || {
+                black_box(Csr::from_edges(n, &el, Directedness::Undirected).num_arcs());
+            }),
+        ),
+        (
+            "sssp/parallel_delta_s14",
+            median_ns(3, || {
+                black_box(parallel_delta_stepping(&csr, root, 0.125).reached_count());
+            }),
+        ),
+    ];
+    for (name, ns) in results {
+        println!("G500_BENCH\t{name}\t{ns}");
+    }
+}
+
+/// Re-exec ourselves once per thread count and collect the child lines.
+/// Returns `(thread_count, [(kernel, median_ns)])` per sweep point.
+fn run_sweep(exe: &Path) -> Vec<(usize, Vec<(String, u64)>)> {
+    let mut sweep = Vec::new();
+    for t in SWEEP_THREADS {
+        eprintln!("sweep: re-exec with G500_THREADS={t}…");
+        let out = match Command::new(exe)
+            .env(CHILD_ENV, "1")
+            .env("G500_THREADS", t.to_string())
+            .output()
+        {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("sweep: failed to spawn child for {t} threads: {e}; skipping");
+                continue;
+            }
+        };
+        if !out.status.success() {
+            eprintln!(
+                "sweep: child for {t} threads exited with {}; skipping",
+                out.status
+            );
+            continue;
+        }
+        let mut kernels = Vec::new();
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let mut parts = line.split('\t');
+            if parts.next() != Some("G500_BENCH") {
+                continue;
+            }
+            if let (Some(name), Some(ns)) = (parts.next(), parts.next()) {
+                if let Ok(ns) = ns.parse::<u64>() {
+                    kernels.push((name.to_string(), ns));
+                }
+            }
+        }
+        sweep.push((t, kernels));
+    }
+    sweep
+}
+
+/// Serialize the sweep as `results/bench_micro.json` at the workspace root:
+/// kernel × thread-count × median ns, plus host metadata.
+fn write_sweep_json(path: &Path, sweep: &[(usize, Vec<(String, u64)>)]) -> std::io::Result<()> {
+    // kernel names in first-seen order
+    let mut kernels: Vec<&str> = Vec::new();
+    for (_, rows) in sweep {
+        for (name, _) in rows {
+            if !kernels.contains(&name.as_str()) {
+                kernels.push(name);
+            }
+        }
+    }
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"micro\",\n");
+    s.push_str("  \"unit\": \"ns\",\n");
+    s.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    s.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        sweep
+            .iter()
+            .map(|(t, _)| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("  \"kernels\": [\n");
+    for (ki, name) in kernels.iter().enumerate() {
+        let cells: Vec<String> = sweep
+            .iter()
+            .filter_map(|(t, rows)| {
+                rows.iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, ns)| format!("\"{t}\": {ns}"))
+            })
+            .collect();
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {{{}}}}}{}\n",
+            cells.join(", "),
+            if ki + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, s)
+}
+
+/// Parent half of the sweep: orchestrate children, write JSON, print a
+/// human-readable speedup table.
+fn bench_thread_sweep() {
+    let exe = match std::env::current_exe() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("sweep: cannot locate own executable ({e}); skipping JSON emission");
+            return;
+        }
+    };
+    let sweep = run_sweep(&exe);
+    if sweep.is_empty() {
+        eprintln!("sweep: no child runs succeeded; skipping JSON emission");
+        return;
+    }
+    let out: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_micro.json");
+    match write_sweep_json(&out, &sweep) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("sweep: could not write {}: {e}", out.display()),
+    }
+    // speedup table relative to the 1-thread run
+    let base = sweep.iter().find(|(t, _)| *t == 1);
+    println!(
+        "\n{:<40} {}",
+        "thread sweep (median ms)",
+        sweep
+            .iter()
+            .map(|(t, _)| format!("{:>10}", format!("T={t}")))
+            .collect::<String>()
+    );
+    if let Some((_, base_rows)) = base {
+        for (name, base_ns) in base_rows {
+            let mut row = format!("{name:<40} ");
+            for (_, rows) in &sweep {
+                match rows.iter().find(|(n, _)| n == name) {
+                    Some((_, ns)) => row.push_str(&format!("{:>10.2}", *ns as f64 / 1e6)),
+                    None => row.push_str(&format!("{:>10}", "-")),
+                }
+            }
+            if let Some((_, ns4)) = sweep
+                .iter()
+                .rev()
+                .find_map(|(t, rows)| (*t > 1).then(|| rows.iter().find(|(n, _)| n == name))?)
+            {
+                row.push_str(&format!("   ({:.2}x)", *base_ns as f64 / *ns4 as f64));
+            }
+            println!("{row}");
+        }
+    }
+}
+
 fn main() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        child_main();
+        return;
+    }
     println!("{:<40} {:>15} {:>18}", "benchmark", "median", "throughput");
     bench_generator();
     bench_csr_build();
@@ -172,4 +384,5 @@ fn main() {
     bench_varint();
     bench_sssp_kernels();
     bench_collectives();
+    bench_thread_sweep();
 }

@@ -20,7 +20,7 @@ use graph500::{run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, Partition
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json]\n  g500 stats --scale N [--seed S]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic."
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes."
     );
     std::process::exit(2)
 }
@@ -60,6 +60,13 @@ fn main() {
         flags: argv.collect(),
     };
 
+    // Size the worker pool before any parallel work runs (the pool is
+    // process-global and fixed at first use).
+    let threads = args.num("--threads", 0) as usize;
+    if threads > 0 {
+        graph500::rayon::configure_threads(threads);
+    }
+
     match cmd.as_str() {
         "sssp" => cmd_sssp(&args),
         "bfs" => cmd_bfs(&args),
@@ -79,6 +86,7 @@ fn build_cfg(args: &Args) -> BenchmarkConfig {
     cfg.num_roots = args.num("--roots", 64) as usize;
     cfg.seed = args.num("--seed", cfg.seed);
     cfg.validate = !args.has("--no-validate");
+    cfg.threads = args.num("--threads", 0) as usize;
     if args.has("--deterministic") || args.has("--sched-seed") {
         cfg = cfg.deterministic(args.num("--sched-seed", 0));
     }

@@ -57,6 +57,12 @@ pub struct BenchmarkConfig {
     /// (`RootRun::paths`). Off by default — O(n) memory per root — but the
     /// replay tests use it to compare runs vector-for-vector.
     pub keep_paths: bool,
+    /// Worker threads for the process-global pool (`--threads`). 0 means
+    /// inherit `G500_THREADS` / the hardware default. Best-effort: the pool
+    /// is shared and sized at first use, so a request made after any
+    /// parallel work has run is ignored. Results never depend on this (the
+    /// fixed-chunk contract) — it is recorded in reports for attribution.
+    pub threads: usize,
 }
 
 impl BenchmarkConfig {
@@ -73,6 +79,7 @@ impl BenchmarkConfig {
             partition: PartitionStrategy::DegreeAware { hub_factor: 8.0 },
             validate: true,
             keep_paths: false,
+            threads: 0,
         }
     }
 
@@ -135,6 +142,9 @@ pub struct BenchmarkReport {
     pub per_rank_net: Vec<NetStats>,
     /// Host wall-clock seconds the simulation took.
     pub wall_time_s: f64,
+    /// Worker threads the process-global pool actually ran with, so runs
+    /// are attributable when comparing wall times.
+    pub threads: usize,
 }
 
 impl BenchmarkReport {
@@ -155,9 +165,10 @@ impl BenchmarkReport {
         );
         s.push_str(&self.teps.render("TEPS (simulated):"));
         s.push_str(&format!(
-            "\ntotal_messages:        {}\ntotal_bytes:           {}\n",
+            "\ntotal_messages:        {}\ntotal_bytes:           {}\nhost_threads:          {}\n",
             self.net.total_msgs(),
-            self.net.total_bytes()
+            self.net.total_bytes(),
+            self.threads
         ));
         s
     }
@@ -201,7 +212,8 @@ impl BenchmarkReport {
         format!(
             "{{\n  \"scale\": {},\n  \"n\": {},\n  \"m\": {},\n  \"ranks\": {},\n  \
              \"construction_time_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"teps\": {},\n  \
-             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"wall_time_s\": {}\n}}",
+             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"wall_time_s\": {},\n  \
+             \"threads\": {}\n}}",
             self.scale,
             self.n,
             self.m,
@@ -211,7 +223,8 @@ impl BenchmarkReport {
             self.teps.to_json(),
             self.net.to_json(),
             per_rank.join(",\n"),
-            f(self.wall_time_s)
+            f(self.wall_time_s),
+            self.threads
         )
     }
 }
@@ -328,8 +341,18 @@ fn run_ranks<P: VertexPartition>(
     (construction_end, per_root)
 }
 
+/// Apply the configured pool size (best-effort: the pool is process-global
+/// and fixed at first use) and return the thread count runs actually use.
+fn apply_thread_config(requested: usize) -> usize {
+    if requested > 0 {
+        rayon::configure_threads(requested);
+    }
+    rayon::current_num_threads()
+}
+
 /// Run the full SSSP benchmark (Graph500 kernels 0 + 3).
 pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
+    let threads = apply_thread_config(cfg.threads);
     let params = KroneckerParams {
         scale: cfg.scale,
         edgefactor: cfg.edgefactor,
@@ -446,6 +469,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         net,
         per_rank_net,
         wall_time_s,
+        threads,
     }
 }
 
@@ -454,6 +478,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
 /// (BFS has no bucket state to balance, and this mirrors the companion
 /// paper's setup at our simulation scale).
 pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
+    let threads = apply_thread_config(cfg.threads);
     let params = KroneckerParams {
         scale: cfg.scale,
         edgefactor: cfg.edgefactor,
@@ -537,6 +562,7 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         net,
         per_rank_net,
         wall_time_s,
+        threads,
     }
 }
 

@@ -33,4 +33,5 @@ pub use g500_graph as graph;
 pub use g500_partition as partition;
 pub use g500_sssp as sssp;
 pub use g500_validate as validate;
+pub use rayon;
 pub use simnet;

@@ -138,12 +138,20 @@ impl KroneckerGenerator {
     /// Generate the whole edge list with rayon over chunks.
     pub fn generate_all(&self) -> EdgeList {
         let m = self.params.num_edges();
-        let nchunks = (rayon::current_num_threads() * 8).max(1) as u64;
+        // Each edge is a pure function of its index and blocks concatenate
+        // in index order, so the chunk count affects only load balance,
+        // never the output. Oversplit the pool ~4× for balance, floored at
+        // MIN_GEN_BLOCK edges per block so tiny graphs stay one block.
+        const MIN_GEN_BLOCK: u64 = 1 << 13;
+        let nchunks = ((rayon::current_num_threads() as u64) * 4)
+            .min(m.div_ceil(MIN_GEN_BLOCK))
+            .max(1);
         let chunk = m.div_ceil(nchunks).max(1);
         let blocks: Vec<EdgeList> = (0..m)
             .step_by(chunk as usize)
             .collect::<Vec<_>>()
             .into_par_iter()
+            .with_min_len(1)
             .map(|start| self.edge_block(start..(start + chunk).min(m)))
             .collect();
         let mut out = EdgeList::with_capacity(m as usize);

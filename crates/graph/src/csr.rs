@@ -43,8 +43,17 @@ impl Csr {
         };
 
         // Pass 1: per-vertex degree count (parallel chunked count + merge).
-        let nthreads = rayon::current_num_threads().max(1);
-        let chunk = m.div_ceil(nthreads.max(1)).max(1);
+        // Each chunk allocates an n-slot scratch array, so the chunk count
+        // is capped at the pool size (scratch ≤ threads × n × 4B) and
+        // floored at MIN_COUNT_CHUNK edges per chunk so small inputs stay
+        // single-chunk. Integer degree sums are partition- and
+        // order-insensitive, so a thread-dependent chunk count here cannot
+        // change the result (see the fixed-chunk contract in `rayon`).
+        const MIN_COUNT_CHUNK: usize = 1 << 15;
+        let nchunks = rayon::current_num_threads()
+            .min(m.div_ceil(MIN_COUNT_CHUNK))
+            .max(1);
+        let chunk = m.div_ceil(nchunks).max(1);
         let partials: Vec<Vec<u32>> = (0..m)
             .into_par_iter()
             .chunks(chunk)

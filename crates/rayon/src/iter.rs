@@ -1,0 +1,808 @@
+//! Parallel iterators over fixed, thread-count-independent chunks.
+//!
+//! ## The determinism contract
+//!
+//! Every iterator here is a *chunk producer*: it knows its base length and
+//! can emit the items of any index range `[lo, hi)` in order. Terminal
+//! operations split `0..len` into chunks whose boundaries are a pure
+//! function of `len` and the `with_min_len`/`with_max_len` hints — never of
+//! the pool size — run the chunks on the pool in any order, and combine the
+//! per-chunk results **sequentially in chunk order**. Consequently every
+//! terminal (`collect`, `sum`, `fold`+`reduce`, `max`, ...) returns bitwise
+//! identical results at any thread count, which is what lets the PR-1
+//! deterministic-replay and conformance guarantees survive real parallelism.
+//!
+//! Kernel authors: never branch on `current_num_threads()` to decide *what*
+//! to compute — only to bound scratch allocation, or to pick chunk counts
+//! for merges that are provably order- and partition-insensitive (integer
+//! degree counts, index-pure edge blocks).
+
+use crate::pool::run_parallel;
+use std::cell::UnsafeCell;
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Default target number of chunks per parallel region. Larger than any
+/// plausible pool size so dynamic claiming can balance skew, small enough
+/// that per-chunk overhead stays negligible.
+const DEFAULT_TARGET_CHUNKS: usize = 64;
+/// Default minimum items per chunk; below this, spawning is pure overhead.
+const DEFAULT_MIN_CHUNK: usize = 1024;
+
+/// The fixed chunk size for a region of `len` items: depends only on `len`
+/// and the hints, never on the thread count.
+fn fixed_chunk_size(len: usize, min_len: usize, max_len: usize) -> usize {
+    len.div_ceil(DEFAULT_TARGET_CHUNKS)
+        .max(min_len)
+        .min(max_len)
+        .max(1)
+}
+
+/// A parallel iterator: a producer that can emit the items of any index
+/// range of its base domain, in order. See the module docs for the
+/// determinism contract.
+///
+/// `Sync` is required because terminals share `&self` across pool threads.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Length of the base index domain. For position-changing adapters
+    /// (`filter`, `flat_map_iter`) this is the *input* length; the number of
+    /// emitted items may differ.
+    fn base_len(&self) -> usize;
+
+    /// Emit the items of base range `[lo, hi)`, in order, into `sink`.
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item));
+
+    /// Called once, before any `for_chunk`, when a terminal starts driving.
+    /// Consuming sources (e.g. [`VecIter`]) flip ownership here.
+    fn begin_drive(&self) {}
+
+    /// Minimum items per chunk (see `with_min_len`).
+    fn min_chunk_hint(&self) -> usize {
+        DEFAULT_MIN_CHUNK
+    }
+
+    /// Maximum items per chunk (see `with_max_len`).
+    fn max_chunk_hint(&self) -> usize {
+        usize::MAX
+    }
+
+    // ---- adapters -------------------------------------------------------
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Map each item to a sequential iterator and emit its items in place.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Copy out of `&T` items (mirrors `Iterator::copied`).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Group items into `Vec`s of up to `n` consecutive items.
+    fn chunks(self, n: usize) -> Chunks<Self> {
+        assert!(n > 0, "chunk size must be positive");
+        Chunks { base: self, n }
+    }
+
+    /// Set the minimum number of items a chunk may hold. Part of the fixed
+    /// chunk geometry: affects results of non-associative combines (e.g.
+    /// float sums) identically at every thread count.
+    fn with_min_len(self, n: usize) -> WithHints<Self> {
+        let max = self.max_chunk_hint();
+        WithHints {
+            base: self,
+            min: n.max(1),
+            max,
+        }
+    }
+
+    /// Set the maximum number of items a chunk may hold.
+    fn with_max_len(self, n: usize) -> WithHints<Self> {
+        let min = self.min_chunk_hint();
+        WithHints {
+            base: self,
+            min,
+            max: n.max(1),
+        }
+    }
+
+    /// Fold each fixed chunk into an accumulator; yields one accumulator per
+    /// chunk (in chunk order), as a parallel iterator for further reduction.
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    // ---- terminals ------------------------------------------------------
+
+    /// Run `f` on every item. Chunks run concurrently; items within a chunk
+    /// run in order.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_chunks(&self, |it, lo, hi| it.for_chunk(lo, hi, &mut |x| f(x)));
+    }
+
+    /// Collect into a container; per-chunk buffers are concatenated in chunk
+    /// order, so the result order matches sequential execution.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items: each chunk is summed in order, then the per-chunk sums
+    /// are summed sequentially in chunk order.
+    fn sum<S>(self) -> S
+    where
+        S: Sum<Self::Item> + Sum<S> + Send,
+    {
+        let partials = drive_chunks(&self, |it, lo, hi| {
+            let mut buf: Vec<Self::Item> = Vec::with_capacity(hi - lo);
+            it.for_chunk(lo, hi, &mut |x| buf.push(x));
+            buf.into_iter().sum::<S>()
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Count the emitted items.
+    fn count(self) -> usize {
+        let partials = drive_chunks(&self, |it, lo, hi| {
+            let mut c = 0usize;
+            it.for_chunk(lo, hi, &mut |_| c += 1);
+            c
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Maximum item, or `None` if empty. Ties resolve toward the later
+    /// chunk / later item, matching `Iterator::max`.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let partials = drive_chunks(&self, |it, lo, hi| {
+            let mut best: Option<Self::Item> = None;
+            it.for_chunk(lo, hi, &mut |x| {
+                best = match best.take() {
+                    None => Some(x),
+                    Some(b) => Some(std::cmp::max(b, x)),
+                };
+            });
+            best
+        });
+        partials.into_iter().flatten().reduce(std::cmp::max)
+    }
+
+    /// Reduce the items with `op`, seeding each chunk with `identity()` and
+    /// combining the per-chunk results sequentially in chunk order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let partials = drive_chunks(&self, |it, lo, hi| {
+            let mut acc = identity();
+            it.for_chunk(lo, hi, &mut |x| {
+                acc = op(std::mem::replace(&mut acc, identity()), x);
+            });
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Marker for iterators whose emitted items correspond 1:1 (in order) with
+/// base indices — `filter`/`flat_map_iter` lose it.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Write-once result slots, one per chunk; each slot is written by exactly
+/// the thread that claimed the chunk, so the raw access is race-free.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Slots<T> {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+    /// SAFETY: each index must be written at most once, by one thread.
+    unsafe fn put(&self, i: usize, v: T) {
+        unsafe { *self.0[i].get() = Some(v) };
+    }
+    fn into_vec(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|c| c.into_inner().expect("chunk slot unfilled"))
+            .collect()
+    }
+}
+
+/// Drive a parallel iterator: split its base domain into fixed chunks, run
+/// `per_chunk` on each across the pool, and return the results in chunk
+/// order.
+fn drive_chunks<I, T, F>(it: &I, per_chunk: F) -> Vec<T>
+where
+    I: ParallelIterator,
+    T: Send,
+    F: Fn(&I, usize, usize) -> T + Sync,
+{
+    let len = it.base_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    it.begin_drive();
+    let cs = fixed_chunk_size(len, it.min_chunk_hint(), it.max_chunk_hint());
+    let nchunks = len.div_ceil(cs);
+    let slots: Slots<T> = Slots::new(nchunks);
+    run_parallel(nchunks, &|i| {
+        let lo = i * cs;
+        let hi = ((i + 1) * cs).min(len);
+        let v = per_chunk(it, lo, hi);
+        // SAFETY: the pool claims each chunk index exactly once.
+        unsafe { slots.put(i, v) };
+    });
+    slots.into_vec()
+}
+
+/// Conversion from a parallel iterator (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Vec<T> {
+        let parts = drive_chunks(&it, |it, lo, hi| {
+            let mut buf: Vec<T> = Vec::with_capacity(hi - lo);
+            it.for_chunk(lo, hi, &mut |x| buf.push(x));
+            buf
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out: Vec<T> = Vec::with_capacity(total);
+        for mut p in parts {
+            out.append(&mut p);
+        }
+        out
+    }
+}
+
+// ---- adapters -----------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
+        self.base.for_chunk(lo, hi, &mut |x| sink((self.f)(x)));
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    fn min_chunk_hint(&self) -> usize {
+        self.base.min_chunk_hint()
+    }
+    fn max_chunk_hint(&self) -> usize {
+        self.base.max_chunk_hint()
+    }
+}
+
+impl<I, R, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+}
+
+pub struct Filter<I, F> {
+    base: I,
+    pred: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync,
+{
+    type Item = I::Item;
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(I::Item)) {
+        self.base.for_chunk(lo, hi, &mut |x| {
+            if (self.pred)(&x) {
+                sink(x)
+            }
+        });
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    fn min_chunk_hint(&self) -> usize {
+        self.base.min_chunk_hint()
+    }
+    fn max_chunk_hint(&self) -> usize {
+        self.base.max_chunk_hint()
+    }
+}
+
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U::Item;
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(U::Item)) {
+        self.base.for_chunk(lo, hi, &mut |x| {
+            for y in (self.f)(x) {
+                sink(y);
+            }
+        });
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    fn min_chunk_hint(&self) -> usize {
+        self.base.min_chunk_hint()
+    }
+    fn max_chunk_hint(&self) -> usize {
+        self.base.max_chunk_hint()
+    }
+}
+
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, I, T> ParallelIterator for Copied<I>
+where
+    I: ParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+        self.base.for_chunk(lo, hi, &mut |x| sink(*x));
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    fn min_chunk_hint(&self) -> usize {
+        self.base.min_chunk_hint()
+    }
+    fn max_chunk_hint(&self) -> usize {
+        self.base.max_chunk_hint()
+    }
+}
+
+impl<'a, I, T> IndexedParallelIterator for Copied<I>
+where
+    I: IndexedParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+}
+
+/// Groups of up to `n` consecutive base items; one group per own-index.
+pub struct Chunks<I> {
+    base: I,
+    n: usize,
+}
+
+impl<I> ParallelIterator for Chunks<I>
+where
+    I: ParallelIterator,
+{
+    type Item = Vec<I::Item>;
+    fn base_len(&self) -> usize {
+        self.base.base_len().div_ceil(self.n)
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Vec<I::Item>)) {
+        let base_len = self.base.base_len();
+        for g in lo..hi {
+            let b_lo = g * self.n;
+            let b_hi = ((g + 1) * self.n).min(base_len);
+            let mut buf = Vec::with_capacity(b_hi - b_lo);
+            self.base.for_chunk(b_lo, b_hi, &mut |x| buf.push(x));
+            sink(buf);
+        }
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    /// Each emitted group already covers `n` base items, so one group per
+    /// pool chunk is the right granularity.
+    fn min_chunk_hint(&self) -> usize {
+        1
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Chunks<I> {}
+
+pub struct WithHints<I> {
+    base: I,
+    min: usize,
+    max: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for WithHints<I> {
+    type Item = I::Item;
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(I::Item)) {
+        self.base.for_chunk(lo, hi, sink);
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    fn min_chunk_hint(&self) -> usize {
+        self.min
+    }
+    fn max_chunk_hint(&self) -> usize {
+        self.max
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for WithHints<I> {}
+
+/// Per-chunk accumulators (see [`ParallelIterator::fold`]). Own index `i`
+/// is the `i`-th fixed chunk of the base iterator.
+pub struct Fold<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, T, ID, F> Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, I::Item) -> T + Sync,
+{
+    fn base_chunk_size(&self) -> usize {
+        fixed_chunk_size(
+            self.base.base_len(),
+            self.base.min_chunk_hint(),
+            self.base.max_chunk_hint(),
+        )
+    }
+}
+
+impl<I, T, ID, F> ParallelIterator for Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, I::Item) -> T + Sync,
+{
+    type Item = T;
+    fn base_len(&self) -> usize {
+        let len = self.base.base_len();
+        if len == 0 {
+            0
+        } else {
+            len.div_ceil(self.base_chunk_size())
+        }
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+        let cs = self.base_chunk_size();
+        let base_len = self.base.base_len();
+        for g in lo..hi {
+            let mut acc = Some((self.identity)());
+            self.base
+                .for_chunk(g * cs, ((g + 1) * cs).min(base_len), &mut |x| {
+                    acc = Some((self.fold_op)(acc.take().expect("fold accumulator"), x));
+                });
+            sink(acc.take().expect("fold accumulator"));
+        }
+    }
+    fn begin_drive(&self) {
+        self.base.begin_drive();
+    }
+    fn min_chunk_hint(&self) -> usize {
+        1
+    }
+}
+
+// ---- sources ------------------------------------------------------------
+
+/// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($t:ty) => {
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn base_len(&self) -> usize {
+                self.len
+            }
+            fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut($t)) {
+                for i in lo..hi {
+                    sink(self.start + i as $t);
+                }
+            }
+        }
+        impl IndexedParallelIterator for RangeIter<$t> {}
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter {
+                    start: self.start,
+                    len,
+                }
+            }
+        }
+    };
+}
+
+range_source!(usize);
+range_source!(u64);
+range_source!(u32);
+
+/// Owning parallel iterator over a `Vec`. Items are moved out by raw reads
+/// from disjoint chunk ranges. If a terminal starts driving but panics
+/// mid-way, the remaining items are *leaked* (never double-dropped); on a
+/// clean run or an undriven drop, everything is freed normally.
+pub struct VecIter<T> {
+    data: std::mem::ManuallyDrop<Vec<T>>,
+    consumed: AtomicBool,
+}
+
+unsafe impl<T: Send> Sync for VecIter<T> {}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn base_len(&self) -> usize {
+        self.data.len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+        let ptr = self.data.as_ptr();
+        for i in lo..hi {
+            // SAFETY: terminals request disjoint ranges, each exactly once
+            // per drive, and a VecIter is driven at most once.
+            sink(unsafe { std::ptr::read(ptr.add(i)) });
+        }
+    }
+    fn begin_drive(&self) {
+        self.consumed.store(true, Ordering::SeqCst);
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecIter<T> {}
+
+impl<T> Drop for VecIter<T> {
+    fn drop(&mut self) {
+        if self.consumed.load(Ordering::SeqCst) {
+            // Items were (conceptually) moved out; free only the buffer.
+            // SAFETY: len 0 ⇒ no element drops; ManuallyDrop suppressed the
+            // normal Vec drop, so this is the only deallocation.
+            unsafe {
+                self.data.set_len(0);
+                std::mem::ManuallyDrop::drop(&mut self.data);
+            }
+        } else {
+            // Never driven: drop the Vec normally, elements included.
+            unsafe { std::mem::ManuallyDrop::drop(&mut self.data) };
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter {
+            data: std::mem::ManuallyDrop::new(self),
+            consumed: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn base_len(&self) -> usize {
+        self.s.len()
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a T)) {
+        for x in &self.s[lo..hi] {
+            sink(x);
+        }
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for SliceIter<'a, T> {}
+
+/// Parallel iterator over `&[T]` windows of up to `n` items.
+pub struct SliceChunks<'a, T> {
+    s: &'a [T],
+    n: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    fn base_len(&self) -> usize {
+        self.s.len().div_ceil(self.n)
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a [T])) {
+        for g in lo..hi {
+            let b_lo = g * self.n;
+            let b_hi = ((g + 1) * self.n).min(self.s.len());
+            sink(&self.s[b_lo..b_hi]);
+        }
+    }
+    fn min_chunk_hint(&self) -> usize {
+        1
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for SliceChunks<'a, T> {}
+
+/// Mutably-borrowing parallel iterator over a slice. Disjoint chunk ranges
+/// hand out non-aliasing `&mut` references.
+pub struct SliceIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunk ranges are disjoint, so each element's &mut is created on
+// exactly one thread; T: Send makes that hand-off sound.
+unsafe impl<'a, T: Send> Sync for SliceIterMut<'a, T> {}
+unsafe impl<'a, T: Send> Send for SliceIterMut<'a, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn base_len(&self) -> usize {
+        self.len
+    }
+    fn for_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a mut T)) {
+        for i in lo..hi {
+            // SAFETY: disjoint ranges ⇒ no aliasing; index is in bounds.
+            sink(unsafe { &mut *self.ptr.add(i) });
+        }
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for SliceIterMut<'a, T> {}
+
+/// Shared-slice views (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    fn par_chunks(&self, n: usize) -> SliceChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { s: self }
+    }
+    fn par_chunks(&self, n: usize) -> SliceChunks<'_, T> {
+        assert!(n > 0, "chunk size must be positive");
+        SliceChunks { s: self, n }
+    }
+}
+
+/// Mutable-slice operations (`par_iter_mut`, `par_sort_unstable*`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        crate::sort::par_merge_sort_by(self, &T::cmp);
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        crate::sort::par_merge_sort_by(self, &cmp);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_merge_sort_by(self, &|a: &T, b: &T| key(a).cmp(&key(b)));
+    }
+}

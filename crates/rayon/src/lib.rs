@@ -1,167 +1,70 @@
-//! Sequential drop-in for the subset of `rayon` this workspace uses.
+//! Std-only work-stealing drop-in for the subset of `rayon` this workspace
+//! uses.
 //!
 //! The build environment is fully offline (no crates.io mirror), so the
-//! workspace must compile from std alone. This shim keeps every call site
-//! (`par_iter`, `into_par_iter`, `par_sort_unstable*`, `chunks`,
-//! `flat_map_iter`, `current_num_threads`) compiling against plain
-//! sequential std iterators. Sequential execution is also exactly what the
-//! deterministic replay harness wants: a given seed replays bit-identically,
-//! with no dependence on the host thread scheduler.
+//! workspace compiles from std alone — but since PR 3 this crate is a *real*
+//! thread pool, not a sequential shim: `par_iter`, `into_par_iter`,
+//! `par_sort_unstable*`, `join` and `scope` all execute on a lazily-started,
+//! process-global pool.
 //!
-//! Swapping this crate back for real `rayon` requires no source changes in
-//! the rest of the workspace — the trait and function names match.
+//! ## Pool sizing
+//!
+//! One pool serves the whole process (simnet runs one OS thread per rank;
+//! per-rank pools would oversubscribe the host `ranks × threads`-fold). The
+//! size is chosen at first use from, in priority order:
+//! [`configure_threads`] (the `--threads` CLI flag), the `G500_THREADS`
+//! environment variable, then `std::thread::available_parallelism`. With one
+//! thread, every operation runs inline on the caller — exactly the old
+//! sequential shim.
+//!
+//! ## The fixed-chunk determinism contract
+//!
+//! Work is split into chunks whose boundaries are a pure function of the
+//! input length (and `with_min_len`/`with_max_len`), **never** of the thread
+//! count; chunks are claimed dynamically for load balance, but per-chunk
+//! results are combined sequentially in chunk order. `par_sort_unstable*` is
+//! a fixed-midpoint merge sort with a left-preferential merge. Net effect:
+//! every operation returns bitwise identical results at any thread count,
+//! so the deterministic-replay / conformance / schedule-fuzz guarantees
+//! from PR 1 hold unchanged whether `G500_THREADS` is 1 or 64. See
+//! `iter.rs` for the rules kernel authors must follow to keep this true.
+//!
+//! Swapping this crate back for upstream `rayon` requires no source changes
+//! in the rest of the workspace — the trait and function names match.
+
+mod iter;
+mod pool;
+mod sort;
+
+pub use iter::{
+    Chunks, Copied, Filter, FlatMapIter, Fold, FromParallelIterator, IndexedParallelIterator,
+    IntoParallelIterator, Map, ParallelIterator, ParallelSlice, ParallelSliceMut, RangeIter,
+    SliceChunks, SliceIter, SliceIterMut, VecIter, WithHints,
+};
+pub use pool::{configure_threads, current_num_threads, join, scope, Scope};
 
 pub mod prelude {
     pub use crate::{
-        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
-        ParallelSliceMut,
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
     };
-}
-
-/// Number of worker threads. The shim executes sequentially, so always 1;
-/// callers only use this to size work chunks.
-pub fn current_num_threads() -> usize {
-    1
-}
-
-/// Sequential stand-in for rayon's `ParallelIterator`. Every std iterator
-/// qualifies; the rayon-only adapters are provided as real methods.
-pub trait ParallelIterator: Iterator + Sized {
-    /// rayon's `flat_map_iter` — identical to `flat_map` when sequential.
-    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-    where
-        U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
-    {
-        self.flat_map(f)
-    }
-
-    /// rayon's `chunks`: yields `Vec`s of up to `n` consecutive items.
-    fn chunks(self, n: usize) -> Chunks<Self> {
-        assert!(n > 0, "chunk size must be positive");
-        Chunks { it: self, n }
-    }
-
-    /// Scheduling hint; a no-op sequentially.
-    fn with_min_len(self, _n: usize) -> Self {
-        self
-    }
-
-    /// Scheduling hint; a no-op sequentially.
-    fn with_max_len(self, _n: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> ParallelIterator for I {}
-
-/// Marker mirroring rayon's indexed-iterator trait; sequentially every
-/// iterator yields items in order, so every iterator qualifies.
-pub trait IndexedParallelIterator: ParallelIterator {}
-
-impl<I: Iterator> IndexedParallelIterator for I {}
-
-/// Iterator over owned chunks, mirroring rayon's `chunks` adapter.
-pub struct Chunks<I: Iterator> {
-    it: I,
-    n: usize,
-}
-
-impl<I: Iterator> Iterator for Chunks<I> {
-    type Item = Vec<I::Item>;
-
-    fn next(&mut self) -> Option<Vec<I::Item>> {
-        let out: Vec<I::Item> = self.it.by_ref().take(self.n).collect();
-        if out.is_empty() {
-            None
-        } else {
-            Some(out)
-        }
-    }
-}
-
-/// `into_par_iter` for anything iterable (ranges, vectors, ...).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
-    }
-}
-
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-/// Shared-slice views (`par_iter`, `par_chunks`).
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-
-    fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(n)
-    }
-}
-
-/// Mutable-slice operations (`par_iter_mut`, `par_sort_unstable*`).
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-    fn par_sort_unstable_by<F>(&mut self, cmp: F)
-    where
-        F: FnMut(&T, &T) -> std::cmp::Ordering;
-    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
-    where
-        K: Ord,
-        F: FnMut(&T) -> K;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable();
-    }
-
-    fn par_sort_unstable_by<F>(&mut self, cmp: F)
-    where
-        F: FnMut(&T, &T) -> std::cmp::Ordering,
-    {
-        self.sort_unstable_by(cmp);
-    }
-
-    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
-    where
-        K: Ord,
-        F: FnMut(&T) -> K,
-    {
-        self.sort_unstable_by_key(key);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn chunks_cover_range_exactly() {
-        let chunks: Vec<Vec<usize>> = (0..10).into_par_iter().chunks(4).collect();
+        let chunks: Vec<Vec<usize>> = (0..10usize).into_par_iter().chunks(4).collect();
         assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
     }
 
     #[test]
     fn slice_ops_match_std() {
         let v = vec![3u64, 1, 2];
-        let total: u64 = v.par_iter().sum();
+        let total: u64 = v.par_iter().copied().sum();
         assert_eq!(total, 6);
         let mut s = v.clone();
         s.par_sort_unstable();
@@ -178,5 +81,230 @@ mod tests {
             .flat_map_iter(|&x| [x, x + 1])
             .collect();
         assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_many_chunks() {
+        // Force many chunks so parallel execution actually reorders work.
+        let out: Vec<usize> = (0..100_000usize)
+            .into_par_iter()
+            .with_max_len(64)
+            .map(|i| i * 2)
+            .collect();
+        assert!(out.iter().copied().eq((0..100_000).map(|i| i * 2)));
+    }
+
+    #[test]
+    fn filter_and_count_match_sequential() {
+        let par: Vec<u64> = (0..50_000u64)
+            .into_par_iter()
+            .with_max_len(128)
+            .filter(|&x| x % 7 == 0)
+            .collect();
+        let seq: Vec<u64> = (0..50_000u64).filter(|&x| x % 7 == 0).collect();
+        assert_eq!(par, seq);
+        let n = (0..50_000u64)
+            .into_par_iter()
+            .with_max_len(128)
+            .filter(|&x| x % 7 == 0)
+            .count();
+        assert_eq!(n, seq.len());
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..5000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v
+            .into_par_iter()
+            .with_max_len(64)
+            .map(|s| s.len())
+            .collect();
+        assert_eq!(lens.len(), 5000);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[4999], 4);
+    }
+
+    #[test]
+    fn undriven_vec_iter_drops_cleanly() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let it = v.into_par_iter();
+        drop(it); // must drop the strings, not leak or double-free
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let total = (0..10_000u64)
+            .into_par_iter()
+            .with_max_len(97)
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn max_matches_sequential() {
+        let v: Vec<u64> = (0..9999u64).map(|i| (i * 2654435761) % 100_000).collect();
+        assert_eq!(v.par_iter().copied().max(), v.iter().copied().max());
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.par_iter().copied().max(), None);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_slot() {
+        let mut v = vec![0u32; 70_000];
+        v.par_iter_mut().for_each(|x| *x = 1);
+        assert_eq!(v.iter().map(|&x| x as u64).sum::<u64>(), 70_000);
+    }
+
+    #[test]
+    fn par_chunks_sees_all_windows() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let sums: Vec<u64> = v
+            .par_chunks(256)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums.len(), 10_000usize.div_ceil(256));
+        assert_eq!(sums.iter().sum::<u64>(), (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn sort_matches_std_on_large_random_input() {
+        // xorshift for a deterministic "random" input larger than the leaf
+        // cutoff, so the parallel merge path actually runs.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut v: Vec<u64> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sort_by_key_handles_duplicate_keys_deterministically() {
+        let input: Vec<(u32, u32)> = (0..50_000u32).map(|i| (i % 16, i)).collect();
+        let mut a = input.clone();
+        a.par_sort_unstable_by_key(|&(k, _)| k);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        // same multiset as the input
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let mut got = a.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        // deterministic: a second run permutes equal keys identically
+        let mut b = input;
+        b.par_sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_returns_results_in_position() {
+        let (a, b) = crate::join(|| 1 + 1, || "right");
+        assert_eq!(a, 2);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::join(|| 7, || panic!("right side exploded"));
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "right side exploded");
+    }
+
+    #[test]
+    fn for_each_panic_propagates_from_worker_chunk() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..100_000usize)
+                .into_par_iter()
+                .with_max_len(64)
+                .for_each(|i| {
+                    if i == 31_337 {
+                        panic!("chunk body panicked");
+                    }
+                });
+        });
+        assert!(caught.is_err());
+        // the pool must remain usable after a poisoned task
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_jobs_including_nested() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|s2| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s2.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 128);
+    }
+
+    #[test]
+    fn scope_propagates_job_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("spawned job panicked"));
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn skewed_workload_completes_with_balanced_claiming() {
+        // One chunk is ~1000x heavier than the rest; dynamic claiming must
+        // still retire everything (and, with >1 thread, light chunks are
+        // stolen while the heavy one runs).
+        let done = AtomicUsize::new(0);
+        (0..256usize).into_par_iter().with_max_len(1).for_each(|i| {
+            let spins = if i == 0 { 200_000 } else { 200 };
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 256);
+    }
+
+    #[test]
+    fn sum_is_identical_regardless_of_claim_order() {
+        // f64 chunk sums are combined sequentially in chunk order, so two
+        // runs (with arbitrary thread interleavings) must agree bitwise.
+        let v: Vec<f32> = (0..200_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f32 * 1e-3)
+            .collect();
+        let run = || -> f64 { v.par_iter().map(|&w| w as f64).sum() };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -1,0 +1,314 @@
+//! The process-global work-sharing thread pool.
+//!
+//! One pool serves the whole process: simnet spawns one OS thread per
+//! simulated rank, and if each rank owned a private pool the host would be
+//! oversubscribed `ranks × threads`-fold. Instead every rank submits its
+//! parallel regions to this single shared pool.
+//!
+//! ## Execution model
+//!
+//! A parallel region is a *task*: `nchunks` independent chunk indices plus a
+//! `Fn(usize)` body. The submitting thread pushes the task onto a global
+//! registry, then immediately starts claiming chunks of its own task; idle
+//! workers scan the registry and claim chunks of any runnable task. Chunk
+//! claiming is a single `fetch_update` on the task's `next` counter, so chunks
+//! are distributed dynamically (a stalled worker never blocks others from
+//! stealing the remaining chunks) while *which* chunk exists is fixed up
+//! front — chunk boundaries never depend on the number of threads, which is
+//! what keeps results bitwise reproducible (see the crate docs).
+//!
+//! The submitter blocks until every chunk of its task has completed, which is
+//! what makes the lifetime-erased body pointer sound: the `Fn` lives on the
+//! submitter's stack and outlives every dereference.
+//!
+//! ## Nested parallelism and deadlock freedom
+//!
+//! A chunk body may itself open a parallel region (nested `join`, sorts
+//! inside a parallel map, ...). Waits always form a tree: a thread only
+//! blocks after claiming every remaining chunk of *its own* task, so by then
+//! each outstanding chunk is being executed by some thread, and a thread
+//! executing a chunk only blocks as the submitter of a *deeper* task (for
+//! which the same argument applies). The deepest execution in the tree is
+//! never blocked, so the system always makes progress.
+//!
+//! ## Panics
+//!
+//! The first panic from any chunk is captured; remaining chunks of the task
+//! are skipped (claimed and immediately retired), and the payload is
+//! re-thrown on the submitting thread once the task drains.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One in-flight parallel region.
+struct Task {
+    /// Lifetime-erased pointer to the chunk body on the submitter's stack.
+    /// Valid until the submitter returns from [`Pool::run`], which cannot
+    /// happen before `pending` reaches zero.
+    func: *const (dyn Fn(usize) + Sync),
+    nchunks: usize,
+    /// Next chunk index to claim; saturates at `nchunks`.
+    next: AtomicUsize,
+    /// Chunks not yet retired. The task is complete when this hits zero.
+    pending: AtomicUsize,
+    /// Set on first panic; later chunks are skipped.
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `func` is only dereferenced while the submitter provably waits
+// (see module docs); all other fields are Sync primitives.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claim and retire one chunk. Returns false once no chunk is claimable.
+    fn claim_and_run_one(&self) -> bool {
+        let claimed = self
+            .next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.nchunks).then_some(n + 1)
+            });
+        let Ok(i) = claimed else { return false };
+        if !self.poisoned.load(Ordering::SeqCst) {
+            // SAFETY: the submitter cannot return (and invalidate `func`)
+            // while this chunk is claimed but not retired.
+            let body = unsafe { &*self.func };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
+                self.poisoned.store(true, Ordering::SeqCst);
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut done = self.done.lock().unwrap();
+            *done = true;
+            self.done_cv.notify_all();
+        }
+        true
+    }
+}
+
+struct Shared {
+    /// Registry of in-flight tasks. Small (one entry per concurrently open
+    /// parallel region), so a linear scan under the lock is cheap.
+    tasks: Mutex<Vec<Arc<Task>>>,
+    work_cv: Condvar,
+}
+
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    nthreads: usize,
+}
+
+impl Pool {
+    fn new(nthreads: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            tasks: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+        });
+        // The submitter of each task participates in executing it, so
+        // `nthreads` total parallelism needs `nthreads - 1` workers; with
+        // one thread the pool runs everything inline on the caller.
+        for i in 1..nthreads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("g500-pool-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawning pool worker");
+        }
+        Pool { shared, nthreads }
+    }
+
+    /// Execute `f(0..nchunks)` across the pool; returns when every chunk has
+    /// retired. Re-throws the first chunk panic on this thread.
+    fn run(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the borrow lifetime; soundness argued in the module docs.
+        let func: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let task = Arc::new(Task {
+            func,
+            nchunks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(nchunks),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        self.shared.tasks.lock().unwrap().push(Arc::clone(&task));
+        self.shared.work_cv.notify_all();
+
+        while task.claim_and_run_one() {}
+        let mut done = task.done.lock().unwrap();
+        while !*done {
+            done = task.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+
+        let mut q = self.shared.tasks.lock().unwrap();
+        if let Some(pos) = q.iter().position(|t| Arc::ptr_eq(t, &task)) {
+            q.remove(pos);
+        }
+        drop(q);
+
+        let payload = task.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.tasks.lock().unwrap();
+            loop {
+                if let Some(t) = q.iter().find(|t| t.next.load(Ordering::SeqCst) < t.nchunks) {
+                    break Arc::clone(t);
+                }
+                q = shared.work_cv.wait(q).unwrap();
+            }
+        };
+        while task.claim_and_run_one() {}
+    }
+}
+
+/// Thread count requested via [`configure_threads`] before first pool use;
+/// 0 means "not configured".
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn resolve_threads() -> usize {
+    let requested = REQUESTED.load(Ordering::SeqCst);
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(s) = std::env::var("G500_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub(crate) fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool::new(resolve_threads()))
+}
+
+/// Request a pool size, overriding `G500_THREADS` and the hardware default.
+/// Must be called before the first parallel operation; returns `true` if the
+/// request took effect (the pool was not yet started), `false` if the pool
+/// is already running at its original size.
+pub fn configure_threads(n: usize) -> bool {
+    REQUESTED.store(n.max(1), Ordering::SeqCst);
+    POOL.get().is_none()
+}
+
+/// Number of threads the global pool runs with (initializing it on first
+/// call). Chunk *boundaries* never depend on this — callers may use it only
+/// to bound per-chunk scratch allocation or pick chunk counts for
+/// order-insensitive merges.
+pub fn current_num_threads() -> usize {
+    pool().nthreads
+}
+
+/// Run `f(i)` for every `i in 0..nchunks`, distributing chunks across the
+/// pool. Blocks until all chunks retire; re-throws the first panic.
+pub(crate) fn run_parallel(nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if nchunks == 0 {
+        return;
+    }
+    let p = pool();
+    if p.nthreads == 1 || nchunks == 1 {
+        for i in 0..nchunks {
+            f(i);
+        }
+        return;
+    }
+    p.run(nchunks, f);
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+/// Panics from either side are re-thrown on the caller (first one wins).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let a = Mutex::new(Some(oper_a));
+    let b = Mutex::new(Some(oper_b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    run_parallel(2, &|i| {
+        if i == 0 {
+            let f = a.lock().unwrap().take().unwrap();
+            *ra.lock().unwrap() = Some(f());
+        } else {
+            let f = b.lock().unwrap().take().unwrap();
+            *rb.lock().unwrap() = Some(f());
+        }
+    });
+    (
+        ra.into_inner().unwrap().unwrap(),
+        rb.into_inner().unwrap().unwrap(),
+    )
+}
+
+/// A job spawned into a [`Scope`]: boxed so the scope can own it, callable
+/// once with the scope itself (to allow nested spawns).
+type ScopeJob<'s> = Box<dyn FnOnce(&Scope<'s>) + Send + 's>;
+
+/// A scope for spawning borrowing jobs. Unlike upstream rayon, spawned jobs
+/// run in deferred batches once the scope body returns (each batch may spawn
+/// more); all jobs still complete before [`scope`] returns, and panics
+/// propagate to the caller.
+pub struct Scope<'s> {
+    jobs: Mutex<Vec<ScopeJob<'s>>>,
+}
+
+impl<'s> Scope<'s> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'s>) + Send + 's,
+    {
+        self.jobs.lock().unwrap().push(Box::new(f));
+    }
+}
+
+/// Create a scope, run `f` in it, then drain all spawned jobs (in parallel)
+/// until none remain. Returns `f`'s result.
+pub fn scope<'s, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'s>) -> R,
+{
+    let s = Scope {
+        jobs: Mutex::new(Vec::new()),
+    };
+    let r = f(&s);
+    loop {
+        let batch: Vec<_> = std::mem::take(&mut *s.jobs.lock().unwrap());
+        if batch.is_empty() {
+            break;
+        }
+        let slots: Vec<Mutex<Option<ScopeJob<'s>>>> =
+            batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        run_parallel(slots.len(), &|i| {
+            let job = slots[i].lock().unwrap().take().unwrap();
+            job(&s);
+        });
+    }
+    r
+}

@@ -1,0 +1,103 @@
+//! Join-based parallel merge sort backing `par_sort_unstable*`.
+//!
+//! Determinism: the recursion splits at the fixed midpoint, leaves below a
+//! fixed cutoff use `slice::sort_unstable_by`, and the merge prefers the
+//! left run on ties — so the output is a pure function of the input,
+//! identical at any thread count (and identical to running the same
+//! algorithm sequentially). Equal elements may still be permuted relative
+//! to the input (the leaves are unstable), but *how* they are permuted is
+//! fixed by the input alone.
+
+use crate::pool::join;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+/// Below this length a leaf is sorted sequentially; fixed (not derived from
+/// the thread count) so leaf boundaries are reproducible.
+const SORT_CUTOFF: usize = 4096;
+
+/// Aborts the process if dropped — used to turn a panic inside the merge
+/// (from a panicking comparator) into an abort instead of exposing
+/// double-drops of elements that exist in both the scratch and the slice.
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        eprintln!("comparator panicked during parallel merge; aborting");
+        std::process::abort();
+    }
+}
+
+pub(crate) fn par_merge_sort_by<T, F>(v: &mut [T], cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync + ?Sized,
+{
+    if v.len() <= SORT_CUTOFF {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(v.len());
+    // SAFETY: MaybeUninit needs no initialization; contents are only ever
+    // bitwise copies that are never dropped from the buffer.
+    unsafe { buf.set_len(v.len()) };
+    sort_rec(v, &mut buf, cmp);
+}
+
+fn sort_rec<T, F>(v: &mut [T], buf: &mut [MaybeUninit<T>], cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync + ?Sized,
+{
+    if v.len() <= SORT_CUTOFF {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = v.len() / 2;
+    let (vl, vr) = v.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    join(|| sort_rec(vl, bl, cmp), || sort_rec(vr, br, cmp));
+    merge(v, buf, mid, cmp);
+}
+
+/// Merge the sorted halves `v[..mid]` and `v[mid..]` through `buf`.
+/// Left-preferential on ties (`!= Greater` takes left), which both fixes the
+/// tie order deterministically and yields stability.
+fn merge<T, F>(v: &mut [T], buf: &mut [MaybeUninit<T>], mid: usize, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering + Sync + ?Sized,
+{
+    let n = v.len();
+    let guard = AbortOnUnwind;
+    // SAFETY: everything below shuffles bitwise copies between `v` and the
+    // equally-sized scratch; every element ends up in `v` exactly once, and
+    // the scratch never drops. A comparator panic would leave duplicates,
+    // which the guard converts to an abort.
+    unsafe {
+        ptr::copy_nonoverlapping(v.as_ptr(), buf.as_mut_ptr() as *mut T, n);
+        let b = buf.as_ptr() as *const T;
+        let out = v.as_mut_ptr();
+        let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+        while i < mid && j < n {
+            let src = if cmp(&*b.add(i), &*b.add(j)) != Ordering::Greater {
+                let s = i;
+                i += 1;
+                s
+            } else {
+                let s = j;
+                j += 1;
+                s
+            };
+            ptr::copy_nonoverlapping(b.add(src), out.add(k), 1);
+            k += 1;
+        }
+        if i < mid {
+            ptr::copy_nonoverlapping(b.add(i), out.add(k), mid - i);
+        }
+        if j < n {
+            ptr::copy_nonoverlapping(b.add(j), out.add(k), n - j);
+        }
+    }
+    std::mem::forget(guard);
+}

@@ -28,8 +28,20 @@ use crate::delta::suggest_delta;
 use crate::exchange::exchange_updates;
 use g500_graph::{VertexId, Weight};
 use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
+use rayon::prelude::*;
 use simnet::RankCtx;
 use std::collections::HashMap;
+
+/// Per-vertex result of the parallel pull scan: relaxation count, and (if
+/// the vertex improved) its final `(dist, parent)` plus every strict-
+/// improvement distance along the way (each must reach the bucket queue —
+/// stale entries drive the superstep count).
+type PullScan = (u64, Option<(f32, u64, Vec<f32>)>);
+
+/// Per-chunk result of the parallel heavy-phase scan: relaxation count and
+/// the improving candidates `(target_global, new_dist, parent_global,
+/// owner_rank)` in (source, arc) order.
+type HeavyScan = (u64, Vec<(u64, f32, u64, usize)>);
 
 /// Per-bucket phase timing record (for the breakdown figure F4).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -422,32 +434,57 @@ impl<P: VertexPartition> Kernel<'_, P> {
 
         let bucket_floor = k as f32 * delta;
         let n_local = graph.local_vertices();
-        let mut scanned = 0u64;
-        let mut improved: Vec<(u32, f32)> = Vec::new();
-        for l in 0..n_local {
-            if self.sp.dist[l] < bucket_floor {
-                continue; // settled in an earlier bucket
-            }
-            for (t, w) in graph.arcs(l) {
-                scanned += 1;
-                if w >= delta {
-                    continue;
+        // Parallel scan: each local vertex reads only the frozen frontier
+        // map and its *own* distance slot, so vertices are independent. The
+        // per-vertex improvement chain (running best + every strict-
+        // improvement event, which must all reach the bucket queue — stale
+        // entries drive the superstep count) is replayed sequentially in
+        // `l` order below, reproducing the sequential schedule bitwise at
+        // any thread count.
+        let dist = &self.sp.dist;
+        let per_l: Vec<PullScan> = (0..n_local)
+            .into_par_iter()
+            .with_min_len(256)
+            .map(|l| {
+                if dist[l] < bucket_floor {
+                    return (0, None); // settled in an earlier bucket
                 }
-                if let Some(&fd) = fmap.get(&t) {
-                    let cand = fd + w;
-                    if cand < self.sp.dist[l] {
-                        self.sp.dist[l] = cand;
-                        self.sp.parent[l] = t;
-                        improved.push((l as u32, cand));
+                let mut scanned = 0u64;
+                let mut dl = dist[l];
+                let mut pl = u64::MAX;
+                let mut events: Vec<f32> = Vec::new();
+                for (t, w) in graph.arcs(l) {
+                    scanned += 1;
+                    if w >= delta {
+                        continue;
                     }
+                    if let Some(&fd) = fmap.get(&t) {
+                        let cand = fd + w;
+                        if cand < dl {
+                            dl = cand;
+                            pl = t;
+                            events.push(cand);
+                        }
+                    }
+                }
+                let upd = (!events.is_empty()).then_some((dl, pl, events));
+                (scanned, upd)
+            })
+            .collect();
+
+        let mut scanned = 0u64;
+        for (l, (s, upd)) in per_l.into_iter().enumerate() {
+            scanned += s;
+            if let Some((dl, pl, events)) = upd {
+                self.sp.dist[l] = dl;
+                self.sp.parent[l] = pl;
+                for cand in events {
+                    self.buckets.insert(l as u32, cand);
                 }
             }
         }
         self.stats.relaxations += scanned;
         ctx.charge_compute(scanned);
-        for (l, d) in improved {
-            self.buckets.insert(l, d);
-        }
     }
 
     /// Heavy-edge phase: one push pass over the bucket's settled set.
@@ -457,17 +494,38 @@ impl<P: VertexPartition> Kernel<'_, P> {
         let delta = self.delta;
         let graph = self.graph;
         let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
-        let mut relaxed = 0u64;
-        for &u in settled {
-            let du = self.sp.dist[u as usize];
-            let u_global = graph.part().to_global(me, u as usize);
-            for (v, w) in graph.arcs(u as usize) {
-                if w < delta {
-                    continue;
+        // Parallel candidate scan. Distances of settled vertices cannot
+        // change during this phase (for settled u, du < (k+1)δ, and any
+        // heavy relaxation delivers nd = du' + w ≥ kδ + δ, which `apply`
+        // rejects against dist < (k+1)δ), so the scan reads a frozen view.
+        // Candidates are re-walked sequentially in (source, arc) order
+        // below, so local applies and per-destination buffers are byte-
+        // identical to the sequential schedule at any thread count.
+        let dist = &self.sp.dist;
+        let per_chunk: Vec<HeavyScan> = settled
+            .par_chunks(256)
+            .map(|chunk| {
+                let mut relaxed = 0u64;
+                let mut cands: Vec<(u64, f32, u64, usize)> = Vec::new();
+                for &u in chunk {
+                    let du = dist[u as usize];
+                    let u_global = graph.part().to_global(me, u as usize);
+                    for (v, w) in graph.arcs(u as usize) {
+                        if w < delta {
+                            continue;
+                        }
+                        relaxed += 1;
+                        cands.push((v, du + w, u_global, graph.part().owner(v)));
+                    }
                 }
-                relaxed += 1;
-                let nd = du + w;
-                let owner = graph.part().owner(v);
+                (relaxed, cands)
+            })
+            .collect();
+
+        let mut relaxed = 0u64;
+        for (r, cands) in per_chunk {
+            relaxed += r;
+            for (v, nd, u_global, owner) in cands {
                 if owner == me {
                     self.apply(v, nd, u_global);
                 } else {

@@ -28,8 +28,14 @@
 use crate::bucket::BucketQueue;
 use g500_graph::{Csr, EdgeList, ShortestPaths, VertexId, WEdge, Weight};
 use g500_partition::{Block1D, VertexPartition};
+use rayon::prelude::*;
 use simnet::{RankCtx, SubComm};
 use std::collections::HashMap;
+
+/// Per-chunk result of the parallel local relax scan: relaxation count and
+/// the improving candidates `(target_global, new_dist, parent_global)` in
+/// (source, arc) order.
+type RelaxScan = (u64, Vec<(u64, f32, u64)>);
 
 /// Counters from one 2D run.
 #[derive(Clone, Debug, Default)]
@@ -209,7 +215,7 @@ impl Grid2DSssp {
         &mut self,
         ctx: &mut RankCtx,
         frontier: &[u32],
-        class: impl Fn(Weight) -> bool,
+        class: impl Fn(Weight) -> bool + Sync,
         stats: &mut Sssp2DStats,
     ) {
         // 1. row broadcast: only the diagonal member contributes
@@ -231,22 +237,45 @@ impl Grid2DSssp {
             .flat_map(|s| std::mem::take(&mut blocks_in[s]))
             .collect();
 
-        // 2. local relax: candidates per global target, min-aggregated
+        // 2. local relax: candidates per global target, min-aggregated.
+        // The edge scan (the expensive part) runs in parallel over fixed
+        // chunks of the already order-fixed active list, emitting
+        // candidates in (source, arc) order; the sequential fold below
+        // consumes them in exactly that order, so the aggregate — values
+        // and tie winners alike — is identical at any thread count.
+        let nloc = self.local.num_vertices();
+        let blocks = &self.blocks;
+        let row = self.row;
+        let local = &self.local;
+        let per_chunk: Vec<RelaxScan> = active
+            .par_chunks(256)
+            .map(|chunk| {
+                let mut relaxed = 0u64;
+                let mut cands: Vec<(u64, f32, u64)> = Vec::new();
+                for &(src_local, du) in chunk {
+                    let u_global = blocks.to_global(row, src_local as usize);
+                    if (src_local as usize) < nloc {
+                        for (v, w) in local.arcs(src_local as usize) {
+                            if !class(w) {
+                                continue;
+                            }
+                            relaxed += 1;
+                            cands.push((v, du + w, u_global));
+                        }
+                    }
+                }
+                (relaxed, cands)
+            })
+            .collect();
+
         let mut best: HashMap<u64, (f32, u64)> = HashMap::new();
         let mut relaxed = 0u64;
-        for &(src_local, du) in &active {
-            let u_global = self.blocks.to_global(self.row, src_local as usize);
-            if (src_local as usize) < self.local.num_vertices() {
-                for (v, w) in self.local.arcs(src_local as usize) {
-                    if !class(w) {
-                        continue;
-                    }
-                    relaxed += 1;
-                    let nd = du + w;
-                    let e = best.entry(v).or_insert((f32::INFINITY, u64::MAX));
-                    if nd < e.0 {
-                        *e = (nd, u_global);
-                    }
+        for (r, cands) in per_chunk {
+            relaxed += r;
+            for (v, nd, u_global) in cands {
+                let e = best.entry(v).or_insert((f32::INFINITY, u64::MAX));
+                if nd < e.0 {
+                    *e = (nd, u_global);
                 }
             }
         }

@@ -14,6 +14,7 @@
 
 use crate::codec::{decode_updates, dedup_min, encode_updates, Update};
 use crate::config::OptConfig;
+use rayon::prelude::*;
 use simnet::RankCtx;
 
 /// Tag for non-coalesced per-update messages.
@@ -45,11 +46,14 @@ pub fn exchange_updates(
     };
 
     if opts.dedup {
-        let mut work = 0u64;
-        for b in out.iter_mut() {
-            work += b.len() as u64;
+        let work = outcome.records_offered;
+        // Destination buckets are independent; dedup each in parallel (one
+        // bucket per chunk — buckets are few and large). dedup_min is a
+        // pure function of the bucket's contents, so shipped bytes are
+        // identical at any thread count.
+        out.par_iter_mut().with_min_len(1).for_each(|b| {
             dedup_min(b);
-        }
+        });
         // the sort is the modeled "on-chip sort" cost
         ctx.charge_compute(work);
     }
@@ -58,8 +62,13 @@ pub fn exchange_updates(
     let incoming: Vec<Update> = if !opts.coalescing {
         exchange_one_message_per_update(ctx, out)
     } else if opts.compression {
-        // encode per destination; sortedness comes from dedup when enabled
-        let enc: Vec<Vec<u8>> = out.iter().map(|b| encode_updates(b, opts.dedup)).collect();
+        // encode per destination (in parallel, ordered combine); sortedness
+        // comes from dedup when enabled
+        let enc: Vec<Vec<u8>> = out
+            .par_iter()
+            .with_min_len(1)
+            .map(|b| encode_updates(b, opts.dedup))
+            .collect();
         ctx.charge_compute(outcome.records_sent);
         let mut blocks = ctx.alltoallv(enc);
         // Apply per-source blocks in the (possibly fuzzed) delivery order:

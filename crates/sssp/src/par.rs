@@ -1,35 +1,34 @@
 //! Shared-memory parallel delta-stepping.
 //!
 //! This is the *intra-rank* kernel: on the real machine each process drives
-//! hundreds of cores, and the bucket's frontier is relaxed in parallel. The
-//! distance array is `AtomicU32` holding `f32` bits (non-negative floats
-//! order as their bit patterns, so `fetch_min` implements atomic relaxation
-//! — see `g500_graph::types::weight_to_bits`). Parent updates ride a second
-//! atomic; a parent may briefly disagree with the very latest distance
-//! during a race, so parents are fixed up from winners after each wave,
-//! keeping the (distance, parent) pair consistent at wave boundaries.
+//! hundreds of cores, and the bucket's frontier is relaxed in parallel.
+//! Each wave runs in two phases:
+//!
+//! 1. **Scan** (parallel): the frontier's edges are scanned against a
+//!    *frozen* distance array — no writes happen during the scan, so every
+//!    read is stable — and improving candidates `(target, new_dist, source)`
+//!    are collected in (source, arc) order via fixed-chunk `flat_map_iter`.
+//! 2. **Commit** (sequential): candidates are re-checked and applied in that
+//!    order, updating distances/parents and bucket insertions.
+//!
+//! Because the scan only reads and the commit order is fixed, the result —
+//! distances, parents, and the exact bucket schedule — is bitwise identical
+//! at any `G500_THREADS`, unlike an atomic `fetch_min` race which settles
+//! ties (and parent choices) by scheduling. A source improved mid-bucket is
+//! re-inserted and re-scanned with its better distance on the next inner
+//! wave, which is the usual delta-stepping self-correction.
 
 use crate::bucket::BucketQueue;
-use g500_graph::types::weight_to_bits;
 use g500_graph::{Csr, ShortestPaths, VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Shared-memory parallel delta-stepping from `root` with width `delta`.
 pub fn parallel_delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> ShortestPaths {
     let n = graph.num_vertices();
-    let dist: Vec<AtomicU32> = (0..n)
-        .map(|_| AtomicU32::new(weight_to_bits(f32::INFINITY)))
-        .collect();
-    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    dist[root as usize].store(weight_to_bits(0.0), Ordering::Relaxed);
-    parent[root as usize].store(root, Ordering::Relaxed);
-
-    // Shared-reference views: `&[Atomic…]` is `Copy`, so the rayon closures
-    // capture these instead of moving the vectors.
-    let dist_ref: &[AtomicU32] = &dist;
-    let parent_ref: &[AtomicU64] = &parent;
-    let load = move |v: usize| f32::from_bits(dist_ref[v].load(Ordering::Relaxed));
+    let mut dist: Vec<f32> = vec![f32::INFINITY; n];
+    let mut parent: Vec<u64> = vec![u64::MAX; n];
+    dist[root as usize] = 0.0;
+    parent[root as usize] = root;
 
     let mut buckets = BucketQueue::new(delta);
     buckets.insert(root as u32, 0.0);
@@ -42,7 +41,7 @@ pub fn parallel_delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> Sh
                 .take_bucket(k)
                 .into_iter()
                 .filter(|&v| {
-                    let d = load(v as usize);
+                    let d = dist[v as usize];
                     d.is_finite() && buckets.bucket_of(d) == k
                 })
                 .collect();
@@ -50,74 +49,57 @@ pub fn parallel_delta_stepping(graph: &Csr, root: VertexId, delta: Weight) -> Sh
                 break;
             }
             settled.extend_from_slice(&frontier);
-            // Parallel light-edge wave; improvements are collected and
-            // re-inserted sequentially (the bucket structure is not shared).
-            let improved: Vec<(u32, f32)> = frontier
-                .par_iter()
-                .flat_map_iter(|&u| {
-                    let du = load(u as usize);
-                    graph.arcs(u as usize).filter_map(move |(v, w)| {
-                        if w < delta {
-                            relax_atomic(dist_ref, parent_ref, u, v, du + w)
-                        } else {
-                            None
-                        }
-                    })
-                })
-                .collect();
-            for (v, d) in improved {
-                buckets.insert(v, d);
-            }
+            // Parallel light-edge scan over the frozen distances, then an
+            // ordered sequential commit.
+            let candidates = scan_wave(graph, &dist, &frontier, |w| w < delta);
+            commit_wave(&mut dist, &mut parent, &mut buckets, candidates);
         }
-        // Heavy phase over the settled set, in parallel, once.
-        let improved: Vec<(u32, f32)> = settled
-            .par_iter()
-            .flat_map_iter(|&u| {
-                let du = load(u as usize);
-                graph.arcs(u as usize).filter_map(move |(v, w)| {
-                    if w >= delta {
-                        relax_atomic(dist_ref, parent_ref, u, v, du + w)
-                    } else {
-                        None
-                    }
-                })
-            })
-            .collect();
-        for (v, d) in improved {
-            buckets.insert(v, d);
-        }
+        // Heavy phase over the settled set, once per bucket.
+        let candidates = scan_wave(graph, &dist, &settled, |w| w >= delta);
+        commit_wave(&mut dist, &mut parent, &mut buckets, candidates);
     }
 
-    ShortestPaths {
-        dist: dist
-            .into_iter()
-            .map(|a| f32::from_bits(a.into_inner()))
-            .collect(),
-        parent: parent.into_iter().map(AtomicU64::into_inner).collect(),
-    }
+    ShortestPaths { dist, parent }
 }
 
-/// Atomic relaxation: returns `Some((v, nd))` if this call improved `v`.
-#[inline]
-fn relax_atomic(
-    dist: &[AtomicU32],
-    parent: &[AtomicU64],
-    u: u32,
-    v: VertexId,
-    nd: Weight,
-) -> Option<(u32, f32)> {
-    let vi = v as usize;
-    let nd_bits = weight_to_bits(nd);
-    let prev = dist[vi].fetch_min(nd_bits, Ordering::Relaxed);
-    if nd_bits < prev {
-        // This thread won the min; record the matching parent. A
-        // concurrent better relaxation may overwrite both — last-winner
-        // consistency is restored because that winner also stores its
-        // parent after its fetch_min.
-        parent[vi].store(u as u64, Ordering::Relaxed);
-        Some((v as u32, nd))
-    } else {
-        None
+/// Phase 1: scan the out-edges of `sources` (weights filtered by `keep`)
+/// against the frozen `dist` array, collecting improving candidates in
+/// (source, arc) order.
+fn scan_wave(
+    graph: &Csr,
+    dist: &[f32],
+    sources: &[u32],
+    keep: impl Fn(Weight) -> bool + Sync,
+) -> Vec<(u32, f32, u32)> {
+    let keep = &keep;
+    sources
+        .par_iter()
+        .with_min_len(64)
+        .flat_map_iter(|&u| {
+            let du = dist[u as usize];
+            graph.arcs(u as usize).filter_map(move |(v, w)| {
+                let nd = du + w;
+                (keep(w) && nd < dist[v as usize]).then_some((v as u32, nd, u))
+            })
+        })
+        .collect()
+}
+
+/// Phase 2: apply candidates in order. The re-check against the (now
+/// mutating) distances keeps only still-improving updates; each winner
+/// records its parent and bucket insertion.
+fn commit_wave(
+    dist: &mut [f32],
+    parent: &mut [u64],
+    buckets: &mut BucketQueue,
+    candidates: Vec<(u32, f32, u32)>,
+) {
+    for (v, nd, u) in candidates {
+        if nd < dist[v as usize] {
+            dist[v as usize] = nd;
+            parent[v as usize] = u as u64;
+            buckets.insert(v, nd);
+        }
     }
 }
 
@@ -170,5 +152,24 @@ mod tests {
         let sp = parallel_delta_stepping(&g, 0, 0.5);
         assert_eq!(sp.dist, vec![0.0]);
         assert_eq!(sp.parent, vec![0]);
+    }
+
+    #[test]
+    fn result_is_identical_across_repeated_runs() {
+        // The two-phase wave is deterministic: distances AND parents must be
+        // byte-identical run to run (and, via the fixed-chunk contract, at
+        // any thread count).
+        let gen = g500_gen::KroneckerGenerator::new(g500_gen::KroneckerParams::graph500(9, 5));
+        let el = gen.generate_all();
+        let g = Csr::from_edges(512, &el, Directedness::Undirected);
+        let a = parallel_delta_stepping(&g, 2, 0.125);
+        let b = parallel_delta_stepping(&g, 2, 0.125);
+        let bits = |sp: &ShortestPaths| -> (Vec<u32>, Vec<u64>) {
+            (
+                sp.dist.iter().map(|d| d.to_bits()).collect(),
+                sp.parent.clone(),
+            )
+        };
+        assert_eq!(bits(&a), bits(&b));
     }
 }

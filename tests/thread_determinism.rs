@@ -1,0 +1,134 @@
+//! Cross-thread-count determinism: the fixed-chunk contract promises that
+//! every benchmark result — distances, parents, traffic, NetStats, TEPS
+//! denominators — is bitwise identical at any `G500_THREADS`. The worker
+//! pool is process-global and fixed at first use, so the only honest way to
+//! compare thread counts is to spawn the real `g500` binary once per count
+//! and diff its `--json` output byte for byte (minus the wall-clock and
+//! thread-count fields, which legitimately differ).
+
+use std::process::Command;
+
+/// Run the g500 binary with `G500_THREADS=<threads>` and return its JSON
+/// stdout with the host-dependent lines (`wall_time_s`, `"threads"`)
+/// stripped.
+fn run_normalized(threads: usize, args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_g500"))
+        .args(args)
+        .env("G500_THREADS", threads.to_string())
+        .output()
+        .expect("spawn g500");
+    assert!(
+        out.status.success(),
+        "g500 {:?} failed under {} threads: {}",
+        args,
+        threads,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("utf8 json")
+        .lines()
+        .filter(|l| !l.contains("wall_time_s") && !l.contains("\"threads\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_identical(args: &[&str]) {
+    let one = run_normalized(1, args);
+    let four = run_normalized(4, args);
+    assert!(!one.is_empty(), "empty JSON for {args:?}");
+    assert_eq!(
+        one, four,
+        "g500 {args:?} output differs between G500_THREADS=1 and =4"
+    );
+}
+
+#[test]
+fn sssp_json_is_bitwise_identical_across_thread_counts() {
+    assert_identical(&[
+        "sssp",
+        "--scale",
+        "9",
+        "--ranks",
+        "4",
+        "--roots",
+        "4",
+        "--deterministic",
+        "--json",
+    ]);
+}
+
+#[test]
+fn bfs_json_is_bitwise_identical_across_thread_counts() {
+    assert_identical(&[
+        "bfs",
+        "--scale",
+        "9",
+        "--ranks",
+        "4",
+        "--roots",
+        "4",
+        "--deterministic",
+        "--json",
+    ]);
+}
+
+#[test]
+fn pull_direction_is_bitwise_identical_across_thread_counts() {
+    assert_identical(&[
+        "sssp",
+        "--scale",
+        "9",
+        "--ranks",
+        "4",
+        "--roots",
+        "2",
+        "--deterministic",
+        "--direction",
+        "pull",
+        "--json",
+    ]);
+}
+
+#[test]
+fn fuzzed_schedule_is_bitwise_identical_across_thread_counts() {
+    // delivery-order fuzzing (--sched-seed) composes with the pool: the
+    // seeded schedule fixes the simnet side, the fixed-chunk contract fixes
+    // the intra-rank side.
+    assert_identical(&[
+        "sssp",
+        "--scale",
+        "9",
+        "--ranks",
+        "4",
+        "--roots",
+        "2",
+        "--sched-seed",
+        "7",
+        "--json",
+    ]);
+}
+
+#[test]
+fn threads_flag_is_reported_in_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_g500"))
+        .args([
+            "sssp",
+            "--scale",
+            "9",
+            "--ranks",
+            "2",
+            "--roots",
+            "1",
+            "--threads",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn g500");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8 json");
+    assert!(
+        json.contains("\"threads\": 2"),
+        "report should echo the configured pool size, got:\n{json}"
+    );
+}
