@@ -7,18 +7,17 @@
 //!
 //! Overrides: `G500_SCALE` (14), `G500_RANKS` (8).
 
-use g500_bench::{banner, gteps, param, Table};
+use g500_bench::{banner, fault_banner_params, fault_plan_from_env, gteps, param, Table};
 use g500_sssp::OptConfig;
 use graph500::{run_sssp_benchmark, BenchmarkConfig};
 
 fn main() {
     let scale = param("G500_SCALE", 14) as u32;
     let ranks = param("G500_RANKS", 8) as usize;
-    banner(
-        "F6",
-        "communication volume",
-        &[("scale", scale.to_string()), ("ranks", ranks.to_string())],
-    );
+    let fault = fault_plan_from_env();
+    let mut params = vec![("scale", scale.to_string()), ("ranks", ranks.to_string())];
+    params.extend(fault_banner_params(&fault));
+    banner("F6", "communication volume", &params);
 
     let variants: Vec<(&str, OptConfig)> = vec![
         (
@@ -49,7 +48,7 @@ fn main() {
     ]);
     let mut base_msgs = 0u64;
     for (name, opts) in variants {
-        let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+        let mut cfg = BenchmarkConfig::graph500(scale, ranks).faults(fault);
         cfg.num_roots = 2;
         cfg.validate = false;
         cfg.opts = opts;

@@ -12,22 +12,21 @@
 //! Overrides: `G500_SCALE_PER_RANK`, `G500_MAX_RANKS` (default 32),
 //! `G500_ROOTS` (default 8).
 
-use g500_bench::{banner, gteps, param, secs, Table};
+use g500_bench::{banner, fault_banner_params, fault_plan_from_env, gteps, param, secs, Table};
 use graph500::{run_sssp_benchmark, BenchmarkConfig};
 
 fn main() {
     let scale_per_rank = param("G500_SCALE_PER_RANK", 15) as u32;
     let max_ranks = param("G500_MAX_RANKS", 32) as usize;
     let roots = param("G500_ROOTS", 8) as usize;
-    banner(
-        "T2",
-        "headline weak scaling + extrapolation",
-        &[
-            ("vertices/rank", format!("2^{scale_per_rank}")),
-            ("ranks", format!("1..={max_ranks}")),
-            ("roots", roots.to_string()),
-        ],
-    );
+    let fault = fault_plan_from_env();
+    let mut params = vec![
+        ("vertices/rank", format!("2^{scale_per_rank}")),
+        ("ranks", format!("1..={max_ranks}")),
+        ("roots", roots.to_string()),
+    ];
+    params.extend(fault_banner_params(&fault));
+    banner("T2", "headline weak scaling + extrapolation", &params);
 
     let t = Table::new(&[
         "ranks",
@@ -42,11 +41,13 @@ fn main() {
     let mut points: Vec<(usize, f64)> = Vec::new();
     let mut ranks = 1usize;
     let mut base_per_rank = 0.0f64;
+    let mut retransmits = 0u64;
     while ranks <= max_ranks {
         let scale = scale_per_rank + ranks.trailing_zeros();
-        let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+        let mut cfg = BenchmarkConfig::graph500(scale, ranks).faults(fault);
         cfg.num_roots = roots;
         let rep = run_sssp_benchmark(&cfg);
+        retransmits += rep.net.retransmits;
         let g = rep.teps.harmonic_mean;
         let per_rank = g / ranks as f64;
         if ranks == 1 {
@@ -64,6 +65,9 @@ fn main() {
             rep.all_validated().to_string(),
         ]);
         ranks *= 2;
+    }
+    if fault.is_active() {
+        println!("\nlossy network: {retransmits} retransmissions masked by the reliable transport (all points still validated)");
     }
 
     // Extrapolation: fit efficiency e(P) = max(0, 1 − b·log2 P) on measured

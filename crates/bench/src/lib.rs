@@ -29,6 +29,44 @@ pub fn param_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Build a [`simnet::FaultPlan`] from the `G500_*` fault environment
+/// variables (`G500_FAULT_SEED`, `G500_DROP_RATE`, `G500_DUP_RATE`,
+/// `G500_CORRUPT_RATE`, `G500_REORDER_RATE`, `G500_RETRY_BUDGET`), all
+/// zero/off by default — so every harness can run its sweep over a lossy
+/// network without code changes. Panics on invalid rates.
+pub fn fault_plan_from_env() -> simnet::FaultPlan {
+    let plan = simnet::FaultPlan::none()
+        .with_seed(param("G500_FAULT_SEED", 0))
+        .with_drop(param_f64("G500_DROP_RATE", 0.0))
+        .with_duplicate(param_f64("G500_DUP_RATE", 0.0))
+        .with_corrupt(param_f64("G500_CORRUPT_RATE", 0.0))
+        .with_reorder(param_f64("G500_REORDER_RATE", 0.0))
+        .with_retry_budget(param("G500_RETRY_BUDGET", 16) as u32);
+    if let Err(e) = plan.validate() {
+        panic!("bad G500_* fault environment: {e}");
+    }
+    plan
+}
+
+/// Extra banner parameters describing the fault environment; empty when
+/// the plan is inactive, so fault-free harness output is unchanged.
+pub fn fault_banner_params(plan: &simnet::FaultPlan) -> Vec<(&'static str, String)> {
+    if !plan.is_active() {
+        return Vec::new();
+    }
+    vec![
+        ("fault_seed", plan.seed.to_string()),
+        (
+            "fault rates (drop/dup/corrupt/reorder)",
+            format!(
+                "{}/{}/{}/{}",
+                plan.drop, plan.duplicate, plan.corrupt, plan.reorder
+            ),
+        ),
+        ("retry_budget", plan.retry_budget.to_string()),
+    ]
+}
+
 /// A fixed-width text table writer for experiment output.
 pub struct Table {
     widths: Vec<usize>,
@@ -99,6 +137,23 @@ mod tests {
         std::env::set_var("G500_TEST_PARAM_X", "bogus");
         assert_eq!(param("G500_TEST_PARAM_X", 7), 7);
         std::env::remove_var("G500_TEST_PARAM_X");
+    }
+
+    #[test]
+    fn fault_env_defaults_to_inactive() {
+        for v in [
+            "G500_FAULT_SEED",
+            "G500_DROP_RATE",
+            "G500_DUP_RATE",
+            "G500_CORRUPT_RATE",
+            "G500_REORDER_RATE",
+            "G500_RETRY_BUDGET",
+        ] {
+            std::env::remove_var(v);
+        }
+        let plan = fault_plan_from_env();
+        assert!(!plan.is_active(), "{plan:?}");
+        assert!(fault_banner_params(&plan).is_empty());
     }
 
     #[test]

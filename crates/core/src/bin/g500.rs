@@ -16,11 +16,13 @@ use graph500::gen::{KroneckerGenerator, KroneckerParams};
 use graph500::graph::{component_stats, Csr, DegreeStats, Directedness};
 use graph500::simnet::Topology;
 use graph500::sssp::{Direction, OptConfig};
-use graph500::{run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, PartitionStrategy};
+use graph500::{
+    run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, FaultPlan, PartitionStrategy,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes."
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [fault flags as above]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError."
     );
     std::process::exit(2)
 }
@@ -39,6 +41,16 @@ impl Args {
     }
 
     fn num(&self, name: &str, default: u64) -> u64 {
+        match self.value(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                usage()
+            }),
+        }
+    }
+
+    fn fnum(&self, name: &str, default: f64) -> f64 {
         match self.value(name) {
             None => default,
             Some(v) => v.parse().unwrap_or_else(|_| {
@@ -90,6 +102,18 @@ fn build_cfg(args: &Args) -> BenchmarkConfig {
     if args.has("--deterministic") || args.has("--sched-seed") {
         cfg = cfg.deterministic(args.num("--sched-seed", 0));
     }
+    let fault = FaultPlan::none()
+        .with_seed(args.num("--fault-seed", 0))
+        .with_drop(args.fnum("--drop-rate", 0.0))
+        .with_duplicate(args.fnum("--dup-rate", 0.0))
+        .with_corrupt(args.fnum("--corrupt-rate", 0.0))
+        .with_reorder(args.fnum("--reorder-rate", 0.0))
+        .with_retry_budget(args.num("--retry-budget", 16) as u32);
+    if let Err(e) = fault.validate() {
+        eprintln!("{e}");
+        usage();
+    }
+    cfg = cfg.faults(fault);
     if let Some(t) = args.value("--topology") {
         let side = (ranks as f64).sqrt().ceil().max(1.0) as u32;
         cfg.machine = cfg.machine.topology(match t {

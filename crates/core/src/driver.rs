@@ -15,7 +15,7 @@ use g500_partition::{
 };
 use g500_sssp::{distributed_bfs, distributed_delta_stepping, OptConfig, SsspRunStats};
 use g500_validate::{validate_bfs, validate_sssp, SsspResult, TepsSummary};
-use simnet::{Machine, MachineConfig, NetStats};
+use simnet::{FaultPlan, Machine, MachineConfig, NetStats};
 
 /// How vertices are placed on ranks.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -99,6 +99,16 @@ impl BenchmarkConfig {
         self.machine = self.machine.deterministic(sched_seed);
         self
     }
+
+    /// Inject seeded lossy-network faults (see [`simnet::FaultPlan`]). The
+    /// reliable transport must mask every fault within the retry budget:
+    /// distances, supersteps, and validation stay byte-identical to the
+    /// fault-free run — only virtual time and the fault counters in
+    /// [`NetStats`] move.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.machine = self.machine.faults(plan);
+        self
+    }
 }
 
 /// One root's outcome.
@@ -145,6 +155,9 @@ pub struct BenchmarkReport {
     /// Worker threads the process-global pool actually ran with, so runs
     /// are attributable when comparing wall times.
     pub threads: usize,
+    /// The fault plan the machine ran under (echoed so archived sweeps are
+    /// attributable; [`FaultPlan::none`] for a perfect network).
+    pub fault: FaultPlan,
 }
 
 impl BenchmarkReport {
@@ -170,6 +183,18 @@ impl BenchmarkReport {
             self.net.total_bytes(),
             self.threads
         ));
+        if self.fault.is_active() {
+            s.push_str(&format!(
+                "fault_seed:            {}\nretransmits:           {}\ntimeouts:              {}\ncorrupt_frames:        {}\ndup_frames_dropped:    {}\nreordered_frames:      {}\nstall_events:          {}\n",
+                self.fault.seed,
+                self.net.retransmits,
+                self.net.timeouts,
+                self.net.corrupt_frames,
+                self.net.dup_frames_dropped,
+                self.net.reordered_frames,
+                self.net.stall_events,
+            ));
+        }
         s
     }
 
@@ -212,8 +237,8 @@ impl BenchmarkReport {
         format!(
             "{{\n  \"scale\": {},\n  \"n\": {},\n  \"m\": {},\n  \"ranks\": {},\n  \
              \"construction_time_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"teps\": {},\n  \
-             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"wall_time_s\": {},\n  \
-             \"threads\": {}\n}}",
+             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"fault\": {},\n  \
+             \"wall_time_s\": {},\n  \"threads\": {}\n}}",
             self.scale,
             self.n,
             self.m,
@@ -223,6 +248,7 @@ impl BenchmarkReport {
             self.teps.to_json(),
             self.net.to_json(),
             per_rank.join(",\n"),
+            self.fault.to_json(),
             f(self.wall_time_s),
             self.threads
         )
@@ -470,6 +496,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         per_rank_net,
         wall_time_s,
         threads,
+        fault: cfg.machine.fault,
     }
 }
 
@@ -563,6 +590,7 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         per_rank_net,
         wall_time_s,
         threads,
+        fault: cfg.machine.fault,
     }
 }
 
@@ -605,6 +633,26 @@ mod tests {
         let rep = run_bfs_benchmark(&cfg);
         assert!(rep.all_validated());
         assert!(rep.teps.harmonic_mean > 0.0);
+    }
+
+    #[test]
+    fn lossy_run_matches_fault_free_distances() {
+        let mut clean_cfg = BenchmarkConfig::quick(8, 2);
+        clean_cfg.keep_paths = true;
+        let lossy_cfg = clean_cfg
+            .clone()
+            .faults(FaultPlan::lossy(0xF00D, 0.05, 0.02, 0.01));
+        let clean = run_sssp_benchmark(&clean_cfg);
+        let lossy = run_sssp_benchmark(&lossy_cfg);
+        assert!(lossy.all_validated());
+        for (a, b) in clean.runs.iter().zip(&lossy.runs) {
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.paths, b.paths, "faults changed distances for {}", a.root);
+        }
+        assert!(lossy.net.retransmits > 0, "{:?}", lossy.net);
+        assert!(lossy.render().contains("retransmits:"));
+        assert!(lossy.to_json().contains("\"retransmits\":"));
+        assert!(!clean.render().contains("retransmits:"));
     }
 
     #[test]

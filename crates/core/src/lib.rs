@@ -25,6 +25,7 @@ pub use driver::{
     run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, BenchmarkReport, PartitionStrategy,
     RootRun,
 };
+pub use simnet::{FaultPlan, TransportError};
 
 // Re-export the component crates under stable names.
 pub use g500_baselines as baselines;

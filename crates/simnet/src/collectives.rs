@@ -13,7 +13,8 @@
 //! run far ahead.
 
 use crate::rank::{RankCtx, Tag, TrafficClass, TAG_COLLECTIVE_BASE};
-use crate::wire::{decode_vec, encode_slice, Wire};
+use crate::transport::TransportError;
+use crate::wire::{decode_vec_checked, encode_slice, Wire};
 
 impl RankCtx {
     fn coll_tag(&mut self, round: u64) -> Tag {
@@ -34,7 +35,20 @@ impl RankCtx {
     }
 
     fn recv_coll<T: Wire>(&mut self, src: usize, tag: Tag) -> Vec<T> {
-        decode_vec(&self.recv_bytes_class(src, tag)).expect("collective payload type mismatch")
+        let buf = self.recv_bytes_class(src, tag);
+        decode_vec_checked(&buf).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: collective payload type mismatch: {}",
+                self.rank(),
+                TransportError::Decode {
+                    src,
+                    dst: self.rank(),
+                    tag,
+                    len: e.len,
+                    elem_size: e.elem_size,
+                }
+            )
+        })
     }
 
     /// Reduce all ranks' `value` to rank 0 with the associative, commutative

@@ -1,0 +1,410 @@
+//! Seeded lossy-network fault injection.
+//!
+//! The paper's record run holds 40M cores in lockstep for hours only
+//! because the interconnect stack masks transient faults below the
+//! application: dropped, duplicated, reordered, and corrupted packets are
+//! absorbed by link-level retransmission long before MPI sees them. This
+//! module is the *adversary* half of that contract: a [`FaultPlan`]
+//! describes per-link fault probabilities (plus seeded rank stall windows),
+//! and every fault decision is drawn from a SplitMix64 stream keyed by
+//! `(fault_seed, src, dst)` and advanced only by the sending rank — so a
+//! fault schedule is a pure function of the plan, independent of host
+//! thread scheduling and of [`SchedMode`], and any failing run replays
+//! exactly from `--fault-seed`.
+//!
+//! The defender half — CRC32 framing, per-stream sequence numbers,
+//! dedup/reassembly, ack/retransmit with exponential backoff — lives in
+//! [`crate::transport`]. Under any fault seed whose faults stay within the
+//! retry budget, kernels on top of [`crate::RankCtx`] must produce
+//! bitwise-identical results to the fault-free run; only virtual time and
+//! the fault counters in [`crate::NetStats`] may move.
+//!
+//! [`SchedMode`]: crate::sched::SchedMode
+
+use crate::sched::splitmix64;
+
+/// A replayable description of how the simulated interconnect misbehaves.
+///
+/// All rates are per-frame probabilities in `[0, 1]`; the default plan
+/// ([`FaultPlan::none`]) is a perfect network and makes the transport a
+/// pass-through (byte-identical behaviour to the historical lossless
+/// simnet, including `NetStats`). Stall windows freeze a rank for
+/// [`stall_s`](FaultPlan::stall_s) virtual seconds at seeded points of its
+/// send stream, modelling OS jitter / GC pauses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of every fault lottery. Same plan ⇒ same fault schedule,
+    /// independent of scheduler mode and thread count.
+    pub seed: u64,
+    /// Probability that a data frame is dropped in flight (the ack return
+    /// path rolls the same rate independently).
+    pub drop: f64,
+    /// Probability that a delivered data frame arrives twice.
+    pub duplicate: f64,
+    /// Probability that a delivered data frame is delayed past its
+    /// successors (masked by sequence-number reassembly; costs time).
+    pub reorder: f64,
+    /// Probability that a data frame is corrupted in flight (a seeded bit
+    /// burst of ≤ 32 bits — always caught by the CRC32 frame check).
+    pub corrupt: f64,
+    /// Number of stall windows injected per rank (0 disables stalls).
+    pub stalls_per_rank: u32,
+    /// Base length of one stall window in virtual seconds (jittered by the
+    /// seeded stream to 0.5×–1.5×).
+    pub stall_s: f64,
+    /// Spacing of stall windows in sent-message counts: window `i` triggers
+    /// at a seeded point inside `[i·stall_every, (i+1)·stall_every)`.
+    pub stall_every: u64,
+    /// Maximum retransmissions per frame before the transport escalates to
+    /// a fail-stop [`TransportError`](crate::transport::TransportError).
+    pub retry_budget: u32,
+    /// Base retransmit timeout in virtual seconds (doubles per retry via
+    /// [`backoff`](FaultPlan::backoff)).
+    pub rto_s: f64,
+    /// Exponential backoff multiplier applied to the timeout after every
+    /// failed attempt.
+    pub backoff: f64,
+    /// Maximum payload bytes per frame; larger messages are fragmented and
+    /// reassembled in sequence order at the receiver.
+    pub mtu: usize,
+}
+
+impl FaultPlan {
+    /// A perfect network: all fault rates zero, no stalls. The transport
+    /// layer short-circuits to the historical lossless path.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            stalls_per_rank: 0,
+            stall_s: 0.0,
+            stall_every: 256,
+            retry_budget: 16,
+            rto_s: 25.0e-6,
+            backoff: 2.0,
+            mtu: 4096,
+        }
+    }
+
+    /// A lossy profile: `drop`/`duplicate`/`corrupt` as given, reorder at
+    /// half the drop rate, no stalls.
+    pub fn lossy(seed: u64, drop: f64, duplicate: f64, corrupt: f64) -> Self {
+        FaultPlan {
+            seed,
+            drop,
+            duplicate,
+            corrupt,
+            reorder: drop / 2.0,
+            ..Self::none()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style drop-rate override.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Builder-style duplicate-rate override.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Builder-style reorder-rate override.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Builder-style corrupt-rate override.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Builder-style retry-budget override.
+    pub fn with_retry_budget(mut self, n: u32) -> Self {
+        self.retry_budget = n;
+        self
+    }
+
+    /// Builder-style stall-window configuration: `n` windows per rank of
+    /// `stall_s` base seconds, spaced `every` sent messages apart.
+    pub fn with_stalls(mut self, n: u32, stall_s: f64, every: u64) -> Self {
+        self.stalls_per_rank = n;
+        self.stall_s = stall_s;
+        self.stall_every = every.max(1);
+        self
+    }
+
+    /// True when any fault class is enabled. Inactive plans bypass the
+    /// reliable transport entirely (zero overhead, legacy byte accounting).
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.reorder > 0.0
+            || self.corrupt > 0.0
+            || self.stalls_per_rank > 0
+    }
+
+    /// Validate rates (debug aid for CLI plumbing): every probability must
+    /// be a finite value in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+            ("corrupt", self.corrupt),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("fault rate {name} = {p} is not in [0, 1]"));
+            }
+        }
+        if self.mtu == 0 {
+            return Err("mtu must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Render as a JSON object (hand-rolled like the rest of the
+    /// workspace's reports; all fields numeric).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seed\":{},\"drop\":{},\"duplicate\":{},\"reorder\":{},\"corrupt\":{},\
+             \"stalls_per_rank\":{},\"stall_s\":{},\"retry_budget\":{},\"mtu\":{}}}",
+            self.seed,
+            crate::stats::json_f64(self.drop),
+            crate::stats::json_f64(self.duplicate),
+            crate::stats::json_f64(self.reorder),
+            crate::stats::json_f64(self.corrupt),
+            self.stalls_per_rank,
+            crate::stats::json_f64(self.stall_s),
+            self.retry_budget,
+            self.mtu,
+        )
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The per-link fault lottery: one SplitMix64 stream per ordered `(src,
+/// dst)` pair, owned and advanced exclusively by the sending rank — the
+/// property that makes fault schedules independent of execution
+/// interleaving.
+#[derive(Clone, Debug)]
+pub struct LinkRng {
+    state: u64,
+}
+
+impl LinkRng {
+    /// Derive the stream for link `src → dst` from the plan seed.
+    pub fn for_link(seed: u64, src: usize, dst: usize) -> Self {
+        let key = splitmix64(seed ^ (src as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        LinkRng {
+            state: splitmix64(key ^ (dst as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)),
+        }
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw. Always advances the stream, even for `p == 0`, so a
+    /// plan with one rate zeroed still replays the same schedule for the
+    /// other classes.
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Uniform in `[0, n)`; `n > 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// The fate the lottery assigns one transmission attempt of one frame.
+/// Exactly six draws per attempt (five coins + the corruption offset seed),
+/// so the stream position is a pure function of the attempt count.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameFate {
+    /// Data frame lost in flight.
+    pub drop: bool,
+    /// Data frame delivered with a corrupted bit burst.
+    pub corrupt: bool,
+    /// A second copy of the data frame is delivered.
+    pub duplicate: bool,
+    /// Data frame delayed behind its successors.
+    pub reorder: bool,
+    /// The acknowledgement for a delivered frame is lost on the way back.
+    pub ack_drop: bool,
+    /// Seed for the corruption burst position/width (used only when
+    /// `corrupt` is set, but always drawn).
+    pub corrupt_seed: u64,
+}
+
+impl FrameFate {
+    /// Draw the fate of one attempt from `rng` under `plan`.
+    pub fn draw(rng: &mut LinkRng, plan: &FaultPlan) -> Self {
+        FrameFate {
+            drop: rng.coin(plan.drop),
+            corrupt: rng.coin(plan.corrupt),
+            duplicate: rng.coin(plan.duplicate),
+            reorder: rng.coin(plan.reorder),
+            ack_drop: rng.coin(plan.drop),
+            corrupt_seed: rng.next_u64(),
+        }
+    }
+}
+
+/// One rank's seeded stall schedule: virtual-time freezes triggered when
+/// the rank's sent-message count crosses seeded thresholds. Pure function
+/// of `(plan, rank)`.
+#[derive(Clone, Debug, Default)]
+pub struct StallSchedule {
+    /// `(trigger_msg_count, duration_s)`, sorted by trigger count.
+    windows: Vec<(u64, f64)>,
+    /// Index of the next untriggered window.
+    next: usize,
+    /// Messages sent so far by this rank.
+    sent: u64,
+}
+
+impl StallSchedule {
+    /// Build rank `rank`'s schedule under `plan`.
+    pub fn for_rank(plan: &FaultPlan, rank: usize) -> Self {
+        let mut windows = Vec::with_capacity(plan.stalls_per_rank as usize);
+        if plan.stalls_per_rank > 0 && plan.stall_s > 0.0 {
+            let mut rng = LinkRng::for_link(plan.seed ^ 0x5741_4C4C, rank, rank); // "WALL"
+            for i in 0..plan.stalls_per_rank as u64 {
+                let trigger = i * plan.stall_every + rng.below(plan.stall_every.max(1));
+                let jitter = 0.5 + rng.unit(); // 0.5×–1.5×
+                windows.push((trigger, plan.stall_s * jitter));
+            }
+            windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        }
+        StallSchedule {
+            windows,
+            next: 0,
+            sent: 0,
+        }
+    }
+
+    /// Account one sent message; returns the total stall seconds (and
+    /// window count) newly triggered by this send, if any.
+    pub fn on_send(&mut self) -> Option<(f64, u64)> {
+        self.sent += 1;
+        let mut dt = 0.0;
+        let mut hit = 0u64;
+        while self.next < self.windows.len() && self.windows[self.next].0 < self.sent {
+            dt += self.windows[self.next].1;
+            hit += 1;
+            self.next += 1;
+        }
+        (hit > 0).then_some((dt, hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::lossy(1, 0.05, 0.02, 0.01).is_active());
+    }
+
+    #[test]
+    fn stall_only_plan_is_active() {
+        assert!(FaultPlan::none().with_stalls(2, 1e-4, 64).is_active());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(FaultPlan::none().with_drop(1.5).validate().is_err());
+        assert!(FaultPlan::none().with_corrupt(-0.1).validate().is_err());
+        assert!(FaultPlan::none().with_drop(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn link_streams_are_independent_and_replayable() {
+        let a1: Vec<u64> = {
+            let mut r = LinkRng::for_link(7, 0, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = LinkRng::for_link(7, 0, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = LinkRng::for_link(7, 1, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2, "same link must replay");
+        assert_ne!(a1, b, "reverse link must draw a different stream");
+    }
+
+    #[test]
+    fn fate_draw_count_is_fixed() {
+        // the stream advances by the same amount whatever the rates, so
+        // zeroing one class never perturbs another class's schedule
+        let plan_a = FaultPlan::lossy(3, 0.5, 0.0, 0.0);
+        let plan_b = FaultPlan::lossy(3, 0.5, 0.9, 0.9);
+        let mut ra = LinkRng::for_link(3, 0, 1);
+        let mut rb = LinkRng::for_link(3, 0, 1);
+        for _ in 0..32 {
+            let fa = FrameFate::draw(&mut ra, &plan_a);
+            let fb = FrameFate::draw(&mut rb, &plan_b);
+            assert_eq!(fa.drop, fb.drop, "drop schedule must not shift");
+            assert_eq!(fa.ack_drop, fb.ack_drop);
+        }
+    }
+
+    #[test]
+    fn stall_schedule_triggers_once_each() {
+        let plan = FaultPlan::none().with_stalls(3, 1e-3, 10);
+        let mut s = StallSchedule::for_rank(&plan, 2);
+        let mut total = 0.0;
+        let mut hits = 0;
+        for _ in 0..100 {
+            if let Some((dt, h)) = s.on_send() {
+                total += dt;
+                hits += h;
+            }
+        }
+        assert_eq!(hits, 3, "every window triggers exactly once");
+        assert!((3.0 * 0.5e-3..=3.0 * 1.5e-3).contains(&total));
+        // replay
+        let mut s2 = StallSchedule::for_rank(&plan, 2);
+        let mut total2 = 0.0;
+        for _ in 0..100 {
+            if let Some((dt, _)) = s2.on_send() {
+                total2 += dt;
+            }
+        }
+        assert_eq!(total.to_bits(), total2.to_bits());
+    }
+}

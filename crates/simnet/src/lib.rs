@@ -40,17 +40,21 @@
 
 pub mod collectives;
 pub mod cost;
+pub mod fault;
 pub mod machine;
 pub mod rank;
 pub mod sched;
 pub mod stats;
 pub mod subcomm;
+pub mod transport;
 pub mod wire;
 
 pub use cost::{ComputeModel, LogGP, Topology};
+pub use fault::FaultPlan;
 pub use machine::{Machine, MachineConfig, SimReport};
 pub use rank::{RankCtx, Tag};
 pub use sched::SchedMode;
 pub use stats::NetStats;
 pub use subcomm::SubComm;
+pub use transport::TransportError;
 pub use wire::Wire;

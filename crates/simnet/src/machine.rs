@@ -1,6 +1,7 @@
 //! Machine construction and SPMD launch.
 
 use crate::cost::{ComputeModel, LogGP, Topology};
+use crate::fault::FaultPlan;
 use crate::rank::{Envelope, RankCtx, Tag, Transport};
 use crate::sched::{SchedCore, SchedMode};
 use crate::stats::NetStats;
@@ -20,6 +21,9 @@ pub struct MachineConfig {
     pub compute: ComputeModel,
     /// Execution scheduling: free threads or deterministic replay.
     pub sched: SchedMode,
+    /// Seeded lossy-network fault injection; [`FaultPlan::none`] (the
+    /// default) is a perfect network and bypasses the reliable transport.
+    pub fault: FaultPlan,
     /// When true, a job that completes while undelivered (orphan) messages
     /// remain panics with a diagnostic listing them — this is how misrouted
     /// messages surface in tests. Authoritative under
@@ -37,6 +41,7 @@ impl MachineConfig {
             topology: Topology::Crossbar,
             compute: ComputeModel::default(),
             sched: SchedMode::Threads,
+            fault: FaultPlan::none(),
             debug_checks: true,
         }
     }
@@ -69,6 +74,17 @@ impl MachineConfig {
     /// canonical schedule; any other seed fuzzes delivery order.
     pub fn deterministic(mut self, seed: u64) -> Self {
         self.sched = SchedMode::Deterministic { seed };
+        self
+    }
+
+    /// Builder-style fault-injection override. Panics on an invalid plan
+    /// (rates outside `[0, 1]`, zero MTU) — misconfigured fault plumbing
+    /// should fail at machine construction, not mid-run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        self.fault = plan;
         self
     }
 
@@ -174,8 +190,15 @@ impl Machine {
                         if let Some(core) = &core {
                             core.acquire(rank);
                         }
-                        let mut ctx =
-                            RankCtx::new(rank, p, transport, cfg.loggp, cfg.topology, cfg.compute);
+                        let mut ctx = RankCtx::new(
+                            rank,
+                            p,
+                            transport,
+                            cfg.loggp,
+                            cfg.topology,
+                            cfg.compute,
+                            cfg.fault,
+                        );
                         // Fail-stop semantics: a panic on one rank raises
                         // the abort flag so peers blocked in recv abort
                         // too, instead of deadlocking the job.
@@ -457,6 +480,96 @@ mod tests {
         assert_eq!(rep.results[0], vec![0, 1, 2, 3, 4]);
         let rep = det(1, 0).run(|ctx| ctx.delivery_order(5));
         assert_eq!(rep.results[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    // ---- fault injection ----
+
+    /// A little all-pairs exchange whose result depends on every payload.
+    fn exchange_prog(ctx: &mut RankCtx) -> u64 {
+        let p = ctx.size();
+        let me = ctx.rank();
+        let vals: Vec<u64> = (0..64).map(|i| (me as u64) << 32 | i).collect();
+        for d in 0..p {
+            if d != me {
+                ctx.send(d, 5, &vals);
+            }
+        }
+        let mut acc = vals.iter().sum::<u64>();
+        for s in 0..p {
+            if s != me {
+                acc = acc.wrapping_add(ctx.recv::<u64>(s, 5).iter().sum::<u64>());
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn lossy_network_is_masked_by_reliable_transport() {
+        let clean = Machine::new(MachineConfig::with_ranks(4)).run(exchange_prog);
+        let plan = crate::fault::FaultPlan::lossy(0xBAD_5EED, 0.2, 0.1, 0.1);
+        let lossy = Machine::new(MachineConfig::with_ranks(4).faults(plan)).run(exchange_prog);
+        assert_eq!(
+            clean.results, lossy.results,
+            "faults must not change values"
+        );
+        assert!(
+            lossy.total_stats().saw_faults(),
+            "a 20% drop rate must exercise the transport: {:?}",
+            lossy.total_stats()
+        );
+        // message/byte accounting counts application payloads, not frames
+        assert_eq!(
+            clean.total_stats().user_bytes,
+            lossy.total_stats().user_bytes
+        );
+        assert_eq!(clean.total_stats().user_msgs, lossy.total_stats().user_msgs);
+        // retransmissions cost virtual time
+        assert!(lossy.sim_time_s > clean.sim_time_s);
+    }
+
+    #[test]
+    fn fault_schedule_is_identical_across_sched_modes() {
+        let plan = crate::fault::FaultPlan::lossy(42, 0.15, 0.05, 0.05);
+        let threads = Machine::new(MachineConfig::with_ranks(4).faults(plan)).run(exchange_prog);
+        let canon = Machine::new(MachineConfig::with_ranks(4).faults(plan).deterministic(0))
+            .run(exchange_prog);
+        assert_eq!(threads.results, canon.results);
+        assert_eq!(
+            threads.stats, canon.stats,
+            "per-rank fault counters must not depend on the scheduler"
+        );
+        assert_eq!(threads.sim_time_s, canon.sim_time_s);
+    }
+
+    #[test]
+    fn same_fault_seed_replays_identically() {
+        let plan = crate::fault::FaultPlan::lossy(9, 0.3, 0.1, 0.1).with_stalls(2, 1e-4, 16);
+        let a = Machine::new(MachineConfig::with_ranks(3).faults(plan)).run(exchange_prog);
+        let b = Machine::new(MachineConfig::with_ranks(3).faults(plan)).run(exchange_prog);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sim_time_s.to_bits(), b.sim_time_s.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "retry budget exhausted on link")]
+    fn retry_budget_exhaustion_fails_stop() {
+        // drop rate 1.0: no frame ever gets through; the transport must
+        // escalate to a structured TransportError instead of hanging
+        let plan = crate::fault::FaultPlan::lossy(1, 1.0, 0.0, 0.0).with_retry_budget(3);
+        Machine::new(MachineConfig::with_ranks(2).faults(plan)).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_one(1, 5, 7u64);
+            } else {
+                let _: u64 = ctx.recv_one(0, 5);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_rejected_at_construction() {
+        let _ = MachineConfig::with_ranks(2).faults(crate::fault::FaultPlan::none().with_drop(2.0));
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! [`SchedMode::Deterministic`]: crate::sched::SchedMode::Deterministic
 
 use crate::cost::{ComputeModel, LogGP, Topology};
+use crate::fault::FaultPlan;
 use crate::sched::{splitmix64, SchedCore};
 use crate::stats::NetStats;
-use crate::wire::{decode_vec, encode_slice, Wire};
+use crate::transport::{SenderTransport, TransportError};
+use crate::wire::{decode_vec_checked, encode_slice, Wire};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -81,6 +83,10 @@ pub struct RankCtx {
     /// SplitMix64 stream behind [`RankCtx::delivery_order`]; zero means
     /// "identity orders" (threaded mode, or deterministic seed 0).
     perm_state: u64,
+    /// Reliable-transport state; `Some` only when the machine's
+    /// [`FaultPlan`] is active, so a fault-free machine pays zero overhead
+    /// and keeps the historical lossless byte accounting bit-for-bit.
+    reliable: Option<Box<SenderTransport>>,
 }
 
 impl RankCtx {
@@ -91,6 +97,7 @@ impl RankCtx {
         loggp: LogGP,
         topo: Topology,
         compute: ComputeModel,
+        fault: FaultPlan,
     ) -> Self {
         let perm_state = match &transport {
             Transport::Threads { .. } => 0,
@@ -114,6 +121,9 @@ impl RankCtx {
             coll_seq: 0,
             subcomm_counter: 0,
             perm_state,
+            reliable: fault
+                .is_active()
+                .then(|| Box::new(SenderTransport::new(fault, rank, size))),
         }
     }
 
@@ -238,11 +248,37 @@ impl RankCtx {
                 self.stats.coll_bytes += bytes;
             }
         }
+        // Injected stall windows fire in sent-message-count space, before
+        // this send is charged.
+        if let Some(rel) = self.reliable.as_mut() {
+            if let Some((dt, hit)) = rel.on_send() {
+                self.now += dt;
+                self.stats.stall_s += dt;
+                self.stats.stall_events += hit;
+            }
+        }
         // Sender-side overhead.
         self.now += self.loggp.overhead;
         self.stats.comm_s += self.loggp.overhead;
         let hops = self.topo.hops(self.rank, dest);
-        let arrive = self.now + self.loggp.transit(payload.len(), hops);
+        let arrive = match self.reliable.as_mut() {
+            None => self.now + self.loggp.transit(payload.len(), hops),
+            Some(rel) => {
+                // Lossy link: run the reliable protocol (framing, fault
+                // lottery, dedup/reassembly, retransmit backoff) to
+                // completion; the mailbox below stays lossless and carries
+                // the reassembled payload exactly once.
+                let loggp = self.loggp;
+                rel.deliver(
+                    dest,
+                    tag,
+                    &payload,
+                    &mut self.now,
+                    &mut self.stats,
+                    |frame_len| loggp.transit(frame_len, hops),
+                )
+            }
+        };
         let env = Envelope {
             src: self.rank,
             tag,
@@ -351,12 +387,26 @@ impl RankCtx {
 
     /// Receive a slice of typed records from `(src, tag)`.
     ///
-    /// Panics if the payload does not decode as a whole number of `T`s —
-    /// that is always a program bug (mismatched send/recv types), not a
-    /// runtime condition.
+    /// Panics with a [`TransportError::Decode`] fail-stop if the payload
+    /// does not decode as a whole number of `T`s — a truncated/garbage
+    /// payload or mismatched send/recv types must surface as a diagnosable
+    /// transport error, never as a silently truncated batch.
     pub fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> Vec<T> {
-        decode_vec(&self.recv_bytes(src, tag))
-            .expect("payload does not decode as the receiver's record type")
+        self.try_recv(src, tag)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
+    }
+
+    /// Like [`RankCtx::recv`], but returns an undecodable payload as a
+    /// structured [`TransportError`] instead of panicking.
+    pub fn try_recv<T: Wire>(&mut self, src: usize, tag: Tag) -> Result<Vec<T>, TransportError> {
+        let buf = self.recv_bytes(src, tag);
+        decode_vec_checked(&buf).map_err(|e| TransportError::Decode {
+            src,
+            dst: self.rank,
+            tag,
+            len: e.len,
+            elem_size: e.elem_size,
+        })
     }
 
     /// Convenience: send a single record.

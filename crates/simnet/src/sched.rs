@@ -30,6 +30,15 @@
 //! * **Orphan detection** — at teardown, envelopes that were delivered but
 //!   never received (e.g. a message routed to the wrong rank) are reported
 //!   (see `Machine::run`, gated on `MachineConfig::debug_checks`).
+//!
+//! Fault injection composes with both modes without touching this module:
+//! the reliable transport ([`crate::transport`]) runs its retransmit
+//! protocol synchronously inside the send, charging timeouts to the
+//! sender's virtual clock before the (single, lossless) envelope is
+//! deposited. The scheduler only ever sees final arrival times, so the
+//! same `(sched_seed, fault_seed)` pair replays byte-identically, and
+//! fault schedules are identical under [`SchedMode::Threads`] and
+//! [`SchedMode::Deterministic`].
 
 use crate::rank::{Envelope, Tag};
 use std::sync::{Condvar, Mutex};

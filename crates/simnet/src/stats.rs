@@ -25,6 +25,22 @@ pub struct NetStats {
     /// Virtual seconds spent blocked on communication (clock jumps while
     /// waiting for messages, plus per-message overheads).
     pub comm_s: f64,
+    /// Frames retransmitted by the reliable transport (fault injection).
+    pub retransmits: u64,
+    /// Retransmit timer expirations (every failed delivery attempt: data
+    /// lost, frame corrupted, or ack lost).
+    pub timeouts: u64,
+    /// Frames discarded by receiver-side sequence-number dedup (network
+    /// duplicates and ack-loss-induced retransmits of delivered data).
+    pub dup_frames_dropped: u64,
+    /// Frames rejected by the receiver's CRC32 / framing check.
+    pub corrupt_frames: u64,
+    /// Frames delivered out of order and masked by reassembly.
+    pub reordered_frames: u64,
+    /// Injected rank stall windows that triggered.
+    pub stall_events: u64,
+    /// Virtual seconds lost to injected rank stalls.
+    pub stall_s: f64,
 }
 
 impl NetStats {
@@ -43,7 +59,10 @@ impl NetStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"user_msgs\":{},\"user_bytes\":{},\"coll_msgs\":{},\"coll_bytes\":{},\
-             \"barriers\":{},\"collectives\":{},\"compute_s\":{},\"comm_s\":{}}}",
+             \"barriers\":{},\"collectives\":{},\"compute_s\":{},\"comm_s\":{},\
+             \"retransmits\":{},\"timeouts\":{},\"dup_frames_dropped\":{},\
+             \"corrupt_frames\":{},\"reordered_frames\":{},\"stall_events\":{},\
+             \"stall_s\":{}}}",
             self.user_msgs,
             self.user_bytes,
             self.coll_msgs,
@@ -52,6 +71,13 @@ impl NetStats {
             self.collectives,
             crate::stats::json_f64(self.compute_s),
             crate::stats::json_f64(self.comm_s),
+            self.retransmits,
+            self.timeouts,
+            self.dup_frames_dropped,
+            self.corrupt_frames,
+            self.reordered_frames,
+            self.stall_events,
+            crate::stats::json_f64(self.stall_s),
         )
     }
 
@@ -65,6 +91,24 @@ impl NetStats {
         self.collectives += other.collectives;
         self.compute_s += other.compute_s;
         self.comm_s += other.comm_s;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.dup_frames_dropped += other.dup_frames_dropped;
+        self.corrupt_frames += other.corrupt_frames;
+        self.reordered_frames += other.reordered_frames;
+        self.stall_events += other.stall_events;
+        self.stall_s += other.stall_s;
+    }
+
+    /// True when any fault-injection / reliable-transport counter is
+    /// nonzero — i.e. the run actually exercised the lossy path.
+    pub fn saw_faults(&self) -> bool {
+        self.retransmits != 0
+            || self.timeouts != 0
+            || self.dup_frames_dropped != 0
+            || self.corrupt_frames != 0
+            || self.reordered_frames != 0
+            || self.stall_events != 0
     }
 }
 
@@ -102,6 +146,13 @@ mod tests {
             collectives: 4,
             compute_s: 0.5,
             comm_s: 0.25,
+            retransmits: 5,
+            timeouts: 6,
+            dup_frames_dropped: 7,
+            corrupt_frames: 8,
+            reordered_frames: 9,
+            stall_events: 2,
+            stall_s: 0.125,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -109,6 +160,28 @@ mod tests {
         assert_eq!(b.total_bytes(), 60);
         assert_eq!(b.barriers, 6);
         assert!((b.compute_s - 1.0).abs() < 1e-12);
+        assert_eq!(b.retransmits, 10);
+        assert_eq!(b.timeouts, 12);
+        assert_eq!(b.dup_frames_dropped, 14);
+        assert_eq!(b.corrupt_frames, 16);
+        assert_eq!(b.reordered_frames, 18);
+        assert_eq!(b.stall_events, 4);
+        assert!((b.stall_s - 0.25).abs() < 1e-12);
+        assert!(b.saw_faults());
+        assert!(!NetStats::default().saw_faults());
+    }
+
+    #[test]
+    fn json_includes_transport_counters() {
+        let s = NetStats {
+            retransmits: 3,
+            corrupt_frames: 1,
+            ..NetStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"retransmits\":3"), "{j}");
+        assert!(j.contains("\"corrupt_frames\":1"), "{j}");
+        assert!(j.contains("\"stall_s\":0"), "{j}");
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! from a per-communicator namespace so concurrent subgroups never collide.
 
 use crate::rank::{RankCtx, Tag, TrafficClass};
-use crate::wire::{decode_vec, encode_slice, Wire};
+use crate::transport::TransportError;
+use crate::wire::{decode_vec_checked, encode_slice, Wire};
 
 /// Tags at or above this value are reserved for sub-communicator traffic
 /// (disjoint from both user tags and global-collective tags).
@@ -101,8 +102,20 @@ impl SubComm {
     }
 
     fn recv<T: Wire>(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> Vec<T> {
-        decode_vec(&ctx.recv_bytes_class(self.members[src], tag))
-            .expect("subcomm payload type mismatch")
+        let buf = ctx.recv_bytes_class(self.members[src], tag);
+        decode_vec_checked(&buf).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: subcomm payload type mismatch: {}",
+                ctx.rank(),
+                TransportError::Decode {
+                    src: self.members[src],
+                    dst: ctx.rank(),
+                    tag,
+                    len: e.len,
+                    elem_size: e.elem_size,
+                }
+            )
+        })
     }
 
     fn recv_one<T: Wire>(&self, ctx: &mut RankCtx, src: usize, tag: Tag) -> T {

@@ -139,6 +139,27 @@ pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
     out
 }
 
+/// Why a payload failed to decode as a vector of records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Wire size of the requested record type.
+    pub elem_size: usize,
+}
+
+/// Decode a whole buffer of records, reporting the payload length and
+/// record size on failure so callers can surface a diagnosable transport
+/// error (see [`TransportError::Decode`]) instead of silently truncating.
+///
+/// [`TransportError::Decode`]: crate::transport::TransportError::Decode
+pub fn decode_vec_checked<T: Wire>(buf: &[u8]) -> Result<Vec<T>, DecodeError> {
+    decode_vec(buf).ok_or(DecodeError {
+        len: buf.len(),
+        elem_size: T::SIZE,
+    })
+}
+
 /// Decode a whole buffer of records. `None` if the length is not a multiple
 /// of the record size or a record is malformed.
 pub fn decode_vec<T: Wire>(buf: &[u8]) -> Option<Vec<T>> {
@@ -200,6 +221,19 @@ mod tests {
         assert_eq!(decode_vec::<u64>(&buf[..7]), None);
         let mut pos = 0;
         assert_eq!(u64::read(&buf[..7], &mut pos), None);
+    }
+
+    #[test]
+    fn checked_decode_reports_sizes() {
+        let buf = encode_slice(&[7u64]);
+        assert_eq!(decode_vec_checked::<u64>(&buf), Ok(vec![7]));
+        assert_eq!(
+            decode_vec_checked::<u64>(&buf[..7]),
+            Err(DecodeError {
+                len: 7,
+                elem_size: 8
+            })
+        );
     }
 
     #[test]

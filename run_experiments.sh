@@ -18,6 +18,17 @@ run() {
   fi
 }
 
+# Fault-injection defaults: perfect network (all rates zero/off). Set e.g.
+# G500_DROP_RATE=0.05 G500_FAULT_SEED=1 to re-run any sweep over a lossy
+# network — results must be identical; only retransmit counters and
+# simulated time change.
+export G500_FAULT_SEED="${G500_FAULT_SEED:-0}"
+export G500_DROP_RATE="${G500_DROP_RATE:-0}"
+export G500_DUP_RATE="${G500_DUP_RATE:-0}"
+export G500_CORRUPT_RATE="${G500_CORRUPT_RATE:-0}"
+export G500_REORDER_RATE="${G500_REORDER_RATE:-0}"
+export G500_RETRY_BUDGET="${G500_RETRY_BUDGET:-16}"
+
 # Recorded-run parameters: chosen so the full suite completes in tens of
 # minutes on one host core; every binary accepts larger G500_* overrides.
 run t1_graph_stats

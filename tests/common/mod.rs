@@ -74,3 +74,32 @@ pub fn for_cases(base_seed: u64, cases: usize, f: impl Fn(&mut Rng) + std::panic
         }
     }
 }
+
+/// Build a [`graph500::FaultPlan`] from the `G500_*` fault environment
+/// variables, mirroring the experiment harnesses. Inactive (perfect
+/// network) when unset, so default test runs are unchanged; CI's lossy
+/// profile exports the variables to re-run whole suites over a faulty
+/// network and prove the results don't move.
+pub fn fault_overlay() -> graph500::FaultPlan {
+    fn env_f64(name: &str) -> f64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0)
+    }
+    fn env_u64(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+    let plan = graph500::FaultPlan::none()
+        .with_seed(env_u64("G500_FAULT_SEED", 0))
+        .with_drop(env_f64("G500_DROP_RATE"))
+        .with_duplicate(env_f64("G500_DUP_RATE"))
+        .with_corrupt(env_f64("G500_CORRUPT_RATE"))
+        .with_reorder(env_f64("G500_REORDER_RATE"))
+        .with_retry_budget(env_u64("G500_RETRY_BUDGET", 16) as u32);
+    plan.validate().expect("bad G500_* fault environment");
+    plan
+}

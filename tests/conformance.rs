@@ -11,6 +11,8 @@ use graph500::partition::{assemble_local_graph, Block1D, Cyclic1D, VertexPartiti
 use graph500::simnet::{Machine, MachineConfig};
 use graph500::sssp::{distributed_delta_stepping, Direction, Grid2DSssp, OptConfig};
 
+mod common;
+
 /// The graph families the suite crosses against every configuration.
 fn families() -> Vec<(&'static str, EdgeList, u64)> {
     let kron = KroneckerGenerator::new(KroneckerParams::graph500(9, 5));
@@ -45,35 +47,45 @@ fn dist_run_det<P: VertexPartition + 'static>(
     root: u64,
     opts: &OptConfig,
 ) -> ShortestPaths {
-    Machine::new(MachineConfig::with_ranks(p).deterministic(0))
-        .run(|ctx| {
-            let part = part_of(ctx.size());
-            let m = el.len();
-            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
-            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
-            let g = assemble_local_graph(ctx, mine.into_iter(), part);
-            let (sp, _) = distributed_delta_stepping(ctx, &g, root, opts);
-            sp.gather_to_all(ctx, g.part())
-        })
-        .results
-        .pop()
-        .expect("at least one rank")
+    // The CI lossy profile re-runs this whole suite over a faulty network
+    // via G500_DROP_RATE etc.; the plan is inactive by default.
+    Machine::new(
+        MachineConfig::with_ranks(p)
+            .deterministic(0)
+            .faults(common::fault_overlay()),
+    )
+    .run(|ctx| {
+        let part = part_of(ctx.size());
+        let m = el.len();
+        let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+        let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+        let g = assemble_local_graph(ctx, mine.into_iter(), part);
+        let (sp, _) = distributed_delta_stepping(ctx, &g, root, opts);
+        sp.gather_to_all(ctx, g.part())
+    })
+    .results
+    .pop()
+    .expect("at least one rank")
 }
 
 fn grid_run_det(el: &EdgeList, n: u64, p: usize, root: u64, delta: f32) -> ShortestPaths {
-    Machine::new(MachineConfig::with_ranks(p).deterministic(0))
-        .run(|ctx| {
-            let m = el.len();
-            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
-            let mine = (lo..hi).map(|i| el.get(i));
-            let mut g = Grid2DSssp::build(ctx, n, mine, delta);
-            g.run(ctx, root);
-            g.gather(ctx)
-        })
-        .results
-        .into_iter()
-        .next()
-        .expect("rank 0")
+    Machine::new(
+        MachineConfig::with_ranks(p)
+            .deterministic(0)
+            .faults(common::fault_overlay()),
+    )
+    .run(|ctx| {
+        let m = el.len();
+        let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+        let mine = (lo..hi).map(|i| el.get(i));
+        let mut g = Grid2DSssp::build(ctx, n, mine, delta);
+        g.run(ctx, root);
+        g.gather(ctx)
+    })
+    .results
+    .into_iter()
+    .next()
+    .expect("rank 0")
 }
 
 /// 1D block layout × the full optimization matrix × every family:

@@ -216,3 +216,229 @@ fn every_single_bit_flip_class_is_caught() {
         }
     }
 }
+
+// ---------- lossy network masked by the reliable transport ----------
+//
+// The determinism-under-faults contract: with the same generator and
+// scheduler seeds, ANY fault seed whose faults stay within the retry
+// budget must yield byte-identical distances, parents, kernel counters,
+// and validation output to the fault-free run — only virtual time and the
+// transport counters in NetStats may move.
+
+use graph500::gen::KroneckerParams;
+use graph500::simnet::SchedMode;
+use graph500::sssp::Grid2DSssp;
+use graph500::{run_sssp_benchmark, BenchmarkConfig, FaultPlan};
+
+/// The ISSUE's lossy CI profile.
+fn lossy_profile(seed: u64) -> FaultPlan {
+    FaultPlan::lossy(seed, 0.05, 0.02, 0.01)
+}
+
+fn run_1d(
+    scale: u32,
+    ranks: usize,
+    sched: Option<u64>,
+    fault: FaultPlan,
+) -> graph500::BenchmarkReport {
+    let mut cfg = BenchmarkConfig::quick(scale, ranks).faults(fault);
+    if let Some(seed) = sched {
+        cfg = cfg.deterministic(seed);
+    }
+    cfg.keep_paths = true;
+    run_sssp_benchmark(&cfg)
+}
+
+fn assert_same_outputs(clean: &graph500::BenchmarkReport, lossy: &graph500::BenchmarkReport) {
+    assert!(clean.all_validated() && lossy.all_validated());
+    assert_eq!(clean.runs.len(), lossy.runs.len());
+    for (a, b) in clean.runs.iter().zip(&lossy.runs) {
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.validated, b.validated);
+        assert_eq!(a.traversed_edges, b.traversed_edges);
+        // Virtual time legitimately moves under faults (retransmissions
+        // cost RTOs); every discrete kernel counter must not.
+        let strip_time = |s: &graph500::sssp::SsspRunStats| {
+            let mut s = s.clone();
+            s.sim_time_s = 0.0;
+            s.compute_s = 0.0;
+            s.comm_s = 0.0;
+            s.phases.clear();
+            s
+        };
+        assert_eq!(
+            strip_time(&a.stats),
+            strip_time(&b.stats),
+            "kernel counters moved under faults"
+        );
+        let (pa, pb) = (
+            a.paths.as_ref().expect("kept"),
+            b.paths.as_ref().expect("kept"),
+        );
+        for v in 0..pa.dist.len() {
+            assert_eq!(
+                pa.dist[v].to_bits(),
+                pb.dist[v].to_bits(),
+                "root {}: distance moved at vertex {v}",
+                a.root
+            );
+        }
+        assert_eq!(pa.parent, pb.parent, "root {}: parents moved", a.root);
+    }
+}
+
+/// Scale-10 1D acceptance: lossy run is byte-identical to fault-free,
+/// with nonzero retransmit counters — under both schedulers.
+#[test]
+fn scale10_1d_lossy_matches_fault_free_both_schedulers() {
+    for sched in [None, Some(0)] {
+        let clean = run_1d(10, 8, sched, FaultPlan::none());
+        let lossy = run_1d(10, 8, sched, lossy_profile(0xFA17));
+        assert_same_outputs(&clean, &lossy);
+        assert!(
+            lossy.net.retransmits > 0 && lossy.net.corrupt_frames > 0,
+            "lossy profile did not exercise the transport ({sched:?}): {:?}",
+            lossy.net
+        );
+        assert_eq!(clean.net.retransmits, 0, "clean run saw retransmits");
+    }
+}
+
+/// Scale-10 2D acceptance: the grid kernel (not driven by the benchmark
+/// driver) is also byte-identical under faults, both schedulers.
+#[test]
+fn scale10_2d_lossy_matches_fault_free_both_schedulers() {
+    let gen = graph500::gen::KroneckerGenerator::new(KroneckerParams::graph500(10, 20220814));
+    let el = gen.generate_all();
+    let n = 1u64 << 10;
+    let p = 4usize;
+    let root = {
+        let mut has_edge = vec![false; n as usize];
+        for e in el.iter() {
+            has_edge[e.u as usize] = true;
+            has_edge[e.v as usize] = true;
+        }
+        (0..n).find(|&v| has_edge[v as usize]).expect("nonempty")
+    };
+    let run = |sched: SchedMode, fault: FaultPlan| {
+        let cfg = MachineConfig::with_ranks(p).sched(sched).faults(fault);
+        let report = Machine::new(cfg).run(|ctx| {
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine = (lo..hi).map(|i| el.get(i));
+            let mut g = Grid2DSssp::build(ctx, n, mine, 0.25);
+            let stats = g.run(ctx, root);
+            (g.gather(ctx), stats.supersteps)
+        });
+        let net = report.total_stats();
+        let (sp, steps) = report.results.into_iter().next().expect("rank 0");
+        (sp, steps, net)
+    };
+    for sched in [SchedMode::Threads, SchedMode::Deterministic { seed: 0 }] {
+        let (sp_c, steps_c, net_c) = run(sched, FaultPlan::none());
+        let (sp_f, steps_f, net_f) = run(sched, lossy_profile(0x2D));
+        assert_eq!(steps_c, steps_f, "superstep count moved under faults");
+        for v in 0..n as usize {
+            assert_eq!(
+                sp_c.dist[v].to_bits(),
+                sp_f.dist[v].to_bits(),
+                "distance moved at {v}"
+            );
+        }
+        assert_eq!(sp_c.parent, sp_f.parent, "parents moved under faults");
+        assert!(net_f.retransmits > 0, "{net_f:?}");
+        assert_eq!(net_c.retransmits, 0);
+        // validate the lossy result against the input edge list
+        let res = SsspResult {
+            root,
+            dist: sp_f.dist.clone(),
+            parent: sp_f.parent.clone(),
+        };
+        assert!(validate_sssp(n, &el, &res).ok);
+    }
+}
+
+/// Fuzzed schedule × fault seed matrix: every combination must reproduce
+/// the canonical fault-free distances.
+#[test]
+fn fuzzed_schedule_times_fault_seed_matrix() {
+    let canonical = run_1d(8, 4, Some(0), FaultPlan::none());
+    for sched_seed in [0u64, 1, 0xFEED] {
+        // Faults must be invisible relative to the *same* schedule; the
+        // schedule fuzz itself may move internal counters, but never the
+        // computed distances.
+        let clean = run_1d(8, 4, Some(sched_seed), FaultPlan::none());
+        for fault_seed in [1u64, 0xABCD] {
+            let lossy = run_1d(8, 4, Some(sched_seed), lossy_profile(fault_seed));
+            assert_same_outputs(&clean, &lossy);
+            assert!(
+                lossy.net.saw_faults(),
+                "sched {sched_seed:#x} fault {fault_seed:#x} drew no faults"
+            );
+            for (a, b) in canonical.runs.iter().zip(&lossy.runs) {
+                let (pa, pb) = (a.paths.as_ref().unwrap(), b.paths.as_ref().unwrap());
+                for v in 0..pa.dist.len() {
+                    assert_eq!(
+                        pa.dist[v].to_bits(),
+                        pb.dist[v].to_bits(),
+                        "sched {sched_seed:#x} fault {fault_seed:#x}: distance diverged at {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Injected rank stall windows cost virtual time but change nothing else.
+#[test]
+fn rank_stalls_change_time_not_results() {
+    let clean = run_1d(8, 4, Some(0), FaultPlan::none());
+    let stalled = run_1d(
+        8,
+        4,
+        Some(0),
+        FaultPlan::none().with_seed(5).with_stalls(4, 1e-4, 64),
+    );
+    assert_same_outputs(&clean, &stalled);
+    assert!(stalled.net.stall_events > 0, "{:?}", stalled.net);
+    assert!(stalled.net.stall_s > 0.0);
+    assert!(stalled.wall_time_s >= 0.0);
+}
+
+/// Same fault seed ⇒ byte-identical NetStats (including every transport
+/// counter), independent of scheduler mode.
+#[test]
+fn fault_counters_are_scheduler_invariant() {
+    let threads = run_1d(8, 4, None, lossy_profile(0x77));
+    let det = run_1d(8, 4, Some(0), lossy_profile(0x77));
+    assert_eq!(threads.per_rank_net, det.per_rank_net);
+    assert_same_outputs(&threads, &det);
+}
+
+// ---------- retry-budget exhaustion: diagnosable fail-stop ----------
+
+#[test]
+#[should_panic(expected = "retry budget exhausted on link")]
+fn retry_budget_exhaustion_names_link_threads() {
+    let plan = FaultPlan::lossy(1, 1.0, 0.0, 0.0).with_retry_budget(2);
+    Machine::new(MachineConfig::with_ranks(2).faults(plan)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 5, &[1u64]);
+        } else {
+            let _: Vec<u64> = ctx.recv(0, 5);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "retry budget exhausted on link")]
+fn retry_budget_exhaustion_names_link_deterministic() {
+    let plan = FaultPlan::lossy(1, 1.0, 0.0, 0.0).with_retry_budget(2);
+    Machine::new(MachineConfig::with_ranks(2).deterministic(0).faults(plan)).run(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 5, &[1u64]);
+        } else {
+            let _: Vec<u64> = ctx.recv(0, 5);
+        }
+    });
+}

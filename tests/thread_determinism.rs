@@ -132,3 +132,53 @@ fn threads_flag_is_reported_in_json() {
         "report should echo the configured pool size, got:\n{json}"
     );
 }
+
+/// The determinism contract survives a lossy network: the same fault
+/// flags produce bitwise-identical JSON (distances, validation, and every
+/// transport counter) at any thread count, because the fault schedule is
+/// keyed to links, not to execution interleaving.
+#[test]
+fn lossy_sssp_json_is_bitwise_identical_across_thread_counts() {
+    assert_identical(&[
+        "sssp",
+        "--scale",
+        "9",
+        "--ranks",
+        "4",
+        "--roots",
+        "4",
+        "--deterministic",
+        "--fault-seed",
+        "1",
+        "--drop-rate",
+        "0.05",
+        "--dup-rate",
+        "0.02",
+        "--corrupt-rate",
+        "0.01",
+        "--json",
+    ]);
+    // and the lossy run really did exercise the transport
+    let json = run_normalized(
+        1,
+        &[
+            "sssp",
+            "--scale",
+            "9",
+            "--ranks",
+            "4",
+            "--roots",
+            "1",
+            "--deterministic",
+            "--fault-seed",
+            "1",
+            "--drop-rate",
+            "0.05",
+            "--json",
+        ],
+    );
+    assert!(
+        json.contains("\"retransmits\""),
+        "lossy JSON must carry transport counters:\n{json}"
+    );
+}
