@@ -1,10 +1,15 @@
 //! F4 — Per-bucket time breakdown: where an SSSP run spends its life.
 //!
-//! One root, per-bucket phase records: frontier volume, compute seconds,
-//! communication seconds. The early buckets carry almost all the work
-//! (dense frontiers); the long tail of late buckets is tiny but each still
-//! pays full superstep latency — the figure that motivates bucket fusion.
-//! Printed twice: fusion off (the problem) and fusion on (the fix).
+//! One root, per-bucket rows from the virtual-time trace: frontier volume,
+//! compute seconds, communication seconds. The early buckets carry almost
+//! all the work (dense frontiers); the long tail of late buckets is tiny
+//! but each still pays full superstep latency — the figure that motivates
+//! bucket fusion. Printed twice: fusion off (the problem) and fusion on
+//! (the fix).
+//!
+//! The rows come from [`graph500::BenchmarkReport::trace_summary`] — the
+//! same bucket-scoped counters every traced run records — rather than a
+//! bespoke phase-timing path inside the kernel.
 //!
 //! Overrides: `G500_SCALE` (15), `G500_RANKS` (8).
 
@@ -13,47 +18,43 @@ use g500_sssp::OptConfig;
 use graph500::{run_sssp_benchmark, BenchmarkConfig};
 
 fn show(label: &str, opts: OptConfig, scale: u32, ranks: usize) {
-    let mut cfg = BenchmarkConfig::graph500(scale, ranks);
+    let mut cfg = BenchmarkConfig::graph500(scale, ranks).traced(true);
     cfg.num_roots = 1;
     cfg.validate = false;
-    cfg.opts = opts.with_phases();
+    cfg.opts = opts;
     let rep = run_sssp_benchmark(&cfg);
     let run = &rep.runs[0];
     println!(
         "--- {label}: {} supersteps, {} buckets ---",
         run.stats.supersteps, run.stats.buckets
     );
+    let summary = rep.trace_summary().expect("run was traced");
     let t = Table::new(&["bucket", "frontier", "compute", "comm", "comm_share%"]);
-    let phases = &run.stats.phases;
+    let buckets = &summary.buckets;
+    let share = |c: f64, m: f64| {
+        let total = c + m;
+        format!("{:.1}", if total > 0.0 { 100.0 * m / total } else { 0.0 })
+    };
     // print the first 8 buckets and aggregate the tail
-    for ph in phases.iter().take(8) {
-        let total = ph.compute_s + ph.comm_s;
+    for b in buckets.iter().take(8) {
         t.row(&[
-            ph.bucket.to_string(),
-            ph.frontier.to_string(),
-            secs(ph.compute_s),
-            secs(ph.comm_s),
-            format!(
-                "{:.1}",
-                if total > 0.0 {
-                    100.0 * ph.comm_s / total
-                } else {
-                    0.0
-                }
-            ),
+            b.bucket.to_string(),
+            b.frontier.to_string(),
+            secs(b.compute_s),
+            secs(b.comm_s),
+            share(b.compute_s, b.comm_s),
         ]);
     }
-    if phases.len() > 8 {
-        let (f, c, m) = phases.iter().skip(8).fold((0u64, 0.0, 0.0), |acc, p| {
-            (acc.0 + p.frontier, acc.1 + p.compute_s, acc.2 + p.comm_s)
+    if buckets.len() > 8 {
+        let (f, c, m) = buckets.iter().skip(8).fold((0u64, 0.0, 0.0), |acc, b| {
+            (acc.0 + b.frontier, acc.1 + b.compute_s, acc.2 + b.comm_s)
         });
-        let total = c + m;
         t.row(&[
-            format!("tail({})", phases.len() - 8),
+            format!("tail({})", buckets.len() - 8),
             f.to_string(),
             secs(c),
             secs(m),
-            format!("{:.1}", if total > 0.0 { 100.0 * m / total } else { 0.0 }),
+            share(c, m),
         ]);
     }
     println!();

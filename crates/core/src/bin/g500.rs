@@ -22,7 +22,7 @@ use graph500::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [fault flags as above]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError."
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N] \\\n             [--trace] [--trace-out PATH]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [--trace] [--trace-out PATH] [fault flags as above]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError.\n  --trace (or G500_TRACE=1) records a virtual-time trace: the report\n  gains a per-superstep compute/comm/wait breakdown, and --trace-out\n  PATH (default trace.json with --trace-out alone) writes Chrome\n  trace_event JSON for chrome://tracing or ui.perfetto.dev. Tracing\n  never changes results: distances, NetStats, and the untraced report\n  fields are byte-identical with tracing on or off."
     );
     std::process::exit(2)
 }
@@ -114,6 +114,13 @@ fn build_cfg(args: &Args) -> BenchmarkConfig {
         usage();
     }
     cfg = cfg.faults(fault);
+    let env_trace = matches!(
+        std::env::var("G500_TRACE").ok().as_deref(),
+        Some("1") | Some("true")
+    );
+    if args.has("--trace") || args.has("--trace-out") || env_trace {
+        cfg = cfg.traced(true);
+    }
     if let Some(t) = args.value("--topology") {
         let side = (ranks as f64).sqrt().ceil().max(1.0) as u32;
         cfg.machine = cfg.machine.topology(match t {
@@ -175,6 +182,28 @@ fn build_cfg(args: &Args) -> BenchmarkConfig {
     cfg
 }
 
+/// Write the Chrome trace file when `--trace-out` was given (defaulting to
+/// `trace.json` when the flag carries no path).
+fn write_trace_if_requested(args: &Args, rep: &graph500::BenchmarkReport) {
+    if !args.has("--trace-out") {
+        return;
+    }
+    let Some(trace) = rep.trace.as_ref() else {
+        return;
+    };
+    let path = args
+        .value("--trace-out")
+        .filter(|v| !v.starts_with("--"))
+        .unwrap_or("trace.json");
+    match graph500::write_chrome_trace(std::path::Path::new(path), trace) {
+        Ok(()) => eprintln!("wrote Chrome trace to {path}"),
+        Err(e) => {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_sssp(args: &Args) {
     let cfg = build_cfg(args);
     eprintln!(
@@ -182,6 +211,7 @@ fn cmd_sssp(args: &Args) {
         cfg.scale, cfg.machine.ranks, cfg.num_roots
     );
     let rep = run_sssp_benchmark(&cfg);
+    write_trace_if_requested(args, &rep);
     if args.has("--json") {
         println!("{}", rep.to_json());
         if cfg.validate && !rep.all_validated() {
@@ -205,6 +235,7 @@ fn cmd_bfs(args: &Args) {
         cfg.scale, cfg.machine.ranks, cfg.num_roots
     );
     let rep = run_bfs_benchmark(&cfg);
+    write_trace_if_requested(args, &rep);
     if args.has("--json") {
         println!("{}", rep.to_json());
         if cfg.validate && !rep.all_validated() {

@@ -15,7 +15,7 @@ use g500_partition::{
 };
 use g500_sssp::{distributed_bfs, distributed_delta_stepping, OptConfig, SsspRunStats};
 use g500_validate::{validate_bfs, validate_sssp, SsspResult, TepsSummary};
-use simnet::{FaultPlan, Machine, MachineConfig, NetStats};
+use simnet::{FaultPlan, Machine, MachineConfig, NetStats, Trace, TraceCode, TraceSummary};
 
 /// How vertices are placed on ranks.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -109,6 +109,15 @@ impl BenchmarkConfig {
         self.machine = self.machine.faults(plan);
         self
     }
+
+    /// Record a virtual-time trace of the run (see [`simnet::Trace`]). Off
+    /// by default; tracing observes virtual time and counters but never
+    /// advances the clock, so distances, `NetStats`, and the rendered
+    /// report are byte-identical with tracing on or off.
+    pub fn traced(mut self, on: bool) -> Self {
+        self.machine = self.machine.traced(on);
+        self
+    }
 }
 
 /// One root's outcome.
@@ -158,12 +167,20 @@ pub struct BenchmarkReport {
     /// The fault plan the machine ran under (echoed so archived sweeps are
     /// attributable; [`FaultPlan::none`] for a perfect network).
     pub fault: FaultPlan,
+    /// The merged virtual-time trace, present only when the run was traced
+    /// (see [`BenchmarkConfig::traced`]).
+    pub trace: Option<Trace>,
 }
 
 impl BenchmarkReport {
     /// True when every validated run passed (and at least one ran).
     pub fn all_validated(&self) -> bool {
         !self.runs.is_empty() && self.runs.iter().all(|r| r.validated != Some(false))
+    }
+
+    /// Summarize the recorded trace, if the run was traced.
+    pub fn trace_summary(&self) -> Option<TraceSummary> {
+        self.trace.as_ref().map(|t| t.summary())
     }
 
     /// Render the official-style result block.
@@ -194,6 +211,9 @@ impl BenchmarkReport {
                 self.net.reordered_frames,
                 self.net.stall_events,
             ));
+        }
+        if let Some(summary) = self.trace_summary() {
+            s.push_str(&summary.render());
         }
         s
     }
@@ -234,10 +254,16 @@ impl BenchmarkReport {
             .iter()
             .map(|s| format!("    {}", s.to_json()))
             .collect();
+        // The trace entry appears only on traced runs, so untraced JSON is
+        // byte-identical to a build without tracing at all.
+        let trace_field = match self.trace_summary() {
+            Some(summary) => format!("  \"trace\": {},\n", summary.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"scale\": {},\n  \"n\": {},\n  \"m\": {},\n  \"ranks\": {},\n  \
              \"construction_time_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"teps\": {},\n  \
-             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"fault\": {},\n  \
+             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"fault\": {},\n{}  \
              \"wall_time_s\": {},\n  \"threads\": {}\n}}",
             self.scale,
             self.n,
@@ -249,6 +275,7 @@ impl BenchmarkReport {
             self.net.to_json(),
             per_rank.join(",\n"),
             self.fault.to_json(),
+            trace_field,
             f(self.wall_time_s),
             self.threads
         )
@@ -337,10 +364,12 @@ fn run_ranks<P: VertexPartition>(
     construction_end: f64,
 ) -> RankOutput {
     let mut per_root = Vec::with_capacity(roots_new.len());
-    for &root in roots_new {
+    for (ri, &root) in roots_new.iter().enumerate() {
+        ctx.trace_begin(TraceCode::RootRun, ri as u64, root);
         let (sp, stats) = distributed_delta_stepping(ctx, graph, root, opts);
         let time = ctx.allreduce(stats.sim_time_s, |a, b| if a > b { *a } else { *b });
         let gathered = sp.gather_to_all(ctx, graph.part());
+        ctx.trace_end(TraceCode::RootRun, ri as u64, root);
         if ctx.rank() == 0 {
             // translate back to original ids if a relabel was applied
             let translated = match relabel {
@@ -406,6 +435,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let report = machine.run(move |ctx| {
         let rank = ctx.rank();
         let (lo, hi) = (rank as u64 * m / p as u64, (rank as u64 + 1) * m / p as u64);
+        ctx.trace_begin(TraceCode::Build, hi - lo, 0);
         // generation cost: the counter-based generator is charged per edge
         ctx.charge_compute(hi - lo);
 
@@ -415,6 +445,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
                 let mine = gen_for_ranks.edge_block(lo..hi);
                 let g = assemble_local_graph(ctx, mine.iter(), part);
                 let built = ctx.allreduce(ctx.now(), |a, b| if a > b { *a } else { *b });
+                ctx.trace_end(TraceCode::Build, hi - lo, 0);
                 run_ranks(ctx, &g, roots_ref, None, &opts, built)
             }
             PartitionStrategy::Cyclic => {
@@ -422,6 +453,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
                 let mine = gen_for_ranks.edge_block(lo..hi);
                 let g = assemble_local_graph(ctx, mine.iter(), part);
                 let built = ctx.allreduce(ctx.now(), |a, b| if a > b { *a } else { *b });
+                ctx.trace_end(TraceCode::Build, hi - lo, 0);
                 run_ranks(ctx, &g, roots_ref, None, &opts, built)
             }
             PartitionStrategy::DegreeAware { hub_factor } => {
@@ -434,6 +466,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
                 mine.relabel(|v| relabel.apply(v));
                 let g = assemble_local_graph(ctx, mine.iter(), part);
                 let built = ctx.allreduce(ctx.now(), |a, b| if a > b { *a } else { *b });
+                ctx.trace_end(TraceCode::Build, hi - lo, 0);
                 let roots_new: Vec<VertexId> =
                     roots_ref.iter().map(|&r| relabel.apply(r)).collect();
                 run_ranks(ctx, &g, &roots_new, Some(&relabel), &opts, built)
@@ -445,6 +478,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let wall_time_s = report.wall_time_s;
     let net = report.total_stats();
     let per_rank_net = report.stats.clone();
+    let trace = (!report.traces.is_empty()).then(|| Trace::merge(report.traces));
     let mut results = report.results;
     let (construction_time_s, per_root) = results.swap_remove(0);
 
@@ -497,6 +531,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         wall_time_s,
         threads,
         fault: cfg.machine.fault,
+        trace,
     }
 }
 
@@ -526,18 +561,22 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let report = machine.run(move |ctx| {
         let rank = ctx.rank();
         let (lo, hi) = (rank as u64 * m / p as u64, (rank as u64 + 1) * m / p as u64);
+        ctx.trace_begin(TraceCode::Build, hi - lo, 0);
         ctx.charge_compute(hi - lo);
         let part = Block1D::new(n, p);
         let mine = gen_for_ranks.edge_block(lo..hi);
         let g = assemble_local_graph(ctx, mine.iter(), part);
         let built = ctx.allreduce(ctx.now(), |a, b| if a > b { *a } else { *b });
+        ctx.trace_end(TraceCode::Build, hi - lo, 0);
 
         let mut per_root = Vec::new();
-        for &root in roots_ref {
+        for (ri, &root) in roots_ref.iter().enumerate() {
+            ctx.trace_begin(TraceCode::RootRun, ri as u64, root);
             let before = ctx.now();
             let (res, _stats) = distributed_bfs(ctx, &g, root, direction);
             let time = ctx.allreduce(ctx.now() - before, |a, b| if a > b { *a } else { *b });
             let (level, parent) = res.gather_to_all(ctx, g.part());
+            ctx.trace_end(TraceCode::RootRun, ri as u64, root);
             if ctx.rank() == 0 {
                 per_root.push((time, level, parent));
             }
@@ -548,6 +587,7 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let wall_time_s = report.wall_time_s;
     let net = report.total_stats();
     let per_rank_net = report.stats.clone();
+    let trace = (!report.traces.is_empty()).then(|| Trace::merge(report.traces));
     let mut results = report.results;
     let (construction_time_s, per_root) = results.swap_remove(0);
 
@@ -591,6 +631,7 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         wall_time_s,
         threads,
         fault: cfg.machine.fault,
+        trace,
     }
 }
 

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod trace_report;
 
 pub use driver::{
     run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, BenchmarkReport, PartitionStrategy,
     RootRun,
 };
-pub use simnet::{FaultPlan, TransportError};
+pub use simnet::{FaultPlan, Trace, TraceConfig, TraceSummary, TransportError};
+pub use trace_report::write_chrome_trace;
 
 // Re-export the component crates under stable names.
 pub use g500_baselines as baselines;

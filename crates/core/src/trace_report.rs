@@ -1,0 +1,21 @@
+//! Trace export helpers: write a merged [`Trace`] where external tools can
+//! read it.
+//!
+//! The Chrome `trace_event` JSON produced here loads directly into
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev): each simulated
+//! rank appears as one named track, span events nest (root run → bucket →
+//! superstep → exchange → task wave), and counter events show up as instant
+//! markers carrying their value. Timestamps are *virtual* microseconds —
+//! the LogGP clock, not wall time — so the viewer shows the machine the
+//! simulator modeled, at any host thread count.
+
+use simnet::Trace;
+use std::io::Write;
+use std::path::Path;
+
+/// Write `trace` to `path` as Chrome `trace_event` JSON.
+pub fn write_chrome_trace(path: &Path, trace: &Trace) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(trace.to_chrome_json().as_bytes())?;
+    Ok(())
+}

@@ -13,6 +13,7 @@
 //! run far ahead.
 
 use crate::rank::{RankCtx, Tag, TrafficClass, TAG_COLLECTIVE_BASE};
+use crate::trace::TraceCode;
 use crate::transport::TransportError;
 use crate::wire::{decode_vec_checked, encode_slice, Wire};
 
@@ -28,6 +29,23 @@ impl RankCtx {
     fn next_coll(&mut self) {
         self.coll_seq += 1;
         self.bump_collective();
+    }
+
+    /// Open a collective span tagged with the current sequence number.
+    /// Composite collectives (allreduce = reduce + bcast, barrier =
+    /// allreduce, reduce_scatter = alltoallv + local reduce) nest their
+    /// building blocks' spans inside their own, so summary totals are
+    /// *inclusive* virtual time.
+    fn coll_trace_begin(&mut self, code: TraceCode) {
+        let seq = self.coll_seq;
+        self.trace_begin(code, seq, 0);
+    }
+
+    /// Close the span opened by [`RankCtx::coll_trace_begin`]. Must be
+    /// called on **every** exit path of the collective.
+    fn coll_trace_end(&mut self, code: TraceCode) {
+        let seq = self.coll_seq;
+        self.trace_end(code, seq, 0);
     }
 
     fn send_coll<T: Wire>(&mut self, dest: usize, tag: Tag, items: &[T]) {
@@ -61,6 +79,7 @@ impl RankCtx {
     ) -> Option<T> {
         let p = self.size();
         let me = self.rank();
+        self.coll_trace_begin(TraceCode::ReduceToRoot);
         let mut acc = value;
         let mut round = 0u64;
         let mut step = 1usize;
@@ -72,6 +91,7 @@ impl RankCtx {
                 self.send_coll(dest, tag, &[acc.clone()]);
                 // Drain remaining rounds: nothing to do; exit loop.
                 self.next_coll();
+                self.coll_trace_end(TraceCode::ReduceToRoot);
                 return None;
             }
             let partner = me + step;
@@ -84,6 +104,7 @@ impl RankCtx {
             round += 1;
         }
         self.next_coll();
+        self.coll_trace_end(TraceCode::ReduceToRoot);
         if me == 0 {
             Some(acc)
         } else {
@@ -95,6 +116,7 @@ impl RankCtx {
     pub fn bcast<T: Wire + Clone>(&mut self, value: Option<T>) -> T {
         let p = self.size();
         let me = self.rank();
+        self.coll_trace_begin(TraceCode::Bcast);
         // Highest power of two covering p.
         let mut top = 1usize;
         while top < p {
@@ -128,13 +150,17 @@ impl RankCtx {
             round += 1;
         }
         self.next_coll();
+        self.coll_trace_end(TraceCode::Bcast);
         have.expect("broadcast tree reached every rank")
     }
 
     /// Allreduce: combine every rank's `value`; every rank gets the result.
     pub fn allreduce<T: Wire + Clone>(&mut self, value: T, combine: impl Fn(&T, &T) -> T) -> T {
+        self.coll_trace_begin(TraceCode::Allreduce);
         let root = self.reduce_to_root(value, combine);
-        self.bcast(root)
+        let out = self.bcast(root);
+        self.coll_trace_end(TraceCode::Allreduce);
+        out
     }
 
     /// Allreduce sum of `u64`.
@@ -164,8 +190,10 @@ impl RankCtx {
 
     /// Barrier: no payload, everyone leaves only after everyone entered.
     pub fn barrier(&mut self) {
+        self.coll_trace_begin(TraceCode::Barrier);
         self.allreduce(0u8, |_, _| 0u8);
         self.bump_barrier();
+        self.coll_trace_end(TraceCode::Barrier);
     }
 
     /// Ring allgather: every rank contributes a variably-sized block of
@@ -175,6 +203,7 @@ impl RankCtx {
     pub fn allgatherv<T: Wire + Clone>(&mut self, mine: &[T]) -> Vec<Vec<T>> {
         let p = self.size();
         let me = self.rank();
+        self.coll_trace_begin(TraceCode::Allgatherv);
         let mut blocks: Vec<Option<Vec<T>>> = vec![None; p];
         blocks[me] = Some(mine.to_vec());
         let next = (me + 1) % p;
@@ -189,6 +218,7 @@ impl RankCtx {
             blocks[recv_idx] = Some(got);
         }
         self.next_coll();
+        self.coll_trace_end(TraceCode::Allgatherv);
         blocks
             .into_iter()
             .map(|b| b.expect("ring covered all ranks"))
@@ -202,6 +232,7 @@ impl RankCtx {
         let p = self.size();
         let me = self.rank();
         assert_eq!(out.len(), p, "alltoallv needs one buffer per rank");
+        self.coll_trace_begin(TraceCode::Alltoallv);
         let tag = self.coll_tag(0);
         let mut result: Vec<Vec<T>> = Vec::with_capacity(p);
         let mut own: Option<Vec<T>> = None;
@@ -220,6 +251,7 @@ impl RankCtx {
             }
         }
         self.next_coll();
+        self.coll_trace_end(TraceCode::Alltoallv);
         result
     }
 
@@ -227,6 +259,7 @@ impl RankCtx {
     pub fn gather_to_root<T: Wire + Clone>(&mut self, value: T) -> Option<Vec<T>> {
         let p = self.size();
         let me = self.rank();
+        self.coll_trace_begin(TraceCode::GatherToRoot);
         let tag = self.coll_tag(0);
         if me == 0 {
             let mut all = Vec::with_capacity(p);
@@ -235,10 +268,12 @@ impl RankCtx {
                 all.push(self.recv_one_coll::<T>(s, tag));
             }
             self.next_coll();
+            self.coll_trace_end(TraceCode::GatherToRoot);
             Some(all)
         } else {
             self.send_coll(0, tag, &[value]);
             self.next_coll();
+            self.coll_trace_end(TraceCode::GatherToRoot);
             None
         }
     }
@@ -263,6 +298,7 @@ impl RankCtx {
     ) -> T {
         let p = self.size();
         let me = self.rank();
+        self.coll_trace_begin(TraceCode::Exscan);
         // acc = inclusive scan of my prefix; result = exclusive part
         let mut acc = value;
         let mut result = identity;
@@ -282,6 +318,7 @@ impl RankCtx {
             round += 1;
         }
         self.next_coll();
+        self.coll_trace_end(TraceCode::Exscan);
         result
     }
 
@@ -302,6 +339,7 @@ impl RankCtx {
     ) -> Vec<T> {
         let p = self.size();
         assert_eq!(blocks.len(), p, "one block per destination rank");
+        self.coll_trace_begin(TraceCode::ReduceScatter);
         let received = self.alltoallv(blocks);
         let mut it = received.into_iter();
         let mut acc = it.next().expect("p >= 1 blocks");
@@ -312,6 +350,7 @@ impl RankCtx {
             }
         }
         self.next_coll();
+        self.coll_trace_end(TraceCode::ReduceScatter);
         acc
     }
 }

@@ -46,6 +46,7 @@ pub mod rank;
 pub mod sched;
 pub mod stats;
 pub mod subcomm;
+pub mod trace;
 pub mod transport;
 pub mod wire;
 
@@ -56,5 +57,6 @@ pub use rank::{RankCtx, Tag};
 pub use sched::SchedMode;
 pub use stats::NetStats;
 pub use subcomm::SubComm;
+pub use trace::{Trace, TraceBuf, TraceCode, TraceConfig, TraceEvent, TraceKind, TraceSummary};
 pub use transport::TransportError;
 pub use wire::Wire;

@@ -5,6 +5,7 @@ use crate::fault::FaultPlan;
 use crate::rank::{Envelope, RankCtx, Tag, Transport};
 use crate::sched::{SchedCore, SchedMode};
 use crate::stats::NetStats;
+use crate::trace::{TraceBuf, TraceConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -24,6 +25,9 @@ pub struct MachineConfig {
     /// Seeded lossy-network fault injection; [`FaultPlan::none`] (the
     /// default) is a perfect network and bypasses the reliable transport.
     pub fault: FaultPlan,
+    /// Virtual-time tracing; [`TraceConfig::off`] (the default) records
+    /// nothing and costs a `None` branch per instrumentation site.
+    pub trace: TraceConfig,
     /// When true, a job that completes while undelivered (orphan) messages
     /// remain panics with a diagnostic listing them — this is how misrouted
     /// messages surface in tests. Authoritative under
@@ -42,6 +46,7 @@ impl MachineConfig {
             compute: ComputeModel::default(),
             sched: SchedMode::Threads,
             fault: FaultPlan::none(),
+            trace: TraceConfig::off(),
             debug_checks: true,
         }
     }
@@ -88,6 +93,16 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style tracing override.
+    pub fn traced(mut self, on: bool) -> Self {
+        self.trace = if on {
+            TraceConfig::on()
+        } else {
+            TraceConfig::off()
+        };
+        self
+    }
+
     /// Builder-style debug-check (orphan detection) override.
     pub fn debug_checks(mut self, on: bool) -> Self {
         self.debug_checks = on;
@@ -106,6 +121,8 @@ pub struct SimReport<R> {
     pub sim_time_s: f64,
     /// Host wall-clock seconds the simulation itself took.
     pub wall_time_s: f64,
+    /// Per-rank trace buffers, indexed by rank; empty when tracing is off.
+    pub traces: Vec<TraceBuf>,
 }
 
 impl<R> SimReport<R> {
@@ -121,9 +138,16 @@ pub struct Machine {
 }
 
 /// What each rank thread hands back: its result, traffic counters, final
-/// simulated clock, and (threads mode) any messages left undelivered in its
-/// mailbox — `(src, tag, seq)` per leftover, for the orphan check.
-type RankOutcome<R> = (R, NetStats, f64, Vec<(usize, Tag, u64)>);
+/// simulated clock, (threads mode) any messages left undelivered in its
+/// mailbox — `(src, tag, seq)` per leftover, for the orphan check — and its
+/// trace buffer when tracing was on.
+type RankOutcome<R> = (
+    R,
+    NetStats,
+    f64,
+    Vec<(usize, Tag, u64)>,
+    Option<Box<TraceBuf>>,
+);
 
 impl Machine {
     /// Build a machine from `cfg`. Panics if `cfg.ranks == 0`.
@@ -190,15 +214,7 @@ impl Machine {
                         if let Some(core) = &core {
                             core.acquire(rank);
                         }
-                        let mut ctx = RankCtx::new(
-                            rank,
-                            p,
-                            transport,
-                            cfg.loggp,
-                            cfg.topology,
-                            cfg.compute,
-                            cfg.fault,
-                        );
+                        let mut ctx = RankCtx::new(rank, p, transport, &cfg);
                         // Fail-stop semantics: a panic on one rank raises
                         // the abort flag so peers blocked in recv abort
                         // too, instead of deadlocking the job.
@@ -214,8 +230,8 @@ impl Machine {
                                 std::panic::resume_unwind(payload);
                             }
                         };
-                        let (stats, now, leftovers) = ctx.into_parts();
-                        (r, stats, now, leftovers)
+                        let (stats, now, leftovers, trace) = ctx.into_parts();
+                        (r, stats, now, leftovers, trace)
                     })
                     .expect("spawning a rank thread");
                 handles.push(h);
@@ -251,7 +267,7 @@ impl Machine {
                     }
                 }
             } else {
-                for (dest, (.., leftovers)) in outcome.iter().enumerate() {
+                for (dest, (_, _, _, leftovers, _)) in outcome.iter().enumerate() {
                     for (src, tag, seq) in leftovers {
                         orphans.push(format!(
                             "rank {dest} never received (src {src}, tag {tag:#x}, seq {seq})"
@@ -269,10 +285,14 @@ impl Machine {
 
         let mut results = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
+        let mut traces = Vec::new();
         let mut sim_time_s: f64 = 0.0;
-        for (r, s, now, _) in outcome {
+        for (r, s, now, _, trace) in outcome {
             results.push(r);
             stats.push(s);
+            if let Some(buf) = trace {
+                traces.push(*buf);
+            }
             sim_time_s = sim_time_s.max(now);
         }
         SimReport {
@@ -280,6 +300,7 @@ impl Machine {
             stats,
             sim_time_s,
             wall_time_s: start.elapsed().as_secs_f64(),
+            traces,
         }
     }
 }

@@ -14,10 +14,11 @@
 //! [`SchedMode::Deterministic`]: crate::sched::SchedMode::Deterministic
 
 use crate::cost::{ComputeModel, LogGP, Topology};
-use crate::fault::FaultPlan;
+use crate::machine::MachineConfig;
 use crate::sched::{splitmix64, SchedCore};
 use crate::stats::NetStats;
-use crate::transport::{SenderTransport, TransportError};
+use crate::trace::{TraceBuf, TraceCode, TraceKind};
+use crate::transport::{SenderTransport, TransportError, TransportIo};
 use crate::wire::{decode_vec_checked, encode_slice, Wire};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,6 +69,10 @@ pub(crate) enum Transport {
     Det { core: Arc<SchedCore> },
 }
 
+/// What [`RankCtx::into_parts`] hands back to the machine: counters, final
+/// clock, orphan diagnostics, and the trace buffer when tracing was on.
+pub(crate) type RankParts = (NetStats, f64, Vec<(usize, Tag, u64)>, Option<Box<TraceBuf>>);
+
 /// The per-rank handle: identity, clock, transport, counters.
 pub struct RankCtx {
     rank: usize,
@@ -84,21 +89,19 @@ pub struct RankCtx {
     /// "identity orders" (threaded mode, or deterministic seed 0).
     perm_state: u64,
     /// Reliable-transport state; `Some` only when the machine's
-    /// [`FaultPlan`] is active, so a fault-free machine pays zero overhead
-    /// and keeps the historical lossless byte accounting bit-for-bit.
+    /// [`FaultPlan`](crate::fault::FaultPlan) is active, so a fault-free
+    /// machine pays zero overhead and keeps the historical lossless byte
+    /// accounting bit-for-bit.
     reliable: Option<Box<SenderTransport>>,
+    /// Trace buffer; `Some` only when the machine's
+    /// [`TraceConfig`](crate::trace::TraceConfig) is enabled, so an
+    /// untraced run pays a `None` branch per instrumentation site and
+    /// nothing else.
+    trace: Option<Box<TraceBuf>>,
 }
 
 impl RankCtx {
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        transport: Transport,
-        loggp: LogGP,
-        topo: Topology,
-        compute: ComputeModel,
-        fault: FaultPlan,
-    ) -> Self {
+    pub(crate) fn new(rank: usize, size: usize, transport: Transport, cfg: &MachineConfig) -> Self {
         let perm_state = match &transport {
             Transport::Threads { .. } => 0,
             Transport::Det { core } => {
@@ -114,16 +117,18 @@ impl RankCtx {
             size,
             transport,
             now: 0.0,
-            loggp,
-            topo,
-            compute,
+            loggp: cfg.loggp,
+            topo: cfg.topology,
+            compute: cfg.compute,
             stats: NetStats::default(),
             coll_seq: 0,
             subcomm_counter: 0,
             perm_state,
-            reliable: fault
+            reliable: cfg
+                .fault
                 .is_active()
-                .then(|| Box::new(SenderTransport::new(fault, rank, size))),
+                .then(|| Box::new(SenderTransport::new(cfg.fault, rank, size))),
+            trace: cfg.trace.enabled.then(|| Box::new(TraceBuf::new(rank))),
         }
     }
 
@@ -174,11 +179,52 @@ impl RankCtx {
         &self.stats
     }
 
-    /// Tear down, returning counters, final clock, and (threaded mode) any
+    /// True when this run records trace events. Instrumentation sites that
+    /// need to *compute* an event payload (e.g. snapshot counters) can gate
+    /// on this to stay zero-cost when tracing is off.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Open a span of `code` at the current virtual time.
+    #[inline]
+    pub fn trace_begin(&mut self, code: TraceCode, a: u64, b: u64) {
+        if let Some(tb) = self.trace.as_deref_mut() {
+            tb.record(self.now, TraceKind::Begin, code, a, b);
+        }
+    }
+
+    /// Close the innermost open span of `code` at the current virtual time.
+    #[inline]
+    pub fn trace_end(&mut self, code: TraceCode, a: u64, b: u64) {
+        if let Some(tb) = self.trace.as_deref_mut() {
+            tb.record(self.now, TraceKind::End, code, a, b);
+        }
+    }
+
+    /// Record a counter sample of `code` at the current virtual time.
+    #[inline]
+    pub fn trace_count(&mut self, code: TraceCode, a: u64, b: u64) {
+        if let Some(tb) = self.trace.as_deref_mut() {
+            tb.record(self.now, TraceKind::Count, code, a, b);
+        }
+    }
+
+    /// Record an `f64`-valued counter sample (value carried as f64 bits).
+    #[inline]
+    pub fn trace_count_f64(&mut self, code: TraceCode, x: f64, b: u64) {
+        if let Some(tb) = self.trace.as_deref_mut() {
+            tb.record(self.now, TraceKind::Count, code, x.to_bits(), b);
+        }
+    }
+
+    /// Tear down, returning counters, final clock, (threaded mode) any
     /// envelopes that were delivered but never received — best-effort orphan
-    /// diagnostics as `(src, tag, seq)`. In deterministic mode the scheduler
-    /// core holds the authoritative orphan list.
-    pub(crate) fn into_parts(self) -> (NetStats, f64, Vec<(usize, Tag, u64)>) {
+    /// diagnostics as `(src, tag, seq)` — and the trace buffer when tracing
+    /// was on. In deterministic mode the scheduler core holds the
+    /// authoritative orphan list.
+    pub(crate) fn into_parts(self) -> RankParts {
         let leftovers = match self.transport {
             Transport::Threads { rx, pending, .. } => pending
                 .into_iter()
@@ -190,7 +236,7 @@ impl RankCtx {
                 Vec::new()
             }
         };
-        (self.stats, self.now, leftovers)
+        (self.stats, self.now, leftovers, self.trace)
     }
 
     pub(crate) fn bump_collective(&mut self) {
@@ -269,14 +315,14 @@ impl RankCtx {
                 // completion; the mailbox below stays lossless and carries
                 // the reassembled payload exactly once.
                 let loggp = self.loggp;
-                rel.deliver(
-                    dest,
-                    tag,
-                    &payload,
-                    &mut self.now,
-                    &mut self.stats,
-                    |frame_len| loggp.transit(frame_len, hops),
-                )
+                let mut io = TransportIo {
+                    now: &mut self.now,
+                    stats: &mut self.stats,
+                    trace: self.trace.as_deref_mut(),
+                };
+                rel.deliver(dest, tag, &payload, &mut io, |frame_len| {
+                    loggp.transit(frame_len, hops)
+                })
             }
         };
         let env = Envelope {

@@ -11,6 +11,7 @@
 //! from a per-communicator namespace so concurrent subgroups never collide.
 
 use crate::rank::{RankCtx, Tag, TrafficClass};
+use crate::trace::TraceCode;
 use crate::transport::TransportError;
 use crate::wire::{decode_vec_checked, encode_slice, Wire};
 
@@ -134,6 +135,7 @@ impl SubComm {
     ) -> T {
         let p = self.size();
         let me = self.me;
+        ctx.trace_begin(TraceCode::Allreduce, self.seq, self.comm_id);
         // reduce
         let mut acc = Some(value);
         let mut round = 0u64;
@@ -177,6 +179,7 @@ impl SubComm {
         }
         self.next();
         ctx.bump_collective();
+        ctx.trace_end(TraceCode::Allreduce, self.seq, self.comm_id);
         have.expect("bcast reached every subgroup member")
     }
 
@@ -187,14 +190,17 @@ impl SubComm {
 
     /// Subgroup barrier.
     pub fn barrier(&mut self, ctx: &mut RankCtx) {
+        ctx.trace_begin(TraceCode::Barrier, self.seq, self.comm_id);
         self.allreduce(ctx, 0u8, |_, _| 0u8);
         ctx.bump_barrier();
+        ctx.trace_end(TraceCode::Barrier, self.seq, self.comm_id);
     }
 
     /// Ring allgather within the subgroup.
     pub fn allgatherv<T: Wire + Clone>(&mut self, ctx: &mut RankCtx, mine: &[T]) -> Vec<Vec<T>> {
         let p = self.size();
         let me = self.me;
+        ctx.trace_begin(TraceCode::Allgatherv, self.seq, self.comm_id);
         let mut blocks: Vec<Option<Vec<T>>> = vec![None; p];
         blocks[me] = Some(mine.to_vec());
         if p > 1 {
@@ -211,6 +217,7 @@ impl SubComm {
         }
         self.next();
         ctx.bump_collective();
+        ctx.trace_end(TraceCode::Allgatherv, self.seq, self.comm_id);
         blocks
             .into_iter()
             .map(|b| b.expect("ring covered group"))
@@ -226,6 +233,7 @@ impl SubComm {
         let p = self.size();
         let me = self.me;
         assert_eq!(out.len(), p, "one buffer per subgroup member");
+        ctx.trace_begin(TraceCode::Alltoallv, self.seq, self.comm_id);
         let tag = self.tag(0);
         let mut own = None;
         for (d, buf) in out.into_iter().enumerate() {
@@ -245,6 +253,7 @@ impl SubComm {
         }
         self.next();
         ctx.bump_collective();
+        ctx.trace_end(TraceCode::Alltoallv, self.seq, self.comm_id);
         result
     }
 }

@@ -1,0 +1,968 @@
+//! Virtual-time tracing: structured span/counter events per rank.
+//!
+//! Every rank owns a private [`TraceBuf`] (lock-free because it is only ever
+//! touched by that rank's thread) into which instrumented code records
+//! [`TraceEvent`]s stamped with the rank's *virtual* clock. At run end the
+//! per-rank buffers are merged deterministically into a [`Trace`], which can
+//! be exported as Chrome `trace_event` JSON (loadable in `chrome://tracing`
+//! or Perfetto) or condensed into a [`TraceSummary`] table.
+//!
+//! ## Determinism contract
+//!
+//! Trace events carry only virtual time and deterministic payloads, never
+//! wall-clock or thread identity. Under `SchedMode::Deterministic` the
+//! scheduler totally orders delivery and the thread pool has a fixed-chunk
+//! contract, so the merged trace — and therefore the rendered summary and
+//! the Chrome export — is **byte-identical** across repeated runs and across
+//! `G500_THREADS` settings. The golden-trace test suite exploits exactly
+//! this property.
+//!
+//! ## Zero cost when off
+//!
+//! Recording sites live behind an `Option<Box<TraceBuf>>` in `RankCtx`; when
+//! tracing is disabled the option is `None` and every instrumentation call
+//! is a branch on a `None` discriminant. Tracing never advances the virtual
+//! clock and never touches [`crate::NetStats`], so enabling it cannot change
+//! simulation results.
+
+use crate::stats::json_f64;
+
+/// Whether tracing is enabled for a run. `Copy` so it can live inside
+/// [`crate::MachineConfig`]; output paths are handled at the CLI layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record trace events when true.
+    pub enabled: bool,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        TraceConfig { enabled: false }
+    }
+
+    /// Tracing enabled.
+    pub fn on() -> Self {
+        TraceConfig { enabled: true }
+    }
+}
+
+/// Event flavor: span delimiters or a point counter sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// Span opening edge.
+    Begin = 0,
+    /// Span closing edge (matches the innermost open `Begin` of same code).
+    End = 1,
+    /// Instantaneous counter sample.
+    Count = 2,
+}
+
+impl TraceKind {
+    fn from_u8(x: u8) -> Option<TraceKind> {
+        match x {
+            0 => Some(TraceKind::Begin),
+            1 => Some(TraceKind::End),
+            2 => Some(TraceKind::Count),
+            _ => None,
+        }
+    }
+}
+
+/// What a trace event describes. Span codes delimit regions of virtual
+/// time; counter codes carry a value in `a` (u64, or f64 bits for the
+/// `*Compute`/`*Comm` seconds counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u16)]
+pub enum TraceCode {
+    /// Graph construction + distribution (span; driver level).
+    Build = 0,
+    /// One SSSP/BFS root run, kernel + gather (span; `a` = root index).
+    RootRun = 1,
+    /// One delta-stepping bucket (span; `a` = bucket index).
+    Bucket = 2,
+    /// One superstep / relaxation round (span; `b`: 0 light, 1 heavy,
+    /// 2 fused tail).
+    Superstep = 3,
+    /// One exchange_updates call (span; `a` = records offered).
+    Exchange = 4,
+    /// One parallel task wave on the pool (span; `a` = item count).
+    TaskWave = 5,
+    /// Reduction to root (collective span).
+    ReduceToRoot = 6,
+    /// Broadcast from root (collective span).
+    Bcast = 7,
+    /// Allreduce (collective span).
+    Allreduce = 8,
+    /// Barrier (collective span).
+    Barrier = 9,
+    /// Variable allgather (collective span).
+    Allgatherv = 10,
+    /// Personalized all-to-all (collective span).
+    Alltoallv = 11,
+    /// Variable gather to root (collective span).
+    GatherToRoot = 12,
+    /// Exclusive prefix scan (collective span).
+    Exscan = 13,
+    /// Reduce-scatter (collective span).
+    ReduceScatter = 14,
+    /// Edge relaxations performed this superstep (counter).
+    Relaxations = 100,
+    /// Vertices settled so far in the current bucket (counter).
+    Settled = 101,
+    /// Update records sent by one exchange (counter).
+    UpdatesSent = 102,
+    /// Update records received by one exchange (counter).
+    UpdatesReceived = 103,
+    /// One reliable-transport retransmission (counter; `a` = frame seq,
+    /// `b` = attempt).
+    Retransmit = 104,
+    /// One retransmit-timer expiry (counter; `a` = frame seq,
+    /// `b` = attempt).
+    Timeout = 105,
+    /// Virtual compute seconds accrued during the superstep just ended
+    /// (counter; `a` = f64 bits).
+    SuperstepCompute = 106,
+    /// Virtual communication seconds accrued during the superstep just
+    /// ended (counter; `a` = f64 bits).
+    SuperstepComm = 107,
+    /// Global frontier size of a bucket (counter; `a` = size,
+    /// `b` = bucket index).
+    BucketFrontier = 108,
+    /// Virtual compute seconds accrued over a bucket (counter;
+    /// `a` = f64 bits, `b` = bucket index).
+    BucketCompute = 109,
+    /// Virtual communication seconds accrued over a bucket (counter;
+    /// `a` = f64 bits, `b` = bucket index).
+    BucketComm = 110,
+}
+
+/// All codes, in declaration order (used by decoding and the summary).
+const ALL_CODES: &[TraceCode] = &[
+    TraceCode::Build,
+    TraceCode::RootRun,
+    TraceCode::Bucket,
+    TraceCode::Superstep,
+    TraceCode::Exchange,
+    TraceCode::TaskWave,
+    TraceCode::ReduceToRoot,
+    TraceCode::Bcast,
+    TraceCode::Allreduce,
+    TraceCode::Barrier,
+    TraceCode::Allgatherv,
+    TraceCode::Alltoallv,
+    TraceCode::GatherToRoot,
+    TraceCode::Exscan,
+    TraceCode::ReduceScatter,
+    TraceCode::Relaxations,
+    TraceCode::Settled,
+    TraceCode::UpdatesSent,
+    TraceCode::UpdatesReceived,
+    TraceCode::Retransmit,
+    TraceCode::Timeout,
+    TraceCode::SuperstepCompute,
+    TraceCode::SuperstepComm,
+    TraceCode::BucketFrontier,
+    TraceCode::BucketCompute,
+    TraceCode::BucketComm,
+];
+
+impl TraceCode {
+    /// Stable kebab-case name (used in Chrome exports and summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceCode::Build => "build",
+            TraceCode::RootRun => "root-run",
+            TraceCode::Bucket => "bucket",
+            TraceCode::Superstep => "superstep",
+            TraceCode::Exchange => "exchange",
+            TraceCode::TaskWave => "task-wave",
+            TraceCode::ReduceToRoot => "reduce-to-root",
+            TraceCode::Bcast => "bcast",
+            TraceCode::Allreduce => "allreduce",
+            TraceCode::Barrier => "barrier",
+            TraceCode::Allgatherv => "allgatherv",
+            TraceCode::Alltoallv => "alltoallv",
+            TraceCode::GatherToRoot => "gather-to-root",
+            TraceCode::Exscan => "exscan",
+            TraceCode::ReduceScatter => "reduce-scatter",
+            TraceCode::Relaxations => "relaxations",
+            TraceCode::Settled => "settled",
+            TraceCode::UpdatesSent => "updates-sent",
+            TraceCode::UpdatesReceived => "updates-received",
+            TraceCode::Retransmit => "retransmit",
+            TraceCode::Timeout => "timeout",
+            TraceCode::SuperstepCompute => "superstep-compute",
+            TraceCode::SuperstepComm => "superstep-comm",
+            TraceCode::BucketFrontier => "bucket-frontier",
+            TraceCode::BucketCompute => "bucket-compute",
+            TraceCode::BucketComm => "bucket-comm",
+        }
+    }
+
+    /// Decode from the wire representation.
+    pub fn from_u16(x: u16) -> Option<TraceCode> {
+        ALL_CODES.iter().copied().find(|c| *c as u16 == x)
+    }
+
+    /// True for span codes (delimited by Begin/End pairs).
+    pub fn is_span(self) -> bool {
+        (self as u16) < 100
+    }
+
+    /// True for collective-operation span codes.
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            TraceCode::ReduceToRoot
+                | TraceCode::Bcast
+                | TraceCode::Allreduce
+                | TraceCode::Barrier
+                | TraceCode::Allgatherv
+                | TraceCode::Alltoallv
+                | TraceCode::GatherToRoot
+                | TraceCode::Exscan
+                | TraceCode::ReduceScatter
+        )
+    }
+}
+
+/// One recorded event: a span edge or counter sample at a virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time in seconds (the recording rank's clock).
+    pub t_s: f64,
+    /// Span edge or counter sample.
+    pub kind: TraceKind,
+    /// What the event describes.
+    pub code: TraceCode,
+    /// First payload word (counter value, f64 bits for seconds counters).
+    pub a: u64,
+    /// Second payload word (bucket index, attempt number, flavor, …).
+    pub b: u64,
+}
+
+/// Encoded size of one event: kind u8 | code u16 | t bits u64 | a u64 | b u64.
+pub const EVENT_WIRE_BYTES: usize = 1 + 2 + 8 + 8 + 8;
+
+/// Why decoding a trace event stream failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// Input ended mid-record.
+    Truncated,
+    /// Unknown [`TraceKind`] discriminant.
+    BadKind(u8),
+    /// Unknown [`TraceCode`] discriminant.
+    BadCode(u16),
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDecodeError::Truncated => write!(f, "trace stream truncated"),
+            TraceDecodeError::BadKind(k) => write!(f, "bad trace kind {k}"),
+            TraceDecodeError::BadCode(c) => write!(f, "bad trace code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+impl TraceEvent {
+    /// Append the fixed-width wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.kind as u8);
+        out.extend_from_slice(&(self.code as u16).to_le_bytes());
+        out.extend_from_slice(&self.t_s.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+
+    /// Decode one event from the front of `buf`; returns the event and the
+    /// number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(TraceEvent, usize), TraceDecodeError> {
+        if buf.len() < EVENT_WIRE_BYTES {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let kind = TraceKind::from_u8(buf[0]).ok_or(TraceDecodeError::BadKind(buf[0]))?;
+        let code_raw = u16::from_le_bytes([buf[1], buf[2]]);
+        let code = TraceCode::from_u16(code_raw).ok_or(TraceDecodeError::BadCode(code_raw))?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&buf[3..11]);
+        let t_s = f64::from_bits(u64::from_le_bytes(w));
+        w.copy_from_slice(&buf[11..19]);
+        let a = u64::from_le_bytes(w);
+        w.copy_from_slice(&buf[19..27]);
+        let b = u64::from_le_bytes(w);
+        Ok((
+            TraceEvent {
+                t_s,
+                kind,
+                code,
+                a,
+                b,
+            },
+            EVENT_WIRE_BYTES,
+        ))
+    }
+
+    /// Interpret `a` as f64 bits (seconds counters).
+    pub fn value_f64(&self) -> f64 {
+        f64::from_bits(self.a)
+    }
+}
+
+/// Per-rank event buffer. Owned by exactly one rank thread, so recording
+/// is lock-free; buffers are handed back to the machine at rank exit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceBuf {
+    /// Owning rank.
+    pub rank: u32,
+    /// Events in recording order (per-rank virtual time is monotone).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceBuf {
+    /// Empty buffer for `rank`.
+    pub fn new(rank: usize) -> TraceBuf {
+        TraceBuf {
+            rank: rank as u32,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record one event at virtual time `t_s`.
+    pub fn record(&mut self, t_s: f64, kind: TraceKind, code: TraceCode, a: u64, b: u64) {
+        self.events.push(TraceEvent {
+            t_s,
+            kind,
+            code,
+            a,
+            b,
+        });
+    }
+
+    /// Wire encoding: rank u32 | count u64 | events.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.events.len() * EVENT_WIRE_BYTES);
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for ev in &self.events {
+            ev.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`TraceBuf::encode`].
+    pub fn decode(buf: &[u8]) -> Result<TraceBuf, TraceDecodeError> {
+        if buf.len() < 12 {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let rank = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&buf[4..12]);
+        let count = u64::from_le_bytes(w) as usize;
+        let mut events = Vec::with_capacity(count.min(1 << 20));
+        let mut off = 12;
+        for _ in 0..count {
+            let (ev, used) = TraceEvent::decode(&buf[off..])?;
+            events.push(ev);
+            off += used;
+        }
+        Ok(TraceBuf { rank, events })
+    }
+}
+
+/// A merged, totally ordered trace across all ranks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Number of ranks that contributed buffers.
+    pub ranks: u32,
+    /// `(rank, event)` pairs ordered by `(virtual time, rank, per-rank
+    /// sequence)` — a deterministic total order because virtual times are
+    /// non-negative and finite and each rank's clock is monotone.
+    pub events: Vec<(u32, TraceEvent)>,
+}
+
+impl Trace {
+    /// Deterministically merge per-rank buffers.
+    pub fn merge(bufs: Vec<TraceBuf>) -> Trace {
+        let ranks = bufs.len() as u32;
+        let mut tagged: Vec<(u64, u32, u64, TraceEvent)> = Vec::new();
+        for buf in bufs {
+            for (idx, ev) in buf.events.into_iter().enumerate() {
+                tagged.push((ev.t_s.to_bits(), buf.rank, idx as u64, ev));
+            }
+        }
+        // Non-negative finite f64 bit patterns order the same as the values,
+        // so sorting on bits gives the numeric order without NaN hazards.
+        tagged.sort_unstable_by_key(|&(t, r, i, _)| (t, r, i));
+        Trace {
+            ranks,
+            events: tagged.into_iter().map(|(_, r, _, ev)| (r, ev)).collect(),
+        }
+    }
+
+    /// Canonical byte serialization (used by byte-identity tests):
+    /// ranks u32 | count u64 | (rank u32 + event) per event.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.events.len() * (4 + EVENT_WIRE_BYTES));
+        out.extend_from_slice(&self.ranks.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for (rank, ev) in &self.events {
+            out.extend_from_slice(&rank.to_le_bytes());
+            ev.encode(&mut out);
+        }
+        out
+    }
+
+    /// Export as Chrome `trace_event` JSON (object format, `traceEvents`
+    /// array). Spans map to `ph:"B"`/`ph:"E"`, counters to thread-scoped
+    /// instants (`ph:"i"`, `s:"t"`). `pid` is 0, `tid` is the rank, and
+    /// `ts` is virtual microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for rank in 0..self.ranks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            ));
+        }
+        for (rank, ev) in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts = json_f64(ev.t_s * 1e6);
+            let name = ev.code.name();
+            match ev.kind {
+                TraceKind::Begin => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"B\",\"pid\":0,\"tid\":{rank},\"ts\":{ts},\
+                     \"args\":{{\"a\":{},\"b\":{}}}}}",
+                    ev.a, ev.b
+                )),
+                TraceKind::End => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"E\",\"pid\":0,\"tid\":{rank},\"ts\":{ts}}}"
+                )),
+                TraceKind::Count => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{rank},\
+                     \"ts\":{ts},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                    ev.a, ev.b
+                )),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Condense the trace into the summary tables.
+    pub fn summary(&self) -> TraceSummary {
+        summarize(self)
+    }
+}
+
+/// Aggregate row for one span code.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRow {
+    /// Span code.
+    pub code: TraceCode,
+    /// Completed Begin/End pairs across all ranks.
+    pub count: u64,
+    /// Total inclusive virtual seconds across all ranks.
+    pub total_s: f64,
+}
+
+/// Aggregate row for one superstep (matched across ranks by per-rank
+/// occurrence order, which is identical on every rank).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuperstepRow {
+    /// Occurrence index of the superstep within the run.
+    pub index: u64,
+    /// Flavor: 0 light, 1 heavy, 2 fused tail.
+    pub flavor: u64,
+    /// Maximum span duration over ranks (the superstep's critical path).
+    pub span_s: f64,
+    /// Summed per-rank compute seconds within the superstep.
+    pub compute_s: f64,
+    /// Summed per-rank communication seconds within the superstep.
+    pub comm_s: f64,
+    /// Summed per-rank idle remainder `max(0, span − compute − comm)`.
+    pub wait_s: f64,
+}
+
+/// Aggregate row for one delta-stepping bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BucketRow {
+    /// Bucket index.
+    pub bucket: u64,
+    /// Global frontier size (max over ranks — the value is an allreduced
+    /// global, so every rank reports the same number).
+    pub frontier: u64,
+    /// Summed per-rank compute seconds in the bucket.
+    pub compute_s: f64,
+    /// Summed per-rank communication seconds in the bucket.
+    pub comm_s: f64,
+}
+
+/// Compact roll-up of a merged trace: per-superstep compute/comm/wait
+/// split, per-bucket totals, span table, and top collectives.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total merged events.
+    pub events: u64,
+    /// Ranks that contributed.
+    pub ranks: u32,
+    /// Per-span-code aggregate rows (declaration order, only codes seen).
+    pub spans: Vec<SpanRow>,
+    /// Matched superstep rows in run order.
+    pub supersteps: Vec<SuperstepRow>,
+    /// Bucket rows in bucket order.
+    pub buckets: Vec<BucketRow>,
+    /// Total retransmit events.
+    pub retransmits: u64,
+    /// Total timeout events.
+    pub timeouts: u64,
+    /// Top collectives by total inclusive virtual time (at most 5).
+    pub top_collectives: Vec<SpanRow>,
+}
+
+fn summarize(trace: &Trace) -> TraceSummary {
+    use std::collections::BTreeMap;
+    let nranks = trace.ranks as usize;
+    // Per-rank event streams in per-rank order (merge preserved it).
+    let mut per_rank: Vec<Vec<&TraceEvent>> = vec![Vec::new(); nranks.max(1)];
+    for (rank, ev) in &trace.events {
+        let r = *rank as usize;
+        if r < per_rank.len() {
+            per_rank[r].push(ev);
+        }
+    }
+
+    // Span table: per (rank, code) begin stacks -> inclusive totals.
+    let mut span_count: BTreeMap<TraceCode, u64> = BTreeMap::new();
+    let mut span_total: BTreeMap<TraceCode, f64> = BTreeMap::new();
+    // Per-rank superstep occurrences: (duration, flavor) in order.
+    let mut steps: Vec<Vec<(f64, u64)>> = vec![Vec::new(); nranks.max(1)];
+    // Per-rank superstep compute/comm samples in order.
+    let mut step_compute: Vec<Vec<f64>> = vec![Vec::new(); nranks.max(1)];
+    let mut step_comm: Vec<Vec<f64>> = vec![Vec::new(); nranks.max(1)];
+    // Bucket accumulators keyed by bucket index.
+    let mut bucket_frontier: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut bucket_compute: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut bucket_comm: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut retransmits = 0u64;
+    let mut timeouts = 0u64;
+
+    for (r, evs) in per_rank.iter().enumerate() {
+        let mut stacks: BTreeMap<TraceCode, Vec<f64>> = BTreeMap::new();
+        for ev in evs {
+            match ev.kind {
+                TraceKind::Begin => stacks.entry(ev.code).or_default().push(ev.t_s),
+                TraceKind::End => {
+                    if let Some(t0) = stacks.entry(ev.code).or_default().pop() {
+                        let dur = (ev.t_s - t0).max(0.0);
+                        *span_count.entry(ev.code).or_insert(0) += 1;
+                        *span_total.entry(ev.code).or_insert(0.0) += dur;
+                        if ev.code == TraceCode::Superstep {
+                            steps[r].push((dur, ev.b));
+                        }
+                    }
+                }
+                TraceKind::Count => match ev.code {
+                    TraceCode::Retransmit => retransmits += 1,
+                    TraceCode::Timeout => timeouts += 1,
+                    TraceCode::SuperstepCompute => step_compute[r].push(ev.value_f64()),
+                    TraceCode::SuperstepComm => step_comm[r].push(ev.value_f64()),
+                    TraceCode::BucketFrontier => {
+                        let e = bucket_frontier.entry(ev.b).or_insert(0);
+                        *e = (*e).max(ev.a);
+                    }
+                    TraceCode::BucketCompute => {
+                        *bucket_compute.entry(ev.b).or_insert(0.0) += ev.value_f64();
+                    }
+                    TraceCode::BucketComm => {
+                        *bucket_comm.entry(ev.b).or_insert(0.0) += ev.value_f64();
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    let spans: Vec<SpanRow> = ALL_CODES
+        .iter()
+        .filter_map(|&code| {
+            span_count.get(&code).map(|&count| SpanRow {
+                code,
+                count,
+                total_s: *span_total.get(&code).unwrap_or(&0.0),
+            })
+        })
+        .collect();
+
+    // Superstep rows: every rank executes the same superstep sequence, so
+    // occurrence i on each rank is the same global superstep.
+    let nsteps = steps.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut supersteps = Vec::with_capacity(nsteps);
+    for i in 0..nsteps {
+        let mut span_s = 0.0f64;
+        let mut flavor = 0u64;
+        let mut compute_s = 0.0f64;
+        let mut comm_s = 0.0f64;
+        let mut wait_s = 0.0f64;
+        for r in 0..nranks.max(1) {
+            if let Some(&(dur, fl)) = steps[r].get(i) {
+                span_s = span_s.max(dur);
+                flavor = fl;
+                let comp = step_compute[r].get(i).copied().unwrap_or(0.0);
+                let comm = step_comm[r].get(i).copied().unwrap_or(0.0);
+                compute_s += comp;
+                comm_s += comm;
+                wait_s += (dur - comp - comm).max(0.0);
+            }
+        }
+        supersteps.push(SuperstepRow {
+            index: i as u64,
+            flavor,
+            span_s,
+            compute_s,
+            comm_s,
+            wait_s,
+        });
+    }
+
+    let buckets: Vec<BucketRow> = bucket_frontier
+        .keys()
+        .chain(bucket_compute.keys())
+        .chain(bucket_comm.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<u64>>()
+        .into_iter()
+        .map(|bucket| BucketRow {
+            bucket,
+            frontier: bucket_frontier.get(&bucket).copied().unwrap_or(0),
+            compute_s: bucket_compute.get(&bucket).copied().unwrap_or(0.0),
+            comm_s: bucket_comm.get(&bucket).copied().unwrap_or(0.0),
+        })
+        .collect();
+
+    let mut top_collectives: Vec<SpanRow> = spans
+        .iter()
+        .filter(|row| row.code.is_collective())
+        .cloned()
+        .collect();
+    top_collectives.sort_by(|x, y| {
+        y.total_s
+            .total_cmp(&x.total_s)
+            .then_with(|| (x.code as u16).cmp(&(y.code as u16)))
+    });
+    top_collectives.truncate(5);
+
+    TraceSummary {
+        events: trace.events.len() as u64,
+        ranks: trace.ranks,
+        spans,
+        supersteps,
+        buckets,
+        retransmits,
+        timeouts,
+        top_collectives,
+    }
+}
+
+impl TraceSummary {
+    /// Render as an aligned text block (virtual-time only, so the output is
+    /// identical at any thread count — the golden-trace files store exactly
+    /// this text).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("trace summary\n");
+        s.push_str(&format!("  events            : {}\n", self.events));
+        s.push_str(&format!("  ranks             : {}\n", self.ranks));
+        s.push_str(&format!(
+            "  retransmits       : {}   timeouts: {}\n",
+            self.retransmits, self.timeouts
+        ));
+        if !self.spans.is_empty() {
+            s.push_str("  spans (count, total virtual s):\n");
+            for row in &self.spans {
+                s.push_str(&format!(
+                    "    {:<18} count={:<8} total_s={}\n",
+                    row.code.name(),
+                    row.count,
+                    json_f64(row.total_s)
+                ));
+            }
+        }
+        if !self.supersteps.is_empty() {
+            s.push_str("  supersteps (flavor 0=light 1=heavy 2=tail):\n");
+            let head = 8.min(self.supersteps.len());
+            for row in &self.supersteps[..head] {
+                s.push_str(&format!(
+                    "    step {:<4} flavor={} span_s={} compute_s={} comm_s={} wait_s={}\n",
+                    row.index,
+                    row.flavor,
+                    json_f64(row.span_s),
+                    json_f64(row.compute_s),
+                    json_f64(row.comm_s),
+                    json_f64(row.wait_s)
+                ));
+            }
+            if self.supersteps.len() > head {
+                let rest = &self.supersteps[head..];
+                let span: f64 = rest.iter().map(|r| r.span_s).sum();
+                let comp: f64 = rest.iter().map(|r| r.compute_s).sum();
+                let comm: f64 = rest.iter().map(|r| r.comm_s).sum();
+                let wait: f64 = rest.iter().map(|r| r.wait_s).sum();
+                s.push_str(&format!(
+                    "    +{} more: span_s={} compute_s={} comm_s={} wait_s={}\n",
+                    rest.len(),
+                    json_f64(span),
+                    json_f64(comp),
+                    json_f64(comm),
+                    json_f64(wait)
+                ));
+            }
+        }
+        if !self.buckets.is_empty() {
+            s.push_str("  buckets:\n");
+            let head = 12.min(self.buckets.len());
+            for row in &self.buckets[..head] {
+                s.push_str(&format!(
+                    "    bucket {:<4} frontier={:<8} compute_s={} comm_s={}\n",
+                    row.bucket,
+                    row.frontier,
+                    json_f64(row.compute_s),
+                    json_f64(row.comm_s)
+                ));
+            }
+            if self.buckets.len() > head {
+                let rest = &self.buckets[head..];
+                let fr: u64 = rest.iter().map(|r| r.frontier).sum();
+                let comp: f64 = rest.iter().map(|r| r.compute_s).sum();
+                let comm: f64 = rest.iter().map(|r| r.comm_s).sum();
+                s.push_str(&format!(
+                    "    +{} more: frontier={} compute_s={} comm_s={}\n",
+                    rest.len(),
+                    fr,
+                    json_f64(comp),
+                    json_f64(comm)
+                ));
+            }
+        }
+        if !self.top_collectives.is_empty() {
+            s.push_str("  top collectives by inclusive virtual time:\n");
+            for row in &self.top_collectives {
+                s.push_str(&format!(
+                    "    {:<18} count={:<8} total_s={}\n",
+                    row.code.name(),
+                    row.count,
+                    json_f64(row.total_s)
+                ));
+            }
+        }
+        s
+    }
+
+    /// Single-line JSON object (hand-rolled, matching the workspace style).
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"total_s\":{}}}",
+                    r.code.name(),
+                    r.count,
+                    json_f64(r.total_s)
+                )
+            })
+            .collect();
+        let steps: Vec<String> = self
+            .supersteps
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"index\":{},\"flavor\":{},\"span_s\":{},\"compute_s\":{},\
+                     \"comm_s\":{},\"wait_s\":{}}}",
+                    r.index,
+                    r.flavor,
+                    json_f64(r.span_s),
+                    json_f64(r.compute_s),
+                    json_f64(r.comm_s),
+                    json_f64(r.wait_s)
+                )
+            })
+            .collect();
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"bucket\":{},\"frontier\":{},\"compute_s\":{},\"comm_s\":{}}}",
+                    r.bucket,
+                    r.frontier,
+                    json_f64(r.compute_s),
+                    json_f64(r.comm_s)
+                )
+            })
+            .collect();
+        let top: Vec<String> = self
+            .top_collectives
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"total_s\":{}}}",
+                    r.code.name(),
+                    r.count,
+                    json_f64(r.total_s)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"events\":{},\"ranks\":{},\"retransmits\":{},\"timeouts\":{},\
+             \"spans\":[{}],\"supersteps\":[{}],\"buckets\":[{}],\"top_collectives\":[{}]}}",
+            self.events,
+            self.ranks,
+            self.retransmits,
+            self.timeouts,
+            spans.join(","),
+            steps.join(","),
+            buckets.join(","),
+            top.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: TraceKind, code: TraceCode, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            t_s: t,
+            kind,
+            code,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn event_codec_round_trip() {
+        let e = ev(1.5, TraceKind::Begin, TraceCode::Superstep, 42, 7);
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        assert_eq!(buf.len(), EVENT_WIRE_BYTES);
+        let (d, used) = TraceEvent::decode(&buf).unwrap();
+        assert_eq!(used, EVENT_WIRE_BYTES);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            TraceEvent::decode(&[0u8; 5]),
+            Err(TraceDecodeError::Truncated)
+        );
+        let mut buf = Vec::new();
+        ev(0.0, TraceKind::Count, TraceCode::Relaxations, 1, 0).encode(&mut buf);
+        buf[0] = 9;
+        assert_eq!(TraceEvent::decode(&buf), Err(TraceDecodeError::BadKind(9)));
+        buf[0] = 0;
+        buf[1] = 0xff;
+        buf[2] = 0xff;
+        assert_eq!(
+            TraceEvent::decode(&buf),
+            Err(TraceDecodeError::BadCode(0xffff))
+        );
+    }
+
+    #[test]
+    fn buf_codec_round_trip() {
+        let mut b = TraceBuf::new(3);
+        b.record(0.0, TraceKind::Begin, TraceCode::Bucket, 0, 0);
+        b.record(1.0, TraceKind::Count, TraceCode::Relaxations, 10, 0);
+        b.record(2.0, TraceKind::End, TraceCode::Bucket, 0, 0);
+        let enc = b.encode();
+        assert_eq!(TraceBuf::decode(&enc).unwrap(), b);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_rank() {
+        let mut b0 = TraceBuf::new(0);
+        b0.record(2.0, TraceKind::Count, TraceCode::Relaxations, 1, 0);
+        let mut b1 = TraceBuf::new(1);
+        b1.record(1.0, TraceKind::Count, TraceCode::Relaxations, 2, 0);
+        b1.record(2.0, TraceKind::Count, TraceCode::Relaxations, 3, 0);
+        let t = Trace::merge(vec![b0, b1]);
+        assert_eq!(t.ranks, 2);
+        let order: Vec<(u32, u64)> = t.events.iter().map(|(r, e)| (*r, e.a)).collect();
+        assert_eq!(order, vec![(1, 2), (0, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn summary_matches_simple_trace() {
+        let mut b = TraceBuf::new(0);
+        b.record(0.0, TraceKind::Begin, TraceCode::Superstep, 0, 0);
+        b.record(1.0, TraceKind::End, TraceCode::Superstep, 0, 0);
+        b.record(
+            1.0,
+            TraceKind::Count,
+            TraceCode::SuperstepCompute,
+            0.25f64.to_bits(),
+            0,
+        );
+        b.record(
+            1.0,
+            TraceKind::Count,
+            TraceCode::SuperstepComm,
+            0.5f64.to_bits(),
+            0,
+        );
+        b.record(1.0, TraceKind::Count, TraceCode::BucketFrontier, 17, 4);
+        b.record(1.5, TraceKind::Count, TraceCode::Timeout, 0, 1);
+        let sum = Trace::merge(vec![b]).summary();
+        assert_eq!(sum.supersteps.len(), 1);
+        let row = &sum.supersteps[0];
+        assert!((row.span_s - 1.0).abs() < 1e-12);
+        assert!((row.compute_s - 0.25).abs() < 1e-12);
+        assert!((row.comm_s - 0.5).abs() < 1e-12);
+        assert!((row.wait_s - 0.25).abs() < 1e-12);
+        assert_eq!(sum.buckets.len(), 1);
+        assert_eq!(sum.buckets[0].bucket, 4);
+        assert_eq!(sum.buckets[0].frontier, 17);
+        assert_eq!(sum.timeouts, 1);
+        assert_eq!(sum.retransmits, 0);
+    }
+
+    #[test]
+    fn chrome_json_has_span_edges() {
+        let mut b = TraceBuf::new(0);
+        b.record(0.0, TraceKind::Begin, TraceCode::Allreduce, 1, 0);
+        b.record(0.001, TraceKind::End, TraceCode::Allreduce, 1, 0);
+        let j = Trace::merge(vec![b]).to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+        assert!(j.contains("\"ph\":\"B\""), "{j}");
+        assert!(j.contains("\"ph\":\"E\""), "{j}");
+        assert!(j.contains("\"name\":\"allreduce\""), "{j}");
+        assert!(j.contains("\"ts\":1000"), "{j}");
+        assert!(j.ends_with("]}"), "{j}");
+    }
+
+    #[test]
+    fn to_bytes_is_stable_across_rebuilds() {
+        let mut b0 = TraceBuf::new(0);
+        b0.record(0.5, TraceKind::Count, TraceCode::Settled, 9, 0);
+        let t1 = Trace::merge(vec![b0.clone()]);
+        let t2 = Trace::merge(vec![b0]);
+        assert_eq!(t1.to_bytes(), t2.to_bytes());
+    }
+}

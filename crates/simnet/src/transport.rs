@@ -41,6 +41,7 @@
 use crate::fault::{FaultPlan, FrameFate, LinkRng, StallSchedule};
 use crate::rank::Tag;
 use crate::stats::NetStats;
+use crate::trace::{TraceBuf, TraceCode, TraceKind};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -336,6 +337,19 @@ impl fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// Mutable per-send context threaded through [`SenderTransport::deliver`]:
+/// the sender's virtual clock, its counters, and (when tracing) its trace
+/// buffer. Bundled so the protocol loop can stamp timeout/retransmit events
+/// at the exact virtual times the counters change.
+pub(crate) struct TransportIo<'a> {
+    /// The sending rank's virtual clock.
+    pub now: &'a mut f64,
+    /// The sending rank's traffic counters.
+    pub stats: &'a mut NetStats,
+    /// The sending rank's trace buffer, when tracing is on.
+    pub trace: Option<&'a mut TraceBuf>,
+}
+
 // ---- the sender-side reliable channel ----
 
 /// Per-rank reliable-transport state: one fault-lottery stream per
@@ -371,9 +385,10 @@ impl SenderTransport {
 
     /// Run the reliable link protocol for one message to completion and
     /// return the virtual arrival time of the fully reassembled payload at
-    /// the receiver. Advances `*now` past every retransmit timeout
-    /// (exponential backoff) and accumulates fault counters into `stats`.
-    /// `transit(frame_bytes)` prices one frame's flight.
+    /// the receiver. Advances `*io.now` past every retransmit timeout
+    /// (exponential backoff), accumulates fault counters into `io.stats`,
+    /// and (when tracing) records a timeout/retransmit event per counter
+    /// bump. `transit(frame_bytes)` prices one frame's flight.
     ///
     /// Panics with a [`TransportError::RetryBudgetExhausted`] fail-stop
     /// once any single frame fails `retry_budget + 1` attempts.
@@ -382,10 +397,12 @@ impl SenderTransport {
         dst: usize,
         tag: Tag,
         payload: &[u8],
-        now: &mut f64,
-        stats: &mut NetStats,
+        io: &mut TransportIo<'_>,
         transit: impl Fn(usize) -> f64,
     ) -> f64 {
+        let now = &mut *io.now;
+        let stats = &mut *io.stats;
+        let mut trace = io.trace.as_deref_mut();
         let plan = self.plan;
         let src = self.rank;
         let start_seq = *self.seqs.entry((dst, tag)).or_insert(0);
@@ -458,6 +475,15 @@ impl SenderTransport {
                 // data lost, frame corrupted, or ack lost: the retransmit
                 // timer fires in virtual time
                 stats.timeouts += 1;
+                if let Some(tb) = trace.as_deref_mut() {
+                    tb.record(
+                        *now,
+                        TraceKind::Count,
+                        TraceCode::Timeout,
+                        start_seq + i,
+                        attempt as u64,
+                    );
+                }
                 if attempt > plan.retry_budget {
                     panic!(
                         "{}",
@@ -473,6 +499,15 @@ impl SenderTransport {
                 stats.retransmits += 1;
                 *now += rto;
                 stats.comm_s += rto;
+                if let Some(tb) = trace.as_deref_mut() {
+                    tb.record(
+                        *now,
+                        TraceKind::Count,
+                        TraceCode::Retransmit,
+                        start_seq + i,
+                        attempt as u64,
+                    );
+                }
                 rto *= plan.backoff;
             }
         }

@@ -29,7 +29,7 @@ use crate::exchange::exchange_updates;
 use g500_graph::{VertexId, Weight};
 use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
 use rayon::prelude::*;
-use simnet::RankCtx;
+use simnet::{RankCtx, TraceCode};
 use std::collections::HashMap;
 
 /// Per-vertex result of the parallel pull scan: relaxation count, and (if
@@ -217,6 +217,32 @@ pub fn distributed_delta_stepping<P: VertexPartition>(
 }
 
 impl<P: VertexPartition> Kernel<'_, P> {
+    /// Snapshot counters at a traced superstep's start; `None` when
+    /// tracing is off, so untraced runs skip the clone-free reads too.
+    fn ss_snapshot(&self, ctx: &RankCtx) -> Option<(f64, f64, u64)> {
+        ctx.trace_enabled().then(|| {
+            (
+                ctx.stats().compute_s,
+                ctx.stats().comm_s,
+                self.stats.relaxations,
+            )
+        })
+    }
+
+    /// Close a traced superstep span and emit its compute/comm/relaxation
+    /// deltas. `flavor`: 0 light, 1 heavy, 2 fused tail.
+    fn ss_close(&mut self, ctx: &mut RankCtx, snap: Option<(f64, f64, u64)>, flavor: u64) {
+        ctx.trace_end(TraceCode::Superstep, self.stats.supersteps, flavor);
+        if let Some((c0, m0, r0)) = snap {
+            let dc = ctx.stats().compute_s - c0;
+            let dm = ctx.stats().comm_s - m0;
+            let dr = self.stats.relaxations - r0;
+            ctx.trace_count_f64(TraceCode::SuperstepCompute, dc, flavor);
+            ctx.trace_count_f64(TraceCode::SuperstepComm, dm, flavor);
+            ctx.trace_count(TraceCode::Relaxations, dr, flavor);
+        }
+    }
+
     fn main_loop(&mut self, ctx: &mut RankCtx) {
         loop {
             let k_local = self.buckets.min_bucket().map_or(u64::MAX, |k| k as u64);
@@ -225,6 +251,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 break;
             }
             self.stats.buckets += 1;
+            ctx.trace_begin(TraceCode::Bucket, k, 0);
             let phase_start = (ctx.stats().compute_s, ctx.stats().comm_s);
             let mut phase_frontier = 0u64;
 
@@ -245,6 +272,8 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 if f_size == 0 {
                     break;
                 }
+                let snap = self.ss_snapshot(ctx);
+                ctx.trace_begin(TraceCode::Superstep, self.stats.supersteps, 0);
                 phase_frontier += f_size;
                 for &v in &frontier {
                     if self.settled_seen[v as usize] != self.settled_epoch {
@@ -265,11 +294,16 @@ impl<P: VertexPartition> Kernel<'_, P> {
                     self.push_iteration(ctx, k as usize, frontier, &mut settled);
                 }
                 self.stats.supersteps += 1;
+                self.ss_close(ctx, snap, 0);
             }
 
             // ---- heavy-edge phase (always push, once per settled vertex) ----
+            let snap = self.ss_snapshot(ctx);
+            ctx.trace_begin(TraceCode::Superstep, self.stats.supersteps, 1);
+            ctx.trace_count(TraceCode::Settled, settled.len() as u64, k);
             self.heavy_phase(ctx, &settled);
             self.stats.supersteps += 1;
+            self.ss_close(ctx, snap, 1);
 
             if self.opts.record_phases {
                 self.stats.phases.push(PhaseRecord {
@@ -279,6 +313,17 @@ impl<P: VertexPartition> Kernel<'_, P> {
                     comm_s: ctx.stats().comm_s - phase_start.1,
                 });
             }
+            if ctx.trace_enabled() {
+                let dc = ctx.stats().compute_s - phase_start.0;
+                let dm = ctx.stats().comm_s - phase_start.1;
+                ctx.trace_count(TraceCode::BucketFrontier, phase_frontier, k);
+                ctx.trace_count_f64(TraceCode::BucketCompute, dc, k);
+                ctx.trace_count_f64(TraceCode::BucketComm, dm, k);
+            }
+            // The fused tail below is deliberately outside the bucket span:
+            // its rounds carry flavor 2 and the per-bucket counters above
+            // keep the same semantics as `PhaseRecord` (tail excluded).
+            ctx.trace_end(TraceCode::Bucket, k, 0);
 
             // ---- fused tail ----
             // Two conditions gate the fusion: the live residue is tiny AND
@@ -434,6 +479,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
 
         let bucket_floor = k as f32 * delta;
         let n_local = graph.local_vertices();
+        ctx.trace_begin(TraceCode::TaskWave, n_local as u64, 0);
         // Parallel scan: each local vertex reads only the frozen frontier
         // map and its *own* distance slot, so vertices are independent. The
         // per-vertex improvement chain (running best + every strict-
@@ -485,6 +531,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
         }
         self.stats.relaxations += scanned;
         ctx.charge_compute(scanned);
+        ctx.trace_end(TraceCode::TaskWave, n_local as u64, 0);
     }
 
     /// Heavy-edge phase: one push pass over the bucket's settled set.
@@ -501,6 +548,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
         // Candidates are re-walked sequentially in (source, arc) order
         // below, so local applies and per-destination buffers are byte-
         // identical to the sequential schedule at any thread count.
+        ctx.trace_begin(TraceCode::TaskWave, settled.len() as u64, 1);
         let dist = &self.sp.dist;
         let per_chunk: Vec<HeavyScan> = settled
             .par_chunks(256)
@@ -535,6 +583,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
         }
         self.stats.relaxations += relaxed;
         ctx.charge_compute(relaxed);
+        ctx.trace_end(TraceCode::TaskWave, settled.len() as u64, 1);
 
         let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
         self.stats.updates_sent += outcome.records_sent;
@@ -563,6 +612,8 @@ impl<P: VertexPartition> Kernel<'_, P> {
         }
 
         loop {
+            let snap = self.ss_snapshot(ctx);
+            ctx.trace_begin(TraceCode::Superstep, self.stats.supersteps, 2);
             let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
             let mut next: Vec<u32> = Vec::new();
             let mut relaxed = 0u64;
@@ -615,6 +666,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
             }
             let remaining = ctx.allreduce_sum(next.len() as u64);
             frontier = next;
+            self.ss_close(ctx, snap, 2);
             if remaining == 0 {
                 break;
             }

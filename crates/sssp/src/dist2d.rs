@@ -29,7 +29,7 @@ use crate::bucket::BucketQueue;
 use g500_graph::{Csr, EdgeList, ShortestPaths, VertexId, WEdge, Weight};
 use g500_partition::{Block1D, VertexPartition};
 use rayon::prelude::*;
-use simnet::{RankCtx, SubComm};
+use simnet::{RankCtx, SubComm, TraceCode};
 use std::collections::HashMap;
 
 /// Per-chunk result of the parallel local relax scan: relaxation count and
@@ -174,6 +174,11 @@ impl Grid2DSssp {
             if k == u64::MAX {
                 break;
             }
+            ctx.trace_begin(TraceCode::Bucket, k, 0);
+            let bucket_snap = ctx
+                .trace_enabled()
+                .then(|| (ctx.stats().compute_s, ctx.stats().comm_s));
+            let mut bucket_frontier = 0u64;
             let mut settled: Vec<u32> = Vec::new();
             // light inner loop
             loop {
@@ -182,13 +187,23 @@ impl Grid2DSssp {
                 if total == 0 {
                     break;
                 }
+                bucket_frontier += total;
                 settled.extend_from_slice(&frontier);
-                self.relax_round(ctx, &frontier, |w| w < delta, &mut stats);
+                self.relax_round(ctx, &frontier, |w| w < delta, &mut stats, 0);
             }
             // heavy pass
             settled.sort_unstable();
             settled.dedup();
-            self.relax_round(ctx, &settled, |w| w >= delta, &mut stats);
+            ctx.trace_count(TraceCode::Settled, settled.len() as u64, k);
+            self.relax_round(ctx, &settled, |w| w >= delta, &mut stats, 1);
+            if let Some((c0, m0)) = bucket_snap {
+                let dc = ctx.stats().compute_s - c0;
+                let dm = ctx.stats().comm_s - m0;
+                ctx.trace_count(TraceCode::BucketFrontier, bucket_frontier, k);
+                ctx.trace_count_f64(TraceCode::BucketCompute, dc, k);
+                ctx.trace_count_f64(TraceCode::BucketComm, dm, k);
+            }
+            ctx.trace_end(TraceCode::Bucket, k, 0);
         }
         stats
     }
@@ -217,7 +232,13 @@ impl Grid2DSssp {
         frontier: &[u32],
         class: impl Fn(Weight) -> bool + Sync,
         stats: &mut Sssp2DStats,
+        flavor: u64,
     ) {
+        let ss = stats.supersteps;
+        let snap = ctx
+            .trace_enabled()
+            .then(|| (ctx.stats().compute_s, ctx.stats().comm_s, stats.relaxations));
+        ctx.trace_begin(TraceCode::Superstep, ss, flavor);
         // 1. row broadcast: only the diagonal member contributes
         let mine: Vec<(u64, f32)> = if self.is_diag() {
             frontier
@@ -247,6 +268,7 @@ impl Grid2DSssp {
         let blocks = &self.blocks;
         let row = self.row;
         let local = &self.local;
+        ctx.trace_begin(TraceCode::TaskWave, active.len() as u64, 4);
         let per_chunk: Vec<RelaxScan> = active
             .par_chunks(256)
             .map(|chunk| {
@@ -281,6 +303,7 @@ impl Grid2DSssp {
         }
         stats.relaxations += relaxed;
         ctx.charge_compute(relaxed);
+        ctx.trace_end(TraceCode::TaskWave, active.len() as u64, 4);
 
         // 3. column reduce: ship candidates to the diagonal rank of my
         // column (sub-rank == col index within the column communicator)
@@ -308,6 +331,16 @@ impl Grid2DSssp {
                 }
             }
             ctx.charge_compute(applied);
+        }
+
+        ctx.trace_end(TraceCode::Superstep, ss, flavor);
+        if let Some((c0, m0, r0)) = snap {
+            let dc = ctx.stats().compute_s - c0;
+            let dm = ctx.stats().comm_s - m0;
+            let dr = stats.relaxations - r0;
+            ctx.trace_count_f64(TraceCode::SuperstepCompute, dc, flavor);
+            ctx.trace_count_f64(TraceCode::SuperstepComm, dm, flavor);
+            ctx.trace_count(TraceCode::Relaxations, dr, flavor);
         }
     }
 

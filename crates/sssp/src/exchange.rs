@@ -15,7 +15,7 @@
 use crate::codec::{decode_updates, dedup_min, encode_updates, Update};
 use crate::config::OptConfig;
 use rayon::prelude::*;
-use simnet::RankCtx;
+use simnet::{RankCtx, TraceCode};
 
 /// Tag for non-coalesced per-update messages.
 const TAG_SINGLE_UPDATE: u64 = 0x5550;
@@ -44,6 +44,7 @@ pub fn exchange_updates(
         records_offered: out.iter().map(|b| b.len() as u64).sum(),
         ..Default::default()
     };
+    ctx.trace_begin(TraceCode::Exchange, outcome.records_offered, 0);
 
     if opts.dedup {
         let work = outcome.records_offered;
@@ -51,11 +52,13 @@ pub fn exchange_updates(
         // bucket per chunk — buckets are few and large). dedup_min is a
         // pure function of the bucket's contents, so shipped bytes are
         // identical at any thread count.
+        ctx.trace_begin(TraceCode::TaskWave, p as u64, 2);
         out.par_iter_mut().with_min_len(1).for_each(|b| {
             dedup_min(b);
         });
         // the sort is the modeled "on-chip sort" cost
         ctx.charge_compute(work);
+        ctx.trace_end(TraceCode::TaskWave, p as u64, 2);
     }
     outcome.records_sent = out.iter().map(|b| b.len() as u64).sum();
 
@@ -64,12 +67,14 @@ pub fn exchange_updates(
     } else if opts.compression {
         // encode per destination (in parallel, ordered combine); sortedness
         // comes from dedup when enabled
+        ctx.trace_begin(TraceCode::TaskWave, p as u64, 3);
         let enc: Vec<Vec<u8>> = out
             .par_iter()
             .with_min_len(1)
             .map(|b| encode_updates(b, opts.dedup))
             .collect();
         ctx.charge_compute(outcome.records_sent);
+        ctx.trace_end(TraceCode::TaskWave, p as u64, 3);
         let mut blocks = ctx.alltoallv(enc);
         // Apply per-source blocks in the (possibly fuzzed) delivery order:
         // min-relaxation makes the merge order-free, and the schedule fuzzer
@@ -94,6 +99,9 @@ pub fn exchange_updates(
     };
 
     outcome.records_received = incoming.len() as u64;
+    ctx.trace_count(TraceCode::UpdatesSent, outcome.records_sent, 0);
+    ctx.trace_count(TraceCode::UpdatesReceived, outcome.records_received, 0);
+    ctx.trace_end(TraceCode::Exchange, outcome.records_offered, 0);
     (incoming, outcome)
 }
 

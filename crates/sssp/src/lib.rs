@@ -47,5 +47,5 @@ pub use delta::suggest_delta;
 pub use dist::{distributed_delta_stepping, SsspRunStats};
 pub use dist2d::{Grid2DSssp, Sssp2DStats};
 pub use multi::{multi_source_delta_stepping, MultiDist, MultiStats};
-pub use par::parallel_delta_stepping;
+pub use par::{parallel_delta_stepping, parallel_delta_stepping_traced, WaveRecord};
 pub use seq::delta_stepping;

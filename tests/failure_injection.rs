@@ -415,6 +415,78 @@ fn fault_counters_are_scheduler_invariant() {
     assert_same_outputs(&threads, &det);
 }
 
+// ---------- tracing × faults: observation without perturbation ----------
+
+use graph500::simnet::{TraceCode, TraceKind};
+
+/// The trace's Retransmit/Timeout events are recorded 1:1 with the
+/// NetStats counter bumps, per rank, at the same fault seed.
+#[test]
+fn trace_fault_events_match_netstats_counters() {
+    for fault_seed in [0xFA17u64, 0xABCD] {
+        let mut cfg = BenchmarkConfig::quick(9, 4)
+            .deterministic(0)
+            .faults(lossy_profile(fault_seed))
+            .traced(true);
+        cfg.validate = false;
+        let rep = run_sssp_benchmark(&cfg);
+        let trace = rep.trace.as_ref().expect("run was traced");
+        assert!(rep.net.retransmits > 0, "profile drew no faults");
+        let mut retrans = vec![0u64; rep.ranks];
+        let mut timeouts = vec![0u64; rep.ranks];
+        for (rank, ev) in &trace.events {
+            if ev.kind == TraceKind::Count {
+                match ev.code {
+                    TraceCode::Retransmit => retrans[*rank as usize] += 1,
+                    TraceCode::Timeout => timeouts[*rank as usize] += 1,
+                    _ => {}
+                }
+            }
+        }
+        for (r, net) in rep.per_rank_net.iter().enumerate() {
+            assert_eq!(
+                retrans[r], net.retransmits,
+                "rank {r}: trace retransmit events != NetStats ({fault_seed:#x})"
+            );
+            assert_eq!(
+                timeouts[r], net.timeouts,
+                "rank {r}: trace timeout events != NetStats ({fault_seed:#x})"
+            );
+        }
+    }
+}
+
+/// Tracing observes the run but never perturbs it: distances, kernel
+/// counters, and every NetStats field (virtual times included) are
+/// byte-identical with tracing on or off — with and without faults.
+#[test]
+fn tracing_does_not_perturb_runs() {
+    for fault in [FaultPlan::none(), lossy_profile(0x77)] {
+        let base = BenchmarkConfig::quick(9, 4).deterministic(0).faults(fault);
+        let mut off_cfg = base.clone();
+        off_cfg.keep_paths = true;
+        let mut on_cfg = base.traced(true);
+        on_cfg.keep_paths = true;
+        let off = run_sssp_benchmark(&off_cfg);
+        let on = run_sssp_benchmark(&on_cfg);
+        assert_same_outputs(&off, &on);
+        assert_eq!(
+            off.per_rank_net, on.per_rank_net,
+            "tracing moved NetStats (virtual time or counters)"
+        );
+        for (a, b) in off.runs.iter().zip(&on.runs) {
+            assert_eq!(
+                a.sim_time_s.to_bits(),
+                b.sim_time_s.to_bits(),
+                "tracing moved the virtual clock for root {}",
+                a.root
+            );
+        }
+        assert!(off.trace.is_none());
+        assert!(on.trace.is_some());
+    }
+}
+
 // ---------- retry-budget exhaustion: diagnosable fail-stop ----------
 
 #[test]

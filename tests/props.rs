@@ -430,3 +430,145 @@ fn reassembler_is_order_and_duplicate_insensitive() {
         assert_eq!(r.into_payload(), expect);
     });
 }
+
+// ---- virtual-time tracing (observability tentpole) ----
+
+use graph500::simnet::trace::TraceCode;
+use graph500::simnet::{TraceBuf, TraceEvent, TraceKind};
+
+/// Every valid `TraceCode`, recovered through the public decoder.
+fn all_trace_codes() -> Vec<TraceCode> {
+    (0u16..512).filter_map(TraceCode::from_u16).collect()
+}
+
+fn arb_event(rng: &mut common::Rng, codes: &[TraceCode], t_s: f64) -> TraceEvent {
+    let code = codes[rng.usize(0, codes.len())];
+    let kind = if code.is_span() {
+        if rng.range(0, 2) == 0 {
+            TraceKind::Begin
+        } else {
+            TraceKind::End
+        }
+    } else {
+        TraceKind::Count
+    };
+    TraceEvent {
+        t_s,
+        kind,
+        code,
+        a: rng.next_u64(),
+        b: rng.next_u64(),
+    }
+}
+
+#[test]
+fn trace_event_codec_roundtrip() {
+    let codes = all_trace_codes();
+    for_cases(0x7AC3, 128, |rng| {
+        let n = rng.usize(0, 60);
+        let mut buf = TraceBuf::new(rng.usize(0, 1000));
+        let mut t = 0.0f64;
+        for _ in 0..n {
+            t += rng.f64_unit() * 1e-3;
+            let e = arb_event(rng, &codes, t);
+            buf.record(e.t_s, e.kind, e.code, e.a, e.b);
+        }
+        let enc = buf.encode();
+        let back = TraceBuf::decode(&enc).expect("self-produced encoding decodes");
+        assert_eq!(back.rank, buf.rank);
+        assert_eq!(back.events.len(), buf.events.len());
+        for (a, b) in buf.events.iter().zip(&back.events) {
+            assert_eq!(a.t_s.to_bits(), b.t_s.to_bits());
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.a, b.a);
+            assert_eq!(a.b, b.b);
+        }
+    });
+}
+
+#[test]
+fn merged_trace_timestamps_are_monotone_per_rank() {
+    use graph500::simnet::Trace;
+    let codes = all_trace_codes();
+    for_cases(0x70E0, 64, |rng| {
+        let ranks = rng.usize(1, 6);
+        let bufs: Vec<TraceBuf> = (0..ranks)
+            .map(|r| {
+                let mut b = TraceBuf::new(r);
+                // per-rank virtual clocks only move forward
+                let mut t = 0.0f64;
+                for _ in 0..rng.usize(0, 40) {
+                    t += rng.f64_unit() * 1e-4;
+                    let e = arb_event(rng, &codes, t);
+                    b.record(e.t_s, e.kind, e.code, e.a, e.b);
+                }
+                b
+            })
+            .collect();
+        let merged = Trace::merge(bufs);
+        // global order is non-decreasing in time, and within a rank the
+        // original (monotone) order is preserved
+        let mut last_t = 0.0f64;
+        let mut last_per_rank: Vec<f64> = vec![0.0; ranks];
+        for (rank, ev) in &merged.events {
+            assert!(ev.t_s >= last_t, "merge broke global time order");
+            last_t = ev.t_s;
+            assert!(
+                ev.t_s >= last_per_rank[*rank as usize],
+                "merge broke rank {rank}'s clock order"
+            );
+            last_per_rank[*rank as usize] = ev.t_s;
+        }
+    });
+}
+
+#[test]
+fn traced_runs_have_balanced_spans() {
+    // On a real (fuzz-scheduled) traced run, every span Begin has a
+    // matching End on the same rank and nesting never goes negative.
+    for_cases(0x5BA1, 8, |rng| {
+        let (n, edges) = arb_graph(rng);
+        let root = rng.range(0, n);
+        let p = rng.usize(1, 5);
+        let sched_seed = rng.next_u64();
+        let el = to_el(&edges);
+        let report = Machine::new(
+            MachineConfig::with_ranks(p)
+                .deterministic(sched_seed)
+                .traced(true),
+        )
+        .run(|ctx| {
+            let part = Block1D::new(n, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let (sp, _) = distributed_delta_stepping(ctx, &g, root, &OptConfig::all_on());
+            sp.gather_to_all(ctx, g.part())
+        });
+        for buf in &report.traces {
+            let mut depth: std::collections::HashMap<TraceCode, i64> =
+                std::collections::HashMap::new();
+            for ev in &buf.events {
+                match ev.kind {
+                    TraceKind::Begin => *depth.entry(ev.code).or_insert(0) += 1,
+                    TraceKind::End => {
+                        let d = depth.entry(ev.code).or_insert(0);
+                        *d -= 1;
+                        assert!(
+                            *d >= 0,
+                            "rank {}: End without Begin for {:?}",
+                            buf.rank,
+                            ev.code
+                        );
+                    }
+                    TraceKind::Count => {}
+                }
+            }
+            for (code, d) in depth {
+                assert_eq!(d, 0, "rank {}: unbalanced span {:?}", buf.rank, code);
+            }
+        }
+    });
+}

@@ -1,0 +1,227 @@
+//! Golden-trace regression tests: the observability layer's determinism
+//! contract, pinned to checked-in artifacts.
+//!
+//! Under `SchedMode::Deterministic` the merged trace is a pure function of
+//! the configuration — byte-identical across repeated runs and across
+//! `G500_THREADS` — so its summary can be diffed against a golden file the
+//! way distances are diffed in the conformance suite. A drift here means a
+//! semantic change to the instrumentation (or the simulator), which is
+//! exactly what these tests exist to flag.
+//!
+//! Regenerate the goldens after an intentional change with
+//! `G500_BLESS=1 cargo test --test trace_golden`.
+
+use graph500::simnet::{Machine, MachineConfig, Trace};
+use graph500::sssp::Grid2DSssp;
+use graph500::{run_sssp_benchmark, BenchmarkConfig};
+use std::process::Command;
+
+const GOLDEN_1D: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/trace_1d_scale10.txt"
+);
+const GOLDEN_2D: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/trace_2d_scale10.txt"
+);
+
+/// Compare `actual` against the golden file at `path`; with `G500_BLESS=1`
+/// rewrite the golden instead.
+fn check_golden(path: &str, actual: &str) {
+    if std::env::var("G500_BLESS").is_ok() {
+        std::fs::write(path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e}; run with G500_BLESS=1"));
+    assert_eq!(
+        expected, actual,
+        "trace summary drifted from {path}; if intentional, regenerate with G500_BLESS=1"
+    );
+}
+
+fn traced_1d_cfg() -> BenchmarkConfig {
+    let mut cfg = BenchmarkConfig::quick(10, 4).deterministic(0).traced(true);
+    cfg.num_roots = 2;
+    cfg.validate = false;
+    cfg
+}
+
+fn run_traced_2d() -> Trace {
+    let gen = graph500::gen::KroneckerGenerator::new(graph500::gen::KroneckerParams::graph500(
+        10, 20220814,
+    ));
+    let el = gen.generate_all();
+    let n = 1u64 << 10;
+    let p = 4usize;
+    let report =
+        Machine::new(MachineConfig::with_ranks(p).deterministic(0).traced(true)).run(|ctx| {
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine = (lo..hi).map(|i| el.get(i));
+            let mut g = Grid2DSssp::build(ctx, n, mine, 0.25);
+            g.run(ctx, 1);
+            g.gather(ctx)
+        });
+    Trace::merge(report.traces)
+}
+
+#[test]
+fn golden_1d_scale10_summary() {
+    let rep = run_sssp_benchmark(&traced_1d_cfg());
+    let summary = rep.trace_summary().expect("run was traced");
+    check_golden(GOLDEN_1D, &summary.render());
+}
+
+#[test]
+fn golden_2d_scale10_summary() {
+    let trace = run_traced_2d();
+    check_golden(GOLDEN_2D, &trace.summary().render());
+}
+
+#[test]
+fn repeated_runs_produce_byte_identical_traces() {
+    let a = run_sssp_benchmark(&traced_1d_cfg());
+    let b = run_sssp_benchmark(&traced_1d_cfg());
+    let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+    assert_eq!(
+        ta.to_bytes(),
+        tb.to_bytes(),
+        "same config + sched seed must replay the identical merged trace"
+    );
+    let c = run_traced_2d();
+    let d = run_traced_2d();
+    assert_eq!(c.to_bytes(), d.to_bytes(), "2D trace not replayable");
+}
+
+/// Spawn the real `g500` binary (the pool is process-global, so thread
+/// counts can only be compared across processes) and return (normalized
+/// JSON stdout, Chrome trace bytes).
+fn run_traced_binary(threads: usize, out: &std::path::Path) -> (String, Vec<u8>) {
+    let res = Command::new(env!("CARGO_BIN_EXE_g500"))
+        .args([
+            "sssp",
+            "--scale",
+            "9",
+            "--ranks",
+            "4",
+            "--roots",
+            "2",
+            "--deterministic",
+            "--trace",
+            "--trace-out",
+            out.to_str().expect("utf8 tmp path"),
+            "--json",
+        ])
+        .env("G500_THREADS", threads.to_string())
+        .output()
+        .expect("spawn g500");
+    assert!(
+        res.status.success(),
+        "g500 failed under {} threads: {}",
+        threads,
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let json = String::from_utf8(res.stdout)
+        .expect("utf8 json")
+        .lines()
+        .filter(|l| !l.contains("wall_time_s") && !l.contains("\"threads\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let chrome = std::fs::read(out).expect("trace file written");
+    (json, chrome)
+}
+
+#[test]
+fn traced_run_is_bitwise_identical_across_thread_counts() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("g500_trace_t1.json");
+    let p4 = dir.join("g500_trace_t4.json");
+    let (json1, chrome1) = run_traced_binary(1, &p1);
+    let (json4, chrome4) = run_traced_binary(4, &p4);
+    assert!(json1.contains("\"trace\":"), "traced JSON missing summary");
+    assert_eq!(
+        json1, json4,
+        "traced JSON differs between G500_THREADS=1 and =4"
+    );
+    assert_eq!(
+        chrome1, chrome4,
+        "Chrome trace differs between G500_THREADS=1 and =4"
+    );
+    let _ = std::fs::remove_file(p1);
+    let _ = std::fs::remove_file(p4);
+}
+
+/// With tracing off, the report is byte-identical to one from a traced
+/// build: the only difference tracing may make to output is the opt-in
+/// `"trace"` entry itself.
+#[test]
+fn tracing_off_leaves_report_json_untouched() {
+    let mut off_cfg = traced_1d_cfg();
+    off_cfg.machine = off_cfg.machine.traced(false);
+    let off = run_sssp_benchmark(&off_cfg);
+    let on = run_sssp_benchmark(&traced_1d_cfg());
+    let strip = |json: &str| -> String {
+        json.lines()
+            .filter(|l| !l.contains("wall_time_s") && !l.trim_start().starts_with("\"trace\":"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert!(!off.to_json().contains("\"trace\":"));
+    assert!(on.to_json().contains("\"trace\":"));
+    assert!(!off.render().contains("trace summary"));
+    assert!(on.render().contains("trace summary"));
+    assert_eq!(
+        strip(&off.to_json()),
+        strip(&on.to_json()),
+        "tracing changed a non-trace report field"
+    );
+}
+
+/// Minimal structural JSON validator: balanced objects/arrays outside
+/// strings, escape-aware. Enough to catch malformed hand-rolled output
+/// without a JSON dependency.
+fn assert_valid_json(s: &str) {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        assert!(depth_obj >= 0 && depth_arr >= 0, "unbalanced close");
+    }
+    assert!(!in_str, "unterminated string");
+    assert_eq!(depth_obj, 0, "unbalanced objects");
+    assert_eq!(depth_arr, 0, "unbalanced arrays");
+}
+
+#[test]
+fn chrome_export_is_structurally_valid_json() {
+    let rep = run_sssp_benchmark(&traced_1d_cfg());
+    let chrome = rep.trace.as_ref().expect("traced").to_chrome_json();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    assert!(chrome.contains("\"ph\":\"B\""));
+    assert!(chrome.contains("\"ph\":\"E\""));
+    assert!(chrome.contains("\"name\":\"superstep\""));
+    assert_valid_json(&chrome);
+    // the report JSON (with the embedded trace summary) must stay valid too
+    assert_valid_json(&rep.to_json());
+}
