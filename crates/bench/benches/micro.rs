@@ -15,14 +15,14 @@
 //! writes the medians to `results/bench_micro.json` at the workspace root.
 
 use g500_baselines::dijkstra;
+use g500_bench::micro;
 use g500_gen::{KroneckerGenerator, KroneckerParams};
 use g500_graph::{compress, Csr, Directedness};
 use g500_sssp::codec::{decode_updates, dedup_min, encode_updates, Update};
 use g500_sssp::{delta_stepping, parallel_delta_stepping, BucketQueue};
 use graph500::simnet::{Machine, MachineConfig};
 use std::hint::black_box;
-use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Run `f` `samples` times and report the median wall time, scaled by
@@ -173,152 +173,14 @@ fn bench_collectives() {
 // ---------------------------------------------------------------------------
 // Thread-count sweep → results/bench_micro.json
 //
-// The worker pool is process-global and fixed at first use, so a sweep over
-// thread counts must re-exec: the parent spawns itself once per count in
-// `SWEEP_THREADS` with `G500_BENCH_CHILD=1` and `G500_THREADS=<t>` set; the
-// child runs only the pool-parallel hot kernels and prints one
-// machine-readable `G500_BENCH\t<kernel>\t<median_ns>` line each, which the
-// parent collects into JSON. Determinism contract: the *results* of every
-// kernel are bitwise identical across the sweep — only the times differ.
+// The heavy lifting lives in `g500_bench::micro`, shared with the CI perf
+// gate (`src/bin/perf_gate.rs`): the pool is process-global and fixed at
+// first use, so the sweep re-execs this binary once per thread count in
+// `micro::SWEEP_THREADS` with `G500_BENCH_CHILD=1` set; the children run
+// `micro::run_kernels()` and the parent collects their medians/p10/p90 into
+// JSON. Determinism contract: the *results* of every kernel are bitwise
+// identical across the sweep — only the times differ.
 // ---------------------------------------------------------------------------
-
-const CHILD_ENV: &str = "G500_BENCH_CHILD";
-const SWEEP_THREADS: [usize; 3] = [1, 2, 4];
-
-/// Median wall time of `samples` runs of `f`, in nanoseconds (one warmup).
-fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
-    f();
-    let mut times: Vec<u128> = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let t0 = Instant::now();
-        f();
-        times.push(t0.elapsed().as_nanos());
-    }
-    times.sort_unstable();
-    times[times.len() / 2] as u64
-}
-
-/// Child mode: time the pool-parallel hot kernels under whatever
-/// `G500_THREADS` the parent set, and emit parse-friendly lines.
-fn child_main() {
-    let gen = KroneckerGenerator::new(KroneckerParams::graph500(14, 1));
-    let el = gen.generate_all();
-    let n = gen.params().num_vertices() as usize;
-    let csr = Csr::from_edges(n, &el, Directedness::Undirected);
-    let root = (0..n).find(|&v| csr.degree(v) > 0).unwrap_or(0) as u64;
-    let results: [(&str, u64); 3] = [
-        (
-            "generator/kronecker_s14",
-            median_ns(5, || {
-                black_box(gen.generate_all().len());
-            }),
-        ),
-        (
-            "csr/build_undirected_s14",
-            median_ns(5, || {
-                black_box(Csr::from_edges(n, &el, Directedness::Undirected).num_arcs());
-            }),
-        ),
-        (
-            "sssp/parallel_delta_s14",
-            median_ns(3, || {
-                black_box(parallel_delta_stepping(&csr, root, 0.125).reached_count());
-            }),
-        ),
-    ];
-    for (name, ns) in results {
-        println!("G500_BENCH\t{name}\t{ns}");
-    }
-}
-
-/// Re-exec ourselves once per thread count and collect the child lines.
-/// Returns `(thread_count, [(kernel, median_ns)])` per sweep point.
-fn run_sweep(exe: &Path) -> Vec<(usize, Vec<(String, u64)>)> {
-    let mut sweep = Vec::new();
-    for t in SWEEP_THREADS {
-        eprintln!("sweep: re-exec with G500_THREADS={t}…");
-        let out = match Command::new(exe)
-            .env(CHILD_ENV, "1")
-            .env("G500_THREADS", t.to_string())
-            .output()
-        {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("sweep: failed to spawn child for {t} threads: {e}; skipping");
-                continue;
-            }
-        };
-        if !out.status.success() {
-            eprintln!(
-                "sweep: child for {t} threads exited with {}; skipping",
-                out.status
-            );
-            continue;
-        }
-        let mut kernels = Vec::new();
-        for line in String::from_utf8_lossy(&out.stdout).lines() {
-            let mut parts = line.split('\t');
-            if parts.next() != Some("G500_BENCH") {
-                continue;
-            }
-            if let (Some(name), Some(ns)) = (parts.next(), parts.next()) {
-                if let Ok(ns) = ns.parse::<u64>() {
-                    kernels.push((name.to_string(), ns));
-                }
-            }
-        }
-        sweep.push((t, kernels));
-    }
-    sweep
-}
-
-/// Serialize the sweep as `results/bench_micro.json` at the workspace root:
-/// kernel × thread-count × median ns, plus host metadata.
-fn write_sweep_json(path: &Path, sweep: &[(usize, Vec<(String, u64)>)]) -> std::io::Result<()> {
-    // kernel names in first-seen order
-    let mut kernels: Vec<&str> = Vec::new();
-    for (_, rows) in sweep {
-        for (name, _) in rows {
-            if !kernels.contains(&name.as_str()) {
-                kernels.push(name);
-            }
-        }
-    }
-    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"micro\",\n");
-    s.push_str("  \"unit\": \"ns\",\n");
-    s.push_str(&format!("  \"host_threads\": {host_threads},\n"));
-    s.push_str(&format!(
-        "  \"thread_counts\": [{}],\n",
-        sweep
-            .iter()
-            .map(|(t, _)| t.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    s.push_str("  \"kernels\": [\n");
-    for (ki, name) in kernels.iter().enumerate() {
-        let cells: Vec<String> = sweep
-            .iter()
-            .filter_map(|(t, rows)| {
-                rows.iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, ns)| format!("\"{t}\": {ns}"))
-            })
-            .collect();
-        s.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"median_ns\": {{{}}}}}{}\n",
-            cells.join(", "),
-            if ki + 1 < kernels.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::write(path, s)
-}
 
 /// Parent half of the sweep: orchestrate children, write JSON, print a
 /// human-readable speedup table.
@@ -330,13 +192,13 @@ fn bench_thread_sweep() {
             return;
         }
     };
-    let sweep = run_sweep(&exe);
+    let sweep = micro::run_sweep(&exe);
     if sweep.is_empty() {
         eprintln!("sweep: no child runs succeeded; skipping JSON emission");
         return;
     }
-    let out: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_micro.json");
-    match write_sweep_json(&out, &sweep) {
+    let out: PathBuf = micro::results_dir().join("bench_micro.json");
+    match micro::write_sweep_json(&out, &micro::git_rev(), &sweep) {
         Ok(()) => println!("\nwrote {}", out.display()),
         Err(e) => eprintln!("sweep: could not write {}: {e}", out.display()),
     }
@@ -351,20 +213,23 @@ fn bench_thread_sweep() {
             .collect::<String>()
     );
     if let Some((_, base_rows)) = base {
-        for (name, base_ns) in base_rows {
+        for (name, base_stats) in base_rows {
             let mut row = format!("{name:<40} ");
             for (_, rows) in &sweep {
                 match rows.iter().find(|(n, _)| n == name) {
-                    Some((_, ns)) => row.push_str(&format!("{:>10.2}", *ns as f64 / 1e6)),
+                    Some((_, s)) => row.push_str(&format!("{:>10.2}", s.median_ns as f64 / 1e6)),
                     None => row.push_str(&format!("{:>10}", "-")),
                 }
             }
-            if let Some((_, ns4)) = sweep
+            if let Some((_, s)) = sweep
                 .iter()
                 .rev()
                 .find_map(|(t, rows)| (*t > 1).then(|| rows.iter().find(|(n, _)| n == name))?)
             {
-                row.push_str(&format!("   ({:.2}x)", *base_ns as f64 / *ns4 as f64));
+                row.push_str(&format!(
+                    "   ({:.2}x)",
+                    base_stats.median_ns as f64 / s.median_ns as f64
+                ));
             }
             println!("{row}");
         }
@@ -372,8 +237,8 @@ fn bench_thread_sweep() {
 }
 
 fn main() {
-    if std::env::var_os(CHILD_ENV).is_some() {
-        child_main();
+    if std::env::var_os(micro::CHILD_ENV).is_some() {
+        micro::child_main();
         return;
     }
     println!("{:<40} {:>15} {:>18}", "benchmark", "median", "throughput");

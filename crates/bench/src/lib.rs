@@ -10,6 +10,8 @@
 //! printing.
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use std::fmt::Display;
 
 /// Read an integer parameter from the environment with a default, e.g.

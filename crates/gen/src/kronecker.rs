@@ -139,10 +139,16 @@ impl KroneckerGenerator {
     pub fn generate_all(&self) -> EdgeList {
         let m = self.params.num_edges();
         // Each edge is a pure function of its index and blocks concatenate
-        // in index order, so the chunk count affects only load balance,
-        // never the output. Oversplit the pool ~4× for balance, floored at
-        // MIN_GEN_BLOCK edges per block so tiny graphs stay one block.
-        const MIN_GEN_BLOCK: u64 = 1 << 13;
+        // in index order, so block geometry affects only load balance,
+        // never the output. Work-size-aware split: below the threshold the
+        // whole list is one sequential block (sub-threshold generation is
+        // cheaper than any pool hand-off — and never even starts the
+        // pool); above it, oversplit the pool ~4× for balance, floored at
+        // MIN_GEN_BLOCK edges per block so blocks stay cache-friendly.
+        const MIN_GEN_BLOCK: u64 = 1 << 14;
+        if m <= 2 * MIN_GEN_BLOCK {
+            return self.edge_block(0..m);
+        }
         let nchunks = ((rayon::current_num_threads() as u64) * 4)
             .min(m.div_ceil(MIN_GEN_BLOCK))
             .max(1);

@@ -45,36 +45,44 @@ impl Csr {
         // Pass 1: per-vertex degree count (parallel chunked count + merge).
         // Each chunk allocates an n-slot scratch array, so the chunk count
         // is capped at the pool size (scratch ≤ threads × n × 4B) and
-        // floored at MIN_COUNT_CHUNK edges per chunk so small inputs stay
-        // single-chunk. Integer degree sums are partition- and
-        // order-insensitive, so a thread-dependent chunk count here cannot
-        // change the result (see the fixed-chunk contract in `rayon`).
+        // floored at MIN_COUNT_CHUNK edges per chunk. Work-size-aware
+        // cutoff: a sub-threshold edge list is counted sequentially in one
+        // pass — the pool hand-off and per-chunk scratch cost more than
+        // the count itself (and the pool is never even started). Integer
+        // degree sums are partition- and order-insensitive, so neither the
+        // cutoff nor a thread-dependent chunk count can change the result
+        // (see the fixed-chunk contract in `rayon`).
         const MIN_COUNT_CHUNK: usize = 1 << 15;
-        let nchunks = rayon::current_num_threads()
-            .min(m.div_ceil(MIN_COUNT_CHUNK))
-            .max(1);
-        let chunk = m.div_ceil(nchunks).max(1);
-        let partials: Vec<Vec<u32>> = (0..m)
-            .into_par_iter()
-            .chunks(chunk)
-            .map(|idxs| {
-                let mut deg = vec![0u32; n];
-                for i in idxs {
-                    let e = edges.get(i);
-                    debug_assert!(
-                        (e.u as usize) < n && (e.v as usize) < n,
-                        "edge ({}, {}) out of range for n={n}",
-                        e.u,
-                        e.v
-                    );
-                    deg[e.u as usize] += 1;
-                    if dir == Directedness::Undirected {
-                        deg[e.v as usize] += 1;
-                    }
+        let count_range = |lo: usize, hi: usize| -> Vec<u32> {
+            let mut deg = vec![0u32; n];
+            for i in lo..hi {
+                let e = edges.get(i);
+                debug_assert!(
+                    (e.u as usize) < n && (e.v as usize) < n,
+                    "edge ({}, {}) out of range for n={n}",
+                    e.u,
+                    e.v
+                );
+                deg[e.u as usize] += 1;
+                if dir == Directedness::Undirected {
+                    deg[e.v as usize] += 1;
                 }
-                deg
-            })
-            .collect();
+            }
+            deg
+        };
+        let partials: Vec<Vec<u32>> = if m <= 2 * MIN_COUNT_CHUNK {
+            vec![count_range(0, m)]
+        } else {
+            let nchunks = rayon::current_num_threads()
+                .min(m.div_ceil(MIN_COUNT_CHUNK))
+                .max(1);
+            let chunk = m.div_ceil(nchunks).max(1);
+            (0..nchunks)
+                .into_par_iter()
+                .with_max_len(1)
+                .map(|c| count_range(c * chunk, ((c + 1) * chunk).min(m)))
+                .collect()
+        };
 
         let mut offsets = vec![0u64; n + 1];
         for part in &partials {

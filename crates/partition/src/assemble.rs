@@ -141,6 +141,17 @@ impl<P: VertexPartition> LocalGraph<P> {
         let hi = self.offsets[l + 1] as usize;
         &self.targets[lo..hi]
     }
+
+    /// Weights of local vertex `l`'s arcs, parallel to [`neighbors`]. The
+    /// two contiguous slices let relaxation inner loops run as a single
+    /// counted zip instead of an iterator chain.
+    ///
+    /// [`neighbors`]: LocalGraph::neighbors
+    pub fn edge_weights(&self, l: usize) -> &[Weight] {
+        let lo = self.offsets[l] as usize;
+        let hi = self.offsets[l + 1] as usize;
+        &self.weights[lo..hi]
+    }
 }
 
 #[cfg(test)]

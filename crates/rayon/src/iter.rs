@@ -168,6 +168,25 @@ pub trait ParallelIterator: Sized + Sync {
         C::from_par_iter(self)
     }
 
+    /// Collect into a caller-owned `Vec`, reusing its capacity: the vector
+    /// is cleared, then per-chunk buffers are appended in chunk order. The
+    /// contents end up identical to [`collect`](Self::collect); hot kernels
+    /// use this to keep one scratch arena alive across waves instead of
+    /// reallocating every wave.
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
+        out.clear();
+        let parts = drive_chunks(&self, |it, lo, hi| {
+            let mut buf: Vec<Self::Item> = Vec::with_capacity(hi - lo);
+            it.for_chunk(lo, hi, &mut |x| buf.push(x));
+            buf
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        out.reserve(total);
+        for mut p in parts {
+            out.append(&mut p);
+        }
+    }
+
     /// Sum the items: each chunk is summed in order, then the per-chunk sums
     /// are summed sequentially in chunk order.
     fn sum<S>(self) -> S
@@ -257,6 +276,13 @@ impl<T> Slots<T> {
 /// Drive a parallel iterator: split its base domain into fixed chunks, run
 /// `per_chunk` on each across the pool, and return the results in chunk
 /// order.
+///
+/// Auto-sequential cutoff: a region of at most two chunks runs inline on
+/// the caller, in chunk order, without touching the pool. The chunks (and
+/// therefore all results) are exactly the ones pooled execution would
+/// produce — only the executing thread changes — so the cutoff is free to
+/// exist without weakening the determinism contract, and sub-threshold
+/// waves never pay scheduler overhead.
 fn drive_chunks<I, T, F>(it: &I, per_chunk: F) -> Vec<T>
 where
     I: ParallelIterator,
@@ -270,6 +296,11 @@ where
     it.begin_drive();
     let cs = fixed_chunk_size(len, it.min_chunk_hint(), it.max_chunk_hint());
     let nchunks = len.div_ceil(cs);
+    if nchunks <= 2 {
+        return (0..nchunks)
+            .map(|i| per_chunk(it, i * cs, ((i + 1) * cs).min(len)))
+            .collect();
+    }
     let slots: Slots<T> = Slots::new(nchunks);
     run_parallel(nchunks, &|i| {
         let lo = i * cs;

@@ -5,7 +5,11 @@
 //! workspace compiles from std alone — but since PR 3 this crate is a *real*
 //! thread pool, not a sequential shim: `par_iter`, `into_par_iter`,
 //! `par_sort_unstable*`, `join` and `scope` all execute on a lazily-started,
-//! process-global pool.
+//! process-global pool. Since PR 6 the pool is a deque-based work-stealing
+//! scheduler: per-worker cache-line-padded deques (LIFO local, FIFO steal),
+//! batched chunk claiming (one deque op + one atomic retires a whole run of
+//! chunks), and exponential-backoff idle spinning before parking — see
+//! `pool.rs` and DESIGN.md "Work-stealing & the determinism contract".
 //!
 //! ## Pool sizing
 //!
@@ -41,7 +45,7 @@ pub use iter::{
     IntoParallelIterator, Map, ParallelIterator, ParallelSlice, ParallelSliceMut, RangeIter,
     SliceChunks, SliceIter, SliceIterMut, VecIter, WithHints,
 };
-pub use pool::{configure_threads, current_num_threads, join, scope, Scope};
+pub use pool::{configure_threads, current_num_threads, join, pool_stats, scope, PoolStats, Scope};
 
 pub mod prelude {
     pub use crate::{
@@ -293,6 +297,129 @@ mod tests {
             done.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(done.load(Ordering::SeqCst), 256);
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_capacity_and_matches_collect() {
+        let mut arena: Vec<u64> = Vec::new();
+        for round in 0..3u64 {
+            (0..50_000u64)
+                .into_par_iter()
+                .with_max_len(128)
+                .map(|i| i * 3 + round)
+                .collect_into_vec(&mut arena);
+            let expect: Vec<u64> = (0..50_000u64).map(|i| i * 3 + round).collect();
+            assert_eq!(arena, expect);
+        }
+        let cap = arena.capacity();
+        (0..10u64).into_par_iter().collect_into_vec(&mut arena);
+        assert_eq!(arena, (0..10u64).collect::<Vec<_>>());
+        assert_eq!(arena.capacity(), cap, "arena capacity must be retained");
+    }
+
+    #[test]
+    fn steal_heavy_skewed_workload_balances() {
+        // A geometric skew: chunk 0 dwarfs everything. The splitter parks
+        // the back half of every range in a deque, so with >1 thread the
+        // light runs must be stolen while the heavy chunk executes; at 1
+        // thread everything runs inline. Either way the sum is exact.
+        let total = std::sync::atomic::AtomicU64::new(0);
+        (0..512usize).into_par_iter().with_max_len(1).for_each(|i| {
+            let spins = if i % 64 == 0 { 100_000u64 } else { 50 };
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..512u64).sum());
+    }
+
+    #[test]
+    fn nested_join_inside_stolen_chunks() {
+        // Each outer chunk opens nested joins (a recursive sort), so stolen
+        // chunks submit sub-tasks from worker threads; the help-loop must
+        // keep every level live without deadlock.
+        let outs: Vec<Vec<u32>> = (0..32usize)
+            .into_par_iter()
+            .with_max_len(1)
+            .map(|i| {
+                let mut v: Vec<u32> = (0..20_000u32)
+                    .map(|k| k.wrapping_mul(2654435761) ^ i as u32)
+                    .collect();
+                v.par_sort_unstable();
+                v
+            })
+            .collect();
+        for v in outs {
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn scope_jobs_nest_under_stealing() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..128 {
+                s.spawn(|s2| {
+                    // nested parallel region inside a scope job
+                    let n: u64 = (0..10_000u64).into_par_iter().with_max_len(512).sum();
+                    assert_eq!(n, 49_995_000);
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s2.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 256);
+    }
+
+    #[test]
+    fn panic_in_stolen_chunk_propagates_and_pool_survives() {
+        // Many tiny chunks guarantee splits land in worker deques, so with
+        // >1 thread the panicking chunk is very likely stolen; the payload
+        // must still surface on the submitting thread.
+        for round in 0..4 {
+            let caught = std::panic::catch_unwind(|| {
+                (0..4096usize)
+                    .into_par_iter()
+                    .with_max_len(1)
+                    .for_each(|i| {
+                        if i == 2048 + round {
+                            panic!("stolen chunk panicked");
+                        }
+                    });
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "stolen chunk panicked");
+            // pool stays healthy between rounds
+            let s: u64 = (0..1000u64).into_par_iter().with_max_len(16).sum();
+            assert_eq!(s, 499_500);
+        }
+    }
+
+    #[test]
+    fn pool_stats_are_monotonic() {
+        let before = crate::pool_stats();
+        assert!(before.threads >= 1);
+        let _: u64 = (0..100_000u64).into_par_iter().with_max_len(64).sum();
+        let after = crate::pool_stats();
+        assert!(after.local_runs >= before.local_runs);
+        assert!(after.steals >= before.steals);
+        assert!(after.parks >= before.parks);
+    }
+
+    #[test]
+    fn auto_sequential_cutoff_matches_parallel_results() {
+        // A two-chunk region takes the inline path; forcing more chunks
+        // takes the pool path. Same chunk geometry rules, same results.
+        let v: Vec<f32> = (0..4096).map(|i| (i % 97) as f32 * 0.125).collect();
+        let small: f64 = v[..2000].par_iter().map(|&x| x as f64).sum();
+        let seq: f64 = v[..2000].iter().map(|&x| x as f64).sum();
+        assert_eq!(small.to_bits(), seq.to_bits());
     }
 
     #[test]

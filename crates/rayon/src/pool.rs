@@ -1,4 +1,4 @@
-//! The process-global work-sharing thread pool.
+//! The process-global work-stealing thread pool.
 //!
 //! One pool serves the whole process: simnet spawns one OS thread per
 //! simulated rank, and if each rank owned a private pool the host would be
@@ -8,39 +8,73 @@
 //! ## Execution model
 //!
 //! A parallel region is a *task*: `nchunks` independent chunk indices plus a
-//! `Fn(usize)` body. The submitting thread pushes the task onto a global
-//! registry, then immediately starts claiming chunks of its own task; idle
-//! workers scan the registry and claim chunks of any runnable task. Chunk
-//! claiming is a single `fetch_update` on the task's `next` counter, so chunks
-//! are distributed dynamically (a stalled worker never blocks others from
-//! stealing the remaining chunks) while *which* chunk exists is fixed up
-//! front — chunk boundaries never depend on the number of threads, which is
-//! what keeps results bitwise reproducible (see the crate docs).
+//! `Fn(usize)` body. Work circulates as **jobs** — contiguous chunk ranges
+//! `[lo, hi)` of a task — through per-worker deques:
 //!
-//! The submitter blocks until every chunk of its task has completed, which is
-//! what makes the lifetime-erased body pointer sound: the `Fn` lives on the
-//! submitter's stack and outlives every dereference.
+//! * **LIFO local / FIFO steal.** A worker pushes and pops at the back of
+//!   its own deque (the most recently split-off — and cache-hottest —
+//!   range), while thieves take from the front (the oldest and largest
+//!   range), the classic Chase-Lev discipline realised here with one short
+//!   critical section per deque (std-only, no atomic deque).
+//! * **Batched claiming.** An executing thread repeatedly splits its range
+//!   in half, parking the back half in a deque for thieves, until the range
+//!   is at most the task's *grain* (a run of chunks sized from
+//!   `nchunks / (threads × OVERSPLIT)`); it then runs the whole run and
+//!   retires it with a single atomic subtraction. Claiming a run of chunks
+//!   costs one deque operation + one atomic, not one `fetch_update` per
+//!   chunk as the old work-sharing pool paid.
+//! * **Idle backoff.** An idle worker spins through a few
+//!   exponentially-growing rounds of steal attempts (with `spin_loop` and
+//!   `yield_now` between rounds), then parks on a condvar. Job pushes only
+//!   touch the futex when a sleeper exists, so a fully-awake pool runs
+//!   wake-free; a 1-core host parks quickly instead of burning the only
+//!   core in a spin.
+//!
+//! Chunk *boundaries* are fixed up front by the iterator layer and never
+//! depend on the number of threads; stealing and grain only decide **who**
+//! runs a chunk and in what batch, never **what** a chunk is. Per-chunk
+//! results are combined sequentially in chunk-index order at the reduce
+//! step, which is what keeps results bitwise reproducible (see the crate
+//! docs and DESIGN.md "Work-stealing & the determinism contract").
+//!
+//! The submitter blocks until every chunk of its task has completed, which
+//! is what makes the lifetime-erased body pointer sound: the `Fn` lives on
+//! the submitter's stack and outlives every dereference.
 //!
 //! ## Nested parallelism and deadlock freedom
 //!
 //! A chunk body may itself open a parallel region (nested `join`, sorts
-//! inside a parallel map, ...). Waits always form a tree: a thread only
-//! blocks after claiming every remaining chunk of *its own* task, so by then
-//! each outstanding chunk is being executed by some thread, and a thread
-//! executing a chunk only blocks as the submitter of a *deeper* task (for
-//! which the same argument applies). The deepest execution in the tree is
-//! never blocked, so the system always makes progress.
+//! inside a parallel map, ...). Before blocking, a submitter first drains
+//! every queued job *of its own task* from the deques, so by the time it
+//! waits, each outstanding chunk is being executed by some thread; a thread
+//! executing a chunk only blocks as the submitter of a strictly *deeper*
+//! task (for which the same argument applies). Depth strictly increases
+//! along any waits-for chain, so the deepest execution is never blocked and
+//! the system always makes progress. Parked workers re-check every deque
+//! under the sleep lock before waiting, and pushers take the same lock to
+//! notify, so wakeups cannot be lost.
 //!
 //! ## Panics
 //!
 //! The first panic from any chunk is captured; remaining chunks of the task
-//! are skipped (claimed and immediately retired), and the payload is
-//! re-thrown on the submitting thread once the task drains.
+//! are skipped (their jobs still retire), and the payload is re-thrown on
+//! the submitting thread once the task drains — stolen or local alike.
 
 use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Chunk-runs per worker a task is oversplit into; larger values smooth
+/// skew at the price of more deque traffic. Grain only groups execution —
+/// it never moves a chunk boundary.
+const OVERSPLIT: usize = 4;
+
+/// Steal rounds an idle worker spins through (with exponentially growing
+/// pauses) before parking on the condvar.
+const SPIN_ROUNDS: u32 = 6;
 
 /// One in-flight parallel region.
 struct Task {
@@ -48,11 +82,10 @@ struct Task {
     /// Valid until the submitter returns from [`Pool::run`], which cannot
     /// happen before `pending` reaches zero.
     func: *const (dyn Fn(usize) + Sync),
-    nchunks: usize,
-    /// Next chunk index to claim; saturates at `nchunks`.
-    next: AtomicUsize,
     /// Chunks not yet retired. The task is complete when this hits zero.
     pending: AtomicUsize,
+    /// Largest chunk run executed (and retired) as one batch.
+    grain: usize,
     /// Set on first panic; later chunks are skipped.
     poisoned: AtomicBool,
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
@@ -66,40 +99,180 @@ unsafe impl Send for Task {}
 unsafe impl Sync for Task {}
 
 impl Task {
-    /// Claim and retire one chunk. Returns false once no chunk is claimable.
-    fn claim_and_run_one(&self) -> bool {
-        let claimed = self
-            .next
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < self.nchunks).then_some(n + 1)
-            });
-        let Ok(i) = claimed else { return false };
-        if !self.poisoned.load(Ordering::SeqCst) {
-            // SAFETY: the submitter cannot return (and invalidate `func`)
-            // while this chunk is claimed but not retired.
-            let body = unsafe { &*self.func };
+    /// Retire `n` chunks; signals the submitter when the task drains.
+    fn retire(&self, n: usize) {
+        if self.pending.fetch_sub(n, Ordering::AcqRel) == n {
+            let mut done = self.done.lock().unwrap();
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A contiguous run of chunks `[lo, hi)` of one task.
+struct Job {
+    task: Arc<Task>,
+    lo: usize,
+    hi: usize,
+}
+
+/// One worker's deque, padded to its own cache line pair so neighbouring
+/// workers' queue traffic never false-shares.
+#[repr(align(128))]
+struct WorkerDeque {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+/// Per-worker counters, cache-line padded for the same reason. Purely
+/// diagnostic: read by [`pool_stats`], never by the scheduler.
+#[repr(align(128))]
+#[derive(Default)]
+struct WorkerCounters {
+    /// Chunk runs executed from the worker's own deque (LIFO pops).
+    local_runs: AtomicU64,
+    /// Chunk runs stolen from another deque (FIFO steals).
+    steals: AtomicU64,
+    /// Times the worker parked on the condvar.
+    parks: AtomicU64,
+}
+
+/// Aggregated scheduler counters, for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Pool size (including the inline submitter slot).
+    pub threads: usize,
+    /// Chunk runs executed from workers' own deques.
+    pub local_runs: u64,
+    /// Chunk runs stolen across deques (includes submitter self-steals).
+    pub steals: u64,
+    /// Worker park events.
+    pub parks: u64,
+}
+
+struct Shared {
+    /// One deque per worker thread. External submitters (rank threads)
+    /// scatter split-off jobs round-robin across these.
+    deques: Vec<WorkerDeque>,
+    counters: Vec<WorkerCounters>,
+    /// Extra counter slot for threads that are not pool workers.
+    external: WorkerCounters,
+    /// Number of workers currently parked; mirrored outside the lock so the
+    /// push fast path is one relaxed load.
+    sleepers: AtomicUsize,
+    sleep: Mutex<()>,
+    wake_cv: Condvar,
+    /// Round-robin cursor for external pushes.
+    rr: AtomicUsize,
+}
+
+impl Shared {
+    fn counters_for(&self, worker: Option<usize>) -> &WorkerCounters {
+        match worker {
+            Some(id) => &self.counters[id],
+            None => &self.external,
+        }
+    }
+
+    /// Park-safe work check: is any deque non-empty?
+    fn any_queued(&self) -> bool {
+        self.deques
+            .iter()
+            .any(|d| !d.jobs.lock().unwrap().is_empty())
+    }
+
+    /// Push a job: onto this worker's own deque back (LIFO end) when called
+    /// from a worker, round-robin otherwise. Wakes a sleeper only if one
+    /// exists, so an awake pool never touches the futex.
+    fn push(&self, worker: Option<usize>, job: Job) {
+        let idx = match worker {
+            Some(id) => id,
+            None => self.rr.fetch_add(1, Ordering::Relaxed) % self.deques.len(),
+        };
+        self.deques[idx].jobs.lock().unwrap().push_back(job);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep.lock().unwrap();
+            self.wake_cv.notify_one();
+        }
+    }
+
+    /// LIFO pop from the worker's own deque.
+    fn pop_local(&self, id: usize) -> Option<Job> {
+        self.deques[id].jobs.lock().unwrap().pop_back()
+    }
+
+    /// FIFO steal from any other deque, scanning round-robin from `id + 1`.
+    fn steal(&self, id: usize) -> Option<Job> {
+        let n = self.deques.len();
+        for k in 1..=n {
+            let victim = (id + k) % n;
+            if let Some(job) = self.deques[victim].jobs.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Remove any queued job belonging to `task` (front-first), scanning
+    /// all deques. Used by a submitter to drain its own task before
+    /// blocking — see the deadlock-freedom argument in the module docs.
+    fn steal_task_job(&self, task: &Arc<Task>) -> Option<Job> {
+        for d in &self.deques {
+            let mut q = d.jobs.lock().unwrap();
+            if let Some(pos) = q.iter().position(|j| Arc::ptr_eq(&j.task, task)) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// Index of the pool worker running on this thread (`usize::MAX` for
+    /// external threads — rank threads, tests, the submitter).
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn current_worker() -> Option<usize> {
+    let id = WORKER_ID.with(|w| w.get());
+    (id != usize::MAX).then_some(id)
+}
+
+/// Execute a job: split halves off for thieves while the range exceeds the
+/// task's grain, then run the remaining chunk run and retire it with one
+/// atomic. The split-off halves land on this worker's deque (LIFO) or, for
+/// external threads, round-robin across worker deques.
+fn execute(shared: &Shared, worker: Option<usize>, job: Job) {
+    let Job { task, lo, mut hi } = job;
+    while hi - lo > task.grain {
+        let mid = lo + (hi - lo) / 2;
+        shared.push(
+            worker,
+            Job {
+                task: Arc::clone(&task),
+                lo: mid,
+                hi,
+            },
+        );
+        hi = mid;
+    }
+    if !task.poisoned.load(Ordering::Acquire) {
+        // SAFETY: the submitter cannot return (and invalidate `func`)
+        // while this run is claimed but not retired.
+        let body = unsafe { &*task.func };
+        for i in lo..hi {
+            if task.poisoned.load(Ordering::Relaxed) {
+                break;
+            }
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
-                self.poisoned.store(true, Ordering::SeqCst);
-                let mut slot = self.panic.lock().unwrap();
+                task.poisoned.store(true, Ordering::Release);
+                let mut slot = task.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
             }
         }
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let mut done = self.done.lock().unwrap();
-            *done = true;
-            self.done_cv.notify_all();
-        }
-        true
     }
-}
-
-struct Shared {
-    /// Registry of in-flight tasks. Small (one entry per concurrently open
-    /// parallel region), so a linear scan under the lock is cheap.
-    tasks: Mutex<Vec<Arc<Task>>>,
-    work_cv: Condvar,
+    task.retire(hi - lo);
 }
 
 pub(crate) struct Pool {
@@ -109,18 +282,28 @@ pub(crate) struct Pool {
 
 impl Pool {
     fn new(nthreads: usize) -> Pool {
-        let shared = Arc::new(Shared {
-            tasks: Mutex::new(Vec::new()),
-            work_cv: Condvar::new(),
-        });
         // The submitter of each task participates in executing it, so
         // `nthreads` total parallelism needs `nthreads - 1` workers; with
         // one thread the pool runs everything inline on the caller.
-        for i in 1..nthreads {
+        let nworkers = nthreads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            deques: (0..nworkers)
+                .map(|_| WorkerDeque {
+                    jobs: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            counters: (0..nworkers).map(|_| WorkerCounters::default()).collect(),
+            external: WorkerCounters::default(),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake_cv: Condvar::new(),
+            rr: AtomicUsize::new(0),
+        });
+        for id in 0..nworkers {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name(format!("g500-pool-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .name(format!("g500-pool-{id}"))
+                .spawn(move || worker_loop(&shared, id))
                 .expect("spawning pool worker");
         }
         Pool { shared, nthreads }
@@ -132,31 +315,47 @@ impl Pool {
         // Erase the borrow lifetime; soundness argued in the module docs.
         let func: *const (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let grain = (nchunks / (self.nthreads * OVERSPLIT)).max(1);
         let task = Arc::new(Task {
             func,
-            nchunks,
-            next: AtomicUsize::new(0),
             pending: AtomicUsize::new(nchunks),
+            grain,
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        self.shared.tasks.lock().unwrap().push(Arc::clone(&task));
-        self.shared.work_cv.notify_all();
+        let shared = &*self.shared;
+        let worker = current_worker();
 
-        while task.claim_and_run_one() {}
-        let mut done = task.done.lock().unwrap();
-        while !*done {
-            done = task.done_cv.wait(done).unwrap();
+        // Execute the whole range ourselves; splitting inside `execute`
+        // scatters the back halves for thieves as we go.
+        execute(
+            shared,
+            worker,
+            Job {
+                task: Arc::clone(&task),
+                lo: 0,
+                hi: nchunks,
+            },
+        );
+        // Help until no queued job of this task remains anywhere, then wait
+        // for in-flight runs (executing on other threads) to retire.
+        while task.pending.load(Ordering::Acquire) > 0 {
+            if let Some(job) = shared.steal_task_job(&task) {
+                shared
+                    .counters_for(worker)
+                    .steals
+                    .fetch_add(1, Ordering::Relaxed);
+                execute(shared, worker, job);
+                continue;
+            }
+            let mut done = task.done.lock().unwrap();
+            while !*done && task.pending.load(Ordering::Acquire) > 0 {
+                done = task.done_cv.wait(done).unwrap();
+            }
+            break;
         }
-        drop(done);
-
-        let mut q = self.shared.tasks.lock().unwrap();
-        if let Some(pos) = q.iter().position(|t| Arc::ptr_eq(t, &task)) {
-            q.remove(pos);
-        }
-        drop(q);
 
         let payload = task.panic.lock().unwrap().take();
         if let Some(payload) = payload {
@@ -165,18 +364,45 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, id: usize) {
+    WORKER_ID.with(|w| w.set(id));
+    let mut backoff: u32 = 0;
     loop {
-        let task = {
-            let mut q = shared.tasks.lock().unwrap();
-            loop {
-                if let Some(t) = q.iter().find(|t| t.next.load(Ordering::SeqCst) < t.nchunks) {
-                    break Arc::clone(t);
-                }
-                q = shared.work_cv.wait(q).unwrap();
+        if let Some(job) = shared.pop_local(id) {
+            shared.counters[id]
+                .local_runs
+                .fetch_add(1, Ordering::Relaxed);
+            execute(shared, Some(id), job);
+            backoff = 0;
+            continue;
+        }
+        if let Some(job) = shared.steal(id) {
+            shared.counters[id].steals.fetch_add(1, Ordering::Relaxed);
+            execute(shared, Some(id), job);
+            backoff = 0;
+            continue;
+        }
+        if backoff < SPIN_ROUNDS {
+            // Exponential backoff: 2^backoff pause slots, then re-scan.
+            for _ in 0..(1u32 << backoff) {
+                std::hint::spin_loop();
             }
-        };
-        while task.claim_and_run_one() {}
+            std::thread::yield_now();
+            backoff += 1;
+            continue;
+        }
+        // Park. Re-check under the sleep lock (pushers notify under the
+        // same lock), so a push between our last scan and the wait cannot
+        // be lost.
+        shared.counters[id].parks.fetch_add(1, Ordering::Relaxed);
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = shared.sleep.lock().unwrap();
+        while !shared.any_queued() {
+            guard = shared.wake_cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        backoff = 0;
     }
 }
 
@@ -223,8 +449,25 @@ pub fn current_num_threads() -> usize {
     pool().nthreads
 }
 
-/// Run `f(i)` for every `i in 0..nchunks`, distributing chunks across the
-/// pool. Blocks until all chunks retire; re-throws the first panic.
+/// Snapshot of the scheduler's diagnostic counters (local runs, steals,
+/// parks). Counters are monotonic over the pool's lifetime; results never
+/// depend on them.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    let mut s = PoolStats {
+        threads: p.nthreads,
+        ..Default::default()
+    };
+    for c in p.shared.counters.iter().chain([&p.shared.external]) {
+        s.local_runs += c.local_runs.load(Ordering::Relaxed);
+        s.steals += c.steals.load(Ordering::Relaxed);
+        s.parks += c.parks.load(Ordering::Relaxed);
+    }
+    s
+}
+
+/// Run `f(i)` for every `i in 0..nchunks`, distributing chunk runs across
+/// the pool. Blocks until all chunks retire; re-throws the first panic.
 pub(crate) fn run_parallel(nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
     if nchunks == 0 {
         return;

@@ -58,6 +58,15 @@ where
     let (vl, vr) = v.split_at_mut(mid);
     let (bl, br) = buf.split_at_mut(mid);
     join(|| sort_rec(vl, bl, cmp), || sort_rec(vr, br, cmp));
+    // Skip the merge when the halves are already in order (common for
+    // nearly-sorted inputs). The check is a pure function of the sorted
+    // halves — themselves pure functions of the input — so taking it or
+    // not is identical at every thread count; and since `!= Greater` is
+    // exactly the condition under which the left-preferential merge would
+    // copy all of the left half first, skipping changes nothing.
+    if cmp(&v[mid - 1], &v[mid]) != Ordering::Greater {
+        return;
+    }
     merge(v, buf, mid, cmp);
 }
 

@@ -1,0 +1,87 @@
+//! Cross-process byte-identity for the work-stealing pool.
+//!
+//! The pool is process-global and fixed at first use, so comparing thread
+//! counts honestly requires separate processes. The parent test re-execs
+//! this test binary with `RAYON_XPROC_CHILD=1` under `G500_THREADS=1` and
+//! `=4` and compares the child's stdout byte for byte. The child pipeline
+//! uses `with_max_len(1)` over thousands of items, so at 4 threads every
+//! chunk run goes through the deques and the batched-claim splitter — the
+//! exact machinery that must not be able to change results.
+
+use rayon::prelude::*;
+use std::process::Command;
+
+const CHILD_ENV: &str = "RAYON_XPROC_CHILD";
+
+/// A chunk-heavy deterministic pipeline: float sums (combine-order
+/// sensitive), an order-sensitive collect, and a duplicate-key sort.
+fn child_report() -> String {
+    let weights: Vec<f32> = (0..100_000u64)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f32 * 1e-3)
+        .collect();
+    let sum: f64 = weights.par_iter().with_max_len(64).map(|&w| w as f64).sum();
+
+    let collected: Vec<u64> = (0..50_000u64)
+        .into_par_iter()
+        .with_max_len(1)
+        .map(|i| i.wrapping_mul(6364136223846793005))
+        .collect();
+    let mut h = 0xcbf29ce484222325u64;
+    for x in &collected {
+        h = (h ^ x).wrapping_mul(0x100000001b3);
+    }
+
+    let mut pairs: Vec<(u32, u32)> = (0..60_000u32).map(|i| (i % 13, i)).collect();
+    pairs.par_sort_unstable_by_key(|&(k, _)| k);
+    let mut sh = 0xcbf29ce484222325u64;
+    for &(k, v) in &pairs {
+        sh = (sh ^ ((k as u64) << 32 | v as u64)).wrapping_mul(0x100000001b3);
+    }
+
+    format!(
+        "sum={:016x} collect={h:016x} sort={sh:016x}\n",
+        sum.to_bits()
+    )
+}
+
+fn run_child(threads: usize) -> String {
+    let exe = std::env::current_exe().expect("test exe path");
+    let out = Command::new(exe)
+        .args(["--exact", "child_emit_report", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .env("G500_THREADS", threads.to_string())
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child failed under {threads} threads: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    // Under --nocapture the harness's own "test ... " prefix shares the
+    // line, so locate the marker anywhere and slice from there.
+    stdout
+        .lines()
+        .find_map(|l| l.find("REPORT ").map(|p| l[p..].to_string()))
+        .unwrap_or_else(|| panic!("no REPORT line in child output:\n{stdout}"))
+}
+
+/// Child half: prints the pipeline digest when re-exec'd with the env flag;
+/// a no-op under the normal test run.
+#[test]
+fn child_emit_report() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    print!("REPORT {}", child_report());
+}
+
+#[test]
+fn batched_claim_results_identical_at_1_and_4_threads() {
+    let one = run_child(1);
+    let four = run_child(4);
+    assert_eq!(
+        one, four,
+        "work-stealing pool changed results between G500_THREADS=1 and =4"
+    );
+}

@@ -22,10 +22,9 @@
 //! the ablation experiments measure against.
 
 use crate::bucket::BucketQueue;
-use crate::codec::Update;
 use crate::config::{Direction, OptConfig};
 use crate::delta::suggest_delta;
-use crate::exchange::exchange_updates;
+use crate::exchange::{exchange_into, ExchangeBufs};
 use g500_graph::{VertexId, Weight};
 use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
 use rayon::prelude::*;
@@ -155,6 +154,12 @@ struct Kernel<'a, P: VertexPartition> {
     unsettled_arcs: u64,
     unsettled_mark: Vec<bool>,
     stats: SsspRunStats,
+    /// Superstep scratch arenas, reused across the whole run: the exchange
+    /// buckets/incoming buffer and the two parallel-scan result buffers.
+    /// Every superstep used to reallocate all of these from nothing.
+    xbufs: ExchangeBufs,
+    pull_scratch: Vec<PullScan>,
+    heavy_scratch: Vec<HeavyScan>,
 }
 
 /// Run the distributed kernel from `root`. Collective: all ranks call with
@@ -198,6 +203,9 @@ pub fn distributed_delta_stepping<P: VertexPartition>(
         unsettled_arcs: graph.local_arcs() as u64,
         unsettled_mark: vec![false; n_local],
         stats: SsspRunStats::default(),
+        xbufs: ExchangeBufs::new(ctx.size()),
+        pull_scratch: Vec::new(),
+        heavy_scratch: Vec::new(),
     };
 
     let part = graph.part();
@@ -396,19 +404,20 @@ impl<P: VertexPartition> Kernel<'_, P> {
         frontier: Vec<u32>,
         settled: &mut Vec<u32>,
     ) {
-        let p = ctx.size();
         let me = ctx.rank();
         let delta = self.delta;
         let cascade = self.opts.bucket_fusion;
         let graph = self.graph;
-        let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
+        let mut xbufs = std::mem::take(&mut self.xbufs);
         let mut stack = frontier;
         let mut relaxed = 0u64;
 
         while let Some(u) = stack.pop() {
             let du = self.sp.dist[u as usize];
             let u_global = graph.part().to_global(me, u as usize);
-            for (v, w) in graph.arcs(u as usize) {
+            let vs = graph.neighbors(u as usize);
+            let ws = graph.edge_weights(u as usize);
+            for (&v, &w) in vs.iter().zip(ws) {
                 if w >= delta {
                     continue;
                 }
@@ -433,20 +442,21 @@ impl<P: VertexPartition> Kernel<'_, P> {
                         }
                     }
                 } else {
-                    out[owner].push((v, nd, u_global));
+                    xbufs.bucket_mut(owner).push((v, nd, u_global));
                 }
             }
         }
         self.stats.relaxations += relaxed;
         ctx.charge_compute(relaxed);
 
-        let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
+        let outcome = exchange_into(ctx, &mut xbufs, &self.opts);
         self.stats.updates_sent += outcome.records_sent;
         self.stats.updates_offered += outcome.records_offered;
-        ctx.charge_compute(incoming.len() as u64);
-        for (v, nd, parent) in incoming {
+        ctx.charge_compute(xbufs.incoming().len() as u64);
+        for &(v, nd, parent) in xbufs.incoming() {
             self.apply(v, nd, parent);
         }
+        self.xbufs = xbufs;
     }
 
     /// One pull-mode light iteration: broadcast the frontier, scan local
@@ -488,7 +498,8 @@ impl<P: VertexPartition> Kernel<'_, P> {
         // `l` order below, reproducing the sequential schedule bitwise at
         // any thread count.
         let dist = &self.sp.dist;
-        let per_l: Vec<PullScan> = (0..n_local)
+        let mut per_l = std::mem::take(&mut self.pull_scratch);
+        (0..n_local)
             .into_par_iter()
             .with_min_len(256)
             .map(|l| {
@@ -499,7 +510,9 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 let mut dl = dist[l];
                 let mut pl = u64::MAX;
                 let mut events: Vec<f32> = Vec::new();
-                for (t, w) in graph.arcs(l) {
+                let ts = graph.neighbors(l);
+                let ws = graph.edge_weights(l);
+                for (&t, &w) in ts.iter().zip(ws) {
                     scanned += 1;
                     if w >= delta {
                         continue;
@@ -516,12 +529,12 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 let upd = (!events.is_empty()).then_some((dl, pl, events));
                 (scanned, upd)
             })
-            .collect();
+            .collect_into_vec(&mut per_l);
 
         let mut scanned = 0u64;
-        for (l, (s, upd)) in per_l.into_iter().enumerate() {
-            scanned += s;
-            if let Some((dl, pl, events)) = upd {
+        for (l, (s, upd)) in per_l.iter_mut().enumerate() {
+            scanned += *s;
+            if let Some((dl, pl, events)) = upd.take() {
                 self.sp.dist[l] = dl;
                 self.sp.parent[l] = pl;
                 for cand in events {
@@ -529,6 +542,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 }
             }
         }
+        self.pull_scratch = per_l;
         self.stats.relaxations += scanned;
         ctx.charge_compute(scanned);
         ctx.trace_end(TraceCode::TaskWave, n_local as u64, 0);
@@ -536,11 +550,10 @@ impl<P: VertexPartition> Kernel<'_, P> {
 
     /// Heavy-edge phase: one push pass over the bucket's settled set.
     fn heavy_phase(&mut self, ctx: &mut RankCtx, settled: &[u32]) {
-        let p = ctx.size();
         let me = ctx.rank();
         let delta = self.delta;
         let graph = self.graph;
-        let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
+        let mut xbufs = std::mem::take(&mut self.xbufs);
         // Parallel candidate scan. Distances of settled vertices cannot
         // change during this phase (for settled u, du < (k+1)δ, and any
         // heavy relaxation delivers nd = du' + w ≥ kδ + δ, which `apply`
@@ -550,7 +563,8 @@ impl<P: VertexPartition> Kernel<'_, P> {
         // identical to the sequential schedule at any thread count.
         ctx.trace_begin(TraceCode::TaskWave, settled.len() as u64, 1);
         let dist = &self.sp.dist;
-        let per_chunk: Vec<HeavyScan> = settled
+        let mut per_chunk = std::mem::take(&mut self.heavy_scratch);
+        settled
             .par_chunks(256)
             .map(|chunk| {
                 let mut relaxed = 0u64;
@@ -558,7 +572,9 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 for &u in chunk {
                     let du = dist[u as usize];
                     let u_global = graph.part().to_global(me, u as usize);
-                    for (v, w) in graph.arcs(u as usize) {
+                    let vs = graph.neighbors(u as usize);
+                    let ws = graph.edge_weights(u as usize);
+                    for (&v, &w) in vs.iter().zip(ws) {
                         if w < delta {
                             continue;
                         }
@@ -568,37 +584,38 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 }
                 (relaxed, cands)
             })
-            .collect();
+            .collect_into_vec(&mut per_chunk);
 
         let mut relaxed = 0u64;
-        for (r, cands) in per_chunk {
-            relaxed += r;
-            for (v, nd, u_global, owner) in cands {
+        for (r, cands) in per_chunk.iter_mut() {
+            relaxed += *r;
+            for (v, nd, u_global, owner) in cands.drain(..) {
                 if owner == me {
                     self.apply(v, nd, u_global);
                 } else {
-                    out[owner].push((v, nd, u_global));
+                    xbufs.bucket_mut(owner).push((v, nd, u_global));
                 }
             }
         }
+        self.heavy_scratch = per_chunk;
         self.stats.relaxations += relaxed;
         ctx.charge_compute(relaxed);
         ctx.trace_end(TraceCode::TaskWave, settled.len() as u64, 1);
 
-        let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
+        let outcome = exchange_into(ctx, &mut xbufs, &self.opts);
         self.stats.updates_sent += outcome.records_sent;
         self.stats.updates_offered += outcome.records_offered;
-        ctx.charge_compute(incoming.len() as u64);
-        for (v, nd, parent) in incoming {
+        ctx.charge_compute(xbufs.incoming().len() as u64);
+        for &(v, nd, parent) in xbufs.incoming() {
             self.apply(v, nd, parent);
         }
+        self.xbufs = xbufs;
     }
 
     /// Fused Bellman-Ford tail: once the global residue is tiny, bucket
     /// discipline only adds synchronization — drain everything and relax to
     /// fixpoint, all edge classes at once.
     fn fused_tail(&mut self, ctx: &mut RankCtx) {
-        let p = ctx.size();
         let me = ctx.rank();
         self.frontier_epoch += 1;
         let mut frontier: Vec<u32> = Vec::new();
@@ -611,10 +628,10 @@ impl<P: VertexPartition> Kernel<'_, P> {
             }
         }
 
+        let mut xbufs = std::mem::take(&mut self.xbufs);
         loop {
             let snap = self.ss_snapshot(ctx);
             ctx.trace_begin(TraceCode::Superstep, self.stats.supersteps, 2);
-            let mut out: Vec<Vec<Update>> = vec![Vec::new(); p];
             let mut next: Vec<u32> = Vec::new();
             let mut relaxed = 0u64;
             let mut stack = std::mem::take(&mut frontier);
@@ -623,7 +640,9 @@ impl<P: VertexPartition> Kernel<'_, P> {
             while let Some(u) = stack.pop() {
                 let du = self.sp.dist[u as usize];
                 let u_global = graph.part().to_global(me, u as usize);
-                for (v, w) in graph.arcs(u as usize) {
+                let vs = graph.neighbors(u as usize);
+                let ws = graph.edge_weights(u as usize);
+                for (&v, &w) in vs.iter().zip(ws) {
                     relaxed += 1;
                     let nd = du + w;
                     let owner = graph.part().owner(v);
@@ -641,19 +660,19 @@ impl<P: VertexPartition> Kernel<'_, P> {
                             }
                         }
                     } else {
-                        out[owner].push((v, nd, u_global));
+                        xbufs.bucket_mut(owner).push((v, nd, u_global));
                     }
                 }
             }
             self.stats.relaxations += relaxed;
             ctx.charge_compute(relaxed);
 
-            let (incoming, outcome) = exchange_updates(ctx, out, &self.opts);
+            let outcome = exchange_into(ctx, &mut xbufs, &self.opts);
             self.stats.updates_sent += outcome.records_sent;
             self.stats.updates_offered += outcome.records_offered;
             self.stats.supersteps += 1;
-            ctx.charge_compute(incoming.len() as u64);
-            for (v, nd, parent) in incoming {
+            ctx.charge_compute(xbufs.incoming().len() as u64);
+            for &(v, nd, parent) in xbufs.incoming() {
                 let l = self.graph.part().to_local(v);
                 if nd < self.sp.dist[l] {
                     self.sp.dist[l] = nd;
@@ -671,6 +690,7 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 break;
             }
         }
+        self.xbufs = xbufs;
         // Buckets were drained; `drain_all` plus direct dist writes keep the
         // queue empty, so the outer loop terminates at the next allreduce.
     }

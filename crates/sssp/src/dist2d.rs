@@ -71,6 +71,10 @@ pub struct Grid2DSssp {
     dist: Vec<Weight>,
     parent: Vec<u64>,
     buckets: BucketQueue,
+    /// Round-scratch arenas reused across every superstep of a run: the
+    /// flattened row-broadcast frontier and the parallel relax-scan output.
+    active_scratch: Vec<(u64, f32)>,
+    relax_scratch: Vec<RelaxScan>,
 }
 
 impl Grid2DSssp {
@@ -137,6 +141,8 @@ impl Grid2DSssp {
             dist: vec![f32::INFINITY; state_n],
             parent: vec![u64::MAX; state_n],
             buckets: BucketQueue::new(delta),
+            active_scratch: Vec::new(),
+            relax_scratch: Vec::new(),
         }
     }
 
@@ -253,10 +259,11 @@ impl Grid2DSssp {
         // Flatten in the (possibly fuzzed) delivery order; relaxation below
         // min-aggregates, so the order cannot change distances.
         let order = ctx.delivery_order(blocks_in.len());
-        let active: Vec<(u64, f32)> = order
-            .into_iter()
-            .flat_map(|s| std::mem::take(&mut blocks_in[s]))
-            .collect();
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        for s in order {
+            active.append(&mut blocks_in[s]);
+        }
 
         // 2. local relax: candidates per global target, min-aggregated.
         // The edge scan (the expensive part) runs in parallel over fixed
@@ -269,15 +276,23 @@ impl Grid2DSssp {
         let row = self.row;
         let local = &self.local;
         ctx.trace_begin(TraceCode::TaskWave, active.len() as u64, 4);
-        let per_chunk: Vec<RelaxScan> = active
+        let mut per_chunk = std::mem::take(&mut self.relax_scratch);
+        active
             .par_chunks(256)
+            // ≥ 4 blocks (1024 sources) per pool job: rounds with ≤ 2048
+            // active sources run inline via the ≤ 2-chunk cutoff, and
+            // bigger waves amortize the hand-off. Block geometry (and so
+            // candidate order) is unchanged — only job granularity moves.
+            .with_min_len(4)
             .map(|chunk| {
                 let mut relaxed = 0u64;
                 let mut cands: Vec<(u64, f32, u64)> = Vec::new();
                 for &(src_local, du) in chunk {
                     let u_global = blocks.to_global(row, src_local as usize);
                     if (src_local as usize) < nloc {
-                        for (v, w) in local.arcs(src_local as usize) {
+                        let vs = local.neighbors(src_local as usize);
+                        let ws = local.edge_weights(src_local as usize);
+                        for (&v, &w) in vs.iter().zip(ws) {
                             if !class(w) {
                                 continue;
                             }
@@ -288,13 +303,13 @@ impl Grid2DSssp {
                 }
                 (relaxed, cands)
             })
-            .collect();
+            .collect_into_vec(&mut per_chunk);
 
         let mut best: HashMap<u64, (f32, u64)> = HashMap::new();
         let mut relaxed = 0u64;
-        for (r, cands) in per_chunk {
-            relaxed += r;
-            for (v, nd, u_global) in cands {
+        for (r, cands) in per_chunk.iter_mut() {
+            relaxed += *r;
+            for (v, nd, u_global) in cands.drain(..) {
                 let e = best.entry(v).or_insert((f32::INFINITY, u64::MAX));
                 if nd < e.0 {
                     *e = (nd, u_global);
@@ -304,6 +319,8 @@ impl Grid2DSssp {
         stats.relaxations += relaxed;
         ctx.charge_compute(relaxed);
         ctx.trace_end(TraceCode::TaskWave, active.len() as u64, 4);
+        self.relax_scratch = per_chunk;
+        self.active_scratch = active;
 
         // 3. column reduce: ship candidates to the diagonal rank of my
         // column (sub-rank == col index within the column communicator)

@@ -31,6 +31,63 @@ pub struct ExchangeOutcome {
     pub records_received: u64,
 }
 
+/// Reusable per-superstep exchange scratch: the per-destination outgoing
+/// buckets and the flattened incoming buffer. A kernel keeps one of these
+/// alive for its whole run and calls [`exchange_into`] each superstep, so
+/// bucket capacity (sized by the first big superstep) is paid once instead
+/// of reallocated per exchange. The non-coalesced and `alltoallv` wire
+/// paths still consume the bucket Vecs (they are handed to the transport),
+/// but the container and the hot dedup/encode paths reuse capacity.
+#[derive(Debug, Default)]
+pub struct ExchangeBufs {
+    out: Vec<Vec<Update>>,
+    incoming: Vec<Update>,
+}
+
+impl ExchangeBufs {
+    /// Scratch for a `p`-rank exchange, with one (empty) bucket per rank.
+    pub fn new(p: usize) -> ExchangeBufs {
+        ExchangeBufs {
+            out: (0..p).map(|_| Vec::new()).collect(),
+            incoming: Vec::new(),
+        }
+    }
+
+    /// The outgoing bucket for destination rank `d`.
+    pub fn bucket_mut(&mut self, d: usize) -> &mut Vec<Update> {
+        &mut self.out[d]
+    }
+
+    /// All outgoing buckets, for bulk filling.
+    pub fn buckets_mut(&mut self) -> &mut [Vec<Update>] {
+        &mut self.out
+    }
+
+    /// Updates received by the last [`exchange_into`] call.
+    pub fn incoming(&self) -> &[Update] {
+        &self.incoming
+    }
+
+    /// Total records currently staged across all buckets.
+    pub fn staged(&self) -> u64 {
+        self.out.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// Ship the staged buckets of `bufs` to every rank, leaving the flattened
+/// incoming updates in `bufs.incoming` (and the buckets empty, capacity
+/// retained where the wire path allows). Collective: every rank must call
+/// with the same `opts`. Semantically identical to [`exchange_updates`];
+/// this entry point only adds scratch reuse.
+pub fn exchange_into(
+    ctx: &mut RankCtx,
+    bufs: &mut ExchangeBufs,
+    opts: &OptConfig,
+) -> ExchangeOutcome {
+    let ExchangeBufs { out, incoming } = bufs;
+    exchange_core(ctx, out, incoming, opts)
+}
+
 /// Ship `out[d]` to every rank `d`; return the flattened incoming updates.
 /// Collective: every rank must call with the same `opts`.
 pub fn exchange_updates(
@@ -38,6 +95,22 @@ pub fn exchange_updates(
     mut out: Vec<Vec<Update>>,
     opts: &OptConfig,
 ) -> (Vec<Update>, ExchangeOutcome) {
+    let mut incoming = Vec::new();
+    let outcome = exchange_core(ctx, &mut out, &mut incoming, opts);
+    (incoming, outcome)
+}
+
+/// Shared implementation: dedups + ships the buckets in `out`, leaving the
+/// received updates in `incoming` (cleared first). On return every bucket
+/// is empty; on the compressed path (which only *reads* the buckets to
+/// encode) their capacity survives for the next superstep, while the
+/// uncompressed paths hand the Vecs themselves to the transport.
+fn exchange_core(
+    ctx: &mut RankCtx,
+    out: &mut [Vec<Update>],
+    incoming: &mut Vec<Update>,
+    opts: &OptConfig,
+) -> ExchangeOutcome {
     let p = ctx.size();
     assert_eq!(out.len(), p);
     let mut outcome = ExchangeOutcome {
@@ -62,8 +135,10 @@ pub fn exchange_updates(
     }
     outcome.records_sent = out.iter().map(|b| b.len() as u64).sum();
 
-    let incoming: Vec<Update> = if !opts.coalescing {
-        exchange_one_message_per_update(ctx, out)
+    incoming.clear();
+    if !opts.coalescing {
+        let taken: Vec<Vec<Update>> = out.iter_mut().map(std::mem::take).collect();
+        exchange_one_message_per_update(ctx, taken, incoming);
     } else if opts.compression {
         // encode per destination (in parallel, ordered combine); sortedness
         // comes from dedup when enabled
@@ -75,46 +150,51 @@ pub fn exchange_updates(
             .collect();
         ctx.charge_compute(outcome.records_sent);
         ctx.trace_end(TraceCode::TaskWave, p as u64, 3);
+        // encoding only read the buckets: clear them, keeping capacity
+        for b in out.iter_mut() {
+            b.clear();
+        }
         let mut blocks = ctx.alltoallv(enc);
         // Apply per-source blocks in the (possibly fuzzed) delivery order:
         // min-relaxation makes the merge order-free, and the schedule fuzzer
         // verifies exactly that by permuting it.
         let order = ctx.delivery_order(blocks.len());
-        let mut all = Vec::new();
         for s in order {
             let block = std::mem::take(&mut blocks[s]);
             let mut dec =
                 decode_updates(&block).expect("self-produced update encoding is well-formed");
             ctx.charge_compute(dec.len() as u64);
-            all.append(&mut dec);
+            incoming.append(&mut dec);
         }
-        all
     } else {
-        let mut blocks = ctx.alltoallv(out);
+        let taken: Vec<Vec<Update>> = out.iter_mut().map(std::mem::take).collect();
+        let mut blocks = ctx.alltoallv(taken);
         let order = ctx.delivery_order(blocks.len());
-        order
-            .into_iter()
-            .flat_map(|s| std::mem::take(&mut blocks[s]))
-            .collect()
-    };
+        for s in order {
+            incoming.append(&mut blocks[s]);
+        }
+    }
 
     outcome.records_received = incoming.len() as u64;
     ctx.trace_count(TraceCode::UpdatesSent, outcome.records_sent, 0);
     ctx.trace_count(TraceCode::UpdatesReceived, outcome.records_received, 0);
     ctx.trace_end(TraceCode::Exchange, outcome.records_offered, 0);
-    (incoming, outcome)
+    outcome
 }
 
 /// The no-coalescing path: every update is its own message. Counts are
 /// agreed via a (cheap, aggregated) all-to-all first so receivers know how
 /// many singletons to expect from each peer; per-sender FIFO ordering makes
 /// the tag reuse across supersteps safe.
-fn exchange_one_message_per_update(ctx: &mut RankCtx, out: Vec<Vec<Update>>) -> Vec<Update> {
+fn exchange_one_message_per_update(
+    ctx: &mut RankCtx,
+    out: Vec<Vec<Update>>,
+    incoming: &mut Vec<Update>,
+) {
     let me = ctx.rank();
     let counts: Vec<Vec<u64>> = out.iter().map(|b| vec![b.len() as u64]).collect();
     let counts_in = ctx.alltoallv(counts);
 
-    let mut incoming: Vec<Update> = Vec::new();
     for (d, block) in out.into_iter().enumerate() {
         if d == me {
             incoming.extend(block); // local updates never hit the wire
@@ -135,7 +215,6 @@ fn exchange_one_message_per_update(ctx: &mut RankCtx, out: Vec<Vec<Update>>) -> 
             incoming.push(ctx.recv_one::<Update>(s, TAG_SINGLE_UPDATE));
         }
     }
-    incoming
 }
 
 #[cfg(test)]

@@ -75,25 +75,27 @@ fn run_delta_stepping(
     buckets.insert(root as u32, 0.0);
     let mut settled: Vec<u32> = Vec::new();
     let mut wave_no = 0u64;
+    // Wave-scratch arenas, reused across every wave of the run: the
+    // frontier list and the candidate buffer would otherwise be
+    // reallocated (and re-grown) once per wave.
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut candidates: Vec<(u32, f32, u32)> = Vec::new();
 
     while let Some(k) = buckets.min_bucket() {
         settled.clear();
         loop {
-            let frontier: Vec<u32> = buckets
-                .take_bucket(k)
-                .into_iter()
-                .filter(|&v| {
-                    let d = dist[v as usize];
-                    d.is_finite() && buckets.bucket_of(d) == k
-                })
-                .collect();
+            frontier.clear();
+            frontier.extend(buckets.take_bucket(k).into_iter().filter(|&v| {
+                let d = dist[v as usize];
+                d.is_finite() && buckets.bucket_of(d) == k
+            }));
             if frontier.is_empty() {
                 break;
             }
             settled.extend_from_slice(&frontier);
             // Parallel light-edge scan over the frozen distances, then an
             // ordered sequential commit.
-            let candidates = scan_wave(graph, &dist, &frontier, |w| w < delta);
+            scan_wave(graph, &dist, &frontier, |w| w < delta, &mut candidates);
             if let Some(w) = waves.as_deref_mut() {
                 w.push(WaveRecord {
                     bucket: k,
@@ -104,10 +106,10 @@ fn run_delta_stepping(
                 });
             }
             wave_no += 1;
-            commit_wave(&mut dist, &mut parent, &mut buckets, candidates);
+            commit_wave(&mut dist, &mut parent, &mut buckets, &candidates);
         }
         // Heavy phase over the settled set, once per bucket.
-        let candidates = scan_wave(graph, &dist, &settled, |w| w >= delta);
+        scan_wave(graph, &dist, &settled, |w| w >= delta, &mut candidates);
         if let Some(w) = waves.as_deref_mut() {
             w.push(WaveRecord {
                 bucket: k,
@@ -118,33 +120,72 @@ fn run_delta_stepping(
             });
         }
         wave_no += 1;
-        commit_wave(&mut dist, &mut parent, &mut buckets, candidates);
+        commit_wave(&mut dist, &mut parent, &mut buckets, &candidates);
     }
 
     ShortestPaths { dist, parent }
 }
 
+/// Below this many frontier sources a wave is scanned sequentially: the
+/// scan of a small frontier is sub-pool-overhead work, and the sequential
+/// loop emits the exact same candidates in the exact same (source, arc)
+/// order, so results are bitwise unaffected by which path runs.
+const SEQ_SCAN_CUTOFF: usize = 1024;
+
+/// Scan the out-edges of one source against the frozen `dist` array. The
+/// two CSR accessors return contiguous slices of one adjacency range, and
+/// the zip collapses to a single counted, bounds-check-free loop — the
+/// branch-light inner relaxation loop both scan paths share.
+#[inline]
+fn scan_source(
+    graph: &Csr,
+    dist: &[f32],
+    u: u32,
+    keep: &(impl Fn(Weight) -> bool + Sync),
+    out: &mut Vec<(u32, f32, u32)>,
+) {
+    let du = dist[u as usize];
+    let vs = graph.neighbors(u as usize);
+    let ws = graph.edge_weights(u as usize);
+    for (&v, &w) in vs.iter().zip(ws) {
+        let nd = du + w;
+        if keep(w) && nd < dist[v as usize] {
+            out.push((v as u32, nd, u));
+        }
+    }
+}
+
 /// Phase 1: scan the out-edges of `sources` (weights filtered by `keep`)
 /// against the frozen `dist` array, collecting improving candidates in
-/// (source, arc) order.
+/// (source, arc) order into the caller's reusable arena.
 fn scan_wave(
     graph: &Csr,
     dist: &[f32],
     sources: &[u32],
     keep: impl Fn(Weight) -> bool + Sync,
-) -> Vec<(u32, f32, u32)> {
+    out: &mut Vec<(u32, f32, u32)>,
+) {
+    if sources.len() <= SEQ_SCAN_CUTOFF {
+        out.clear();
+        for &u in sources {
+            scan_source(graph, dist, u, &keep, out);
+        }
+        return;
+    }
     let keep = &keep;
     sources
         .par_iter()
         .with_min_len(64)
         .flat_map_iter(|&u| {
             let du = dist[u as usize];
-            graph.arcs(u as usize).filter_map(move |(v, w)| {
+            let vs = graph.neighbors(u as usize);
+            let ws = graph.edge_weights(u as usize);
+            vs.iter().zip(ws).filter_map(move |(&v, &w)| {
                 let nd = du + w;
                 (keep(w) && nd < dist[v as usize]).then_some((v as u32, nd, u))
             })
         })
-        .collect()
+        .collect_into_vec(out);
 }
 
 /// Phase 2: apply candidates in order. The re-check against the (now
@@ -154,9 +195,9 @@ fn commit_wave(
     dist: &mut [f32],
     parent: &mut [u64],
     buckets: &mut BucketQueue,
-    candidates: Vec<(u32, f32, u32)>,
+    candidates: &[(u32, f32, u32)],
 ) {
-    for (v, nd, u) in candidates {
+    for &(v, nd, u) in candidates {
         if nd < dist[v as usize] {
             dist[v as usize] = nd;
             parent[v as usize] = u as u64;

@@ -7,6 +7,16 @@ cd "$(dirname "$0")"
 mkdir -p results
 BIN=target/release
 
+# `./run_experiments.sh perf` — instead of the experiment suite, thread-sweep
+# the host-time microbench kernels (T ∈ {1,2,4}, re-exec'd children) and
+# print a per-kernel speedup table against results/bench_baseline.json.
+# The same binary gates CI; see README "Microbenchmarks & the perf gate".
+if [ "${1:-}" = "perf" ]; then
+  echo "=== perf: microbench thread sweep vs checked-in baseline ==="
+  cargo build --release -p g500-bench --bin perf_gate || exit 1
+  exec "$BIN/perf_gate" --report
+fi
+
 run() {
   local name="$1"
   echo "=== running $name ==="
