@@ -1,0 +1,197 @@
+//! Partial-order pull structure for the BMSSP recursion (Duan et al.,
+//! arXiv:2504.17033, Lemma 4.1).
+//!
+//! The paper's data structure `D` supports three operations over
+//! (vertex, distance-key) pairs bounded above by `B`:
+//!
+//! * `insert(v, k)` — add or improve a pair (smaller key wins);
+//! * `batch_prepend(pairs)` — bulk-add pairs known to be smaller than
+//!   every key currently inside (produced by a recursive call's output);
+//! * `pull()` — remove a batch of ≤ `M` pairs with the smallest keys and
+//!   return them with a *separating bound* `Bᵢ`: every removed key is
+//!   `< Bᵢ` and every remaining key is `≥ Bᵢ`.
+//!
+//! The paper engineers linked blocks to make `batch_prepend` cheap; the
+//! asymptotics of that engineering are irrelevant at this repo's scales,
+//! so this implementation keeps the *interface and its contracts* (the
+//! recursion's correctness argument only uses those) over a lazy-deletion
+//! binary heap of `(key, vertex)` pairs plus a best-key map: decrease-key
+//! pushes a fresh entry and the stale one is skipped at pop time against
+//! the map (the same trick the workspace's Dijkstra uses). Live entries
+//! leave the heap in ascending `(key, vertex)` order — exactly the
+//! iteration order of the ordered set this replaced, so the swap is
+//! invisible to BMSSP's determinism.
+//! One deliberate strengthening: `pull` extends the batch to whole
+//! tie-groups, so the separating bound is always *strict* — callers
+//! (the BMSSP base case) must therefore accept more than `M` sources,
+//! which they do.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Partial-order pull structure: batched smallest-key extraction with a
+/// strict separating bound. Keys are `u64` distance keys (see
+/// [`crate::weight_to_key`]); values are vertex ids.
+#[derive(Debug)]
+pub struct PullStructure {
+    /// Batch size hint `M`; `pull` returns at least `M` pairs when that
+    /// many are present (more if the `M`-th key is tied).
+    batch: usize,
+    /// Upper bound `B`: keys must be `< upper`; the final separating
+    /// bound degrades to `upper` when the structure drains.
+    upper: u64,
+    /// Min-heap of (key, vertex) with lazy deletion: an entry is *live*
+    /// iff `best[v] == key`; anything else is a superseded leftover.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    best: HashMap<u32, u64>,
+}
+
+impl PullStructure {
+    /// Empty structure with batch-size hint `batch` (`M` in the paper,
+    /// clamped to ≥ 1) and exclusive key upper bound `upper` (`B`).
+    pub fn new(batch: usize, upper: u64) -> Self {
+        Self {
+            batch: batch.max(1),
+            upper,
+            heap: BinaryHeap::new(),
+            best: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct vertices currently held.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when no pairs remain.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    /// Key of the smallest live entry, discarding stale heap prefix.
+    fn peek_live_key(&mut self) -> Option<u64> {
+        while let Some(&Reverse((k, v))) = self.heap.peek() {
+            if self.best.get(&v) == Some(&k) {
+                return Some(k);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Add `(v, key)`, keeping only the smallest key per vertex. Keys at
+    /// or above the upper bound are rejected — the recursion level above
+    /// owns them.
+    pub fn insert(&mut self, v: u32, key: u64) {
+        if key >= self.upper {
+            return;
+        }
+        if self.best.get(&v).is_some_and(|&old| old <= key) {
+            return;
+        }
+        self.best.insert(v, key);
+        self.heap.push(Reverse((key, v)));
+    }
+
+    /// Bulk-add pairs produced below the current minimum. The paper
+    /// exploits the "all smaller" precondition for speed; here it is just
+    /// a sequence of [`insert`](Self::insert)s (contract-compatible:
+    /// smaller key per vertex still wins), so the precondition is only
+    /// debug-checked, not required.
+    pub fn batch_prepend(&mut self, pairs: impl IntoIterator<Item = (u32, u64)>) {
+        let pre_min = self.peek_live_key();
+        for (v, k) in pairs {
+            debug_assert!(
+                pre_min.is_none_or(|min| k <= min),
+                "batch_prepend key {k} above pre-batch minimum {pre_min:?}"
+            );
+            self.insert(v, k);
+        }
+    }
+
+    /// Remove a batch of smallest-key pairs and return `(vertices, bound)`
+    /// with every removed key `< bound` and every remaining key `≥ bound`.
+    ///
+    /// At least `min(batch, len)` pairs are removed; the batch is extended
+    /// over the trailing tie-group so the bound is strict. When the
+    /// structure empties, `bound` is the upper bound `B`.
+    pub fn pull(&mut self) -> (Vec<u32>, u64) {
+        let mut out = Vec::new();
+        let mut last_key = None;
+        while let Some(k) = self.peek_live_key() {
+            if out.len() >= self.batch && last_key != Some(k) {
+                // batch full and the next key starts a new group: k is a
+                // strict separating bound
+                return (out, k);
+            }
+            let Reverse((_, v)) = self.heap.pop().expect("peeked entry");
+            self.best.remove(&v);
+            out.push(v);
+            last_key = Some(k);
+        }
+        (out, self.upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_returns_smallest_with_strict_bound() {
+        let mut d = PullStructure::new(2, 100);
+        for (v, k) in [(1u32, 30u64), (2, 10), (3, 20), (4, 40)] {
+            d.insert(v, k);
+        }
+        let (batch, bound) = d.pull();
+        assert_eq!(batch, vec![2, 3]);
+        assert_eq!(bound, 30);
+        assert_eq!(d.len(), 2);
+        let (batch, bound) = d.pull();
+        assert_eq!(batch, vec![1, 4]);
+        assert_eq!(bound, 100);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ties_extend_the_batch_keeping_bound_strict() {
+        let mut d = PullStructure::new(2, 100);
+        for (v, k) in [(1u32, 5u64), (2, 5), (3, 5), (4, 7)] {
+            d.insert(v, k);
+        }
+        let (batch, bound) = d.pull();
+        assert_eq!(batch.len(), 3, "tie group at 5 must come out whole");
+        assert_eq!(bound, 7);
+    }
+
+    #[test]
+    fn insert_is_decrease_key() {
+        let mut d = PullStructure::new(4, 100);
+        d.insert(7, 50);
+        d.insert(7, 20); // improves
+        d.insert(7, 60); // ignored, worse
+        assert_eq!(d.len(), 1);
+        let (batch, bound) = d.pull();
+        assert_eq!(batch, vec![7]);
+        assert_eq!(bound, 100);
+    }
+
+    #[test]
+    fn keys_at_or_above_upper_are_rejected() {
+        let mut d = PullStructure::new(4, 10);
+        d.insert(1, 10);
+        d.insert(2, 11);
+        d.insert(3, 9);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn batch_prepend_lands_below_existing() {
+        let mut d = PullStructure::new(3, 100);
+        d.insert(1, 40);
+        d.insert(2, 50);
+        d.batch_prepend([(3, 10), (4, 20)]);
+        let (batch, _) = d.pull();
+        assert_eq!(batch, vec![3, 4, 1]);
+    }
+}

@@ -9,7 +9,9 @@
 //!
 //! Overrides: `G500_MAX_SCALE` (17), `G500_ROOTS` (3).
 
-use g500_baselines::{bellman_ford, bellman_ford_parallel, dijkstra, near_far};
+use g500_baselines::{
+    bellman_ford, bellman_ford_parallel, bmssp, dijkstra, dijkstra_radix_heap, near_far,
+};
 use g500_bench::{banner, param, secs, Table};
 use g500_gen::{KroneckerGenerator, KroneckerParams};
 use g500_graph::{Csr, Directedness, ShortestPaths};
@@ -49,6 +51,11 @@ fn main() {
         type Solver<'a> = Box<dyn FnMut() -> ShortestPaths + 'a>;
         let algos: Vec<(&str, Solver)> = vec![
             ("dijkstra", Box::new(|| dijkstra(&csr, root))),
+            (
+                "dijkstra-radix",
+                Box::new(|| dijkstra_radix_heap(&csr, root)),
+            ),
+            ("bmssp", Box::new(|| bmssp(&csr, root))),
             ("bellman-ford", Box::new(|| bellman_ford(&csr, root))),
             ("near-far", Box::new(|| near_far(&csr, root, delta))),
             (

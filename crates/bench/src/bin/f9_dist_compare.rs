@@ -7,9 +7,10 @@
 //!
 //! Overrides: `G500_MAX_SCALE` (16), `G500_RANKS` (8), `G500_ROOTS` (2).
 
-use g500_baselines::distributed_bellman_ford;
+use g500_baselines::{bmssp, dijkstra_radix_heap, distributed_bellman_ford};
 use g500_bench::{banner, param, secs, Table};
 use g500_gen::{KroneckerGenerator, KroneckerParams};
+use g500_graph::{Csr, Directedness};
 use g500_partition::{assemble_local_graph, Block1D, LocalGraph};
 use g500_sssp::{distributed_delta_stepping, OptConfig};
 use graph500::simnet::{Machine, MachineConfig, RankCtx};
@@ -28,6 +29,44 @@ fn pick_roots(gen: &KroneckerGenerator, count: usize) -> Vec<u64> {
         .step_by(97)
         .take(count)
         .collect()
+}
+
+/// Host-side oracle check: the optimized distributed kernel's distances
+/// must match both sequential oracles (radix-heap Dijkstra and BMSSP),
+/// which in turn must agree with each other *bitwise*. Catches a bench
+/// silently comparing the timings of disagreeing kernels.
+fn verify_against_oracles(gen: &KroneckerGenerator, ranks: usize, root: u64, scale: u32) {
+    let el = gen.generate_all();
+    let n = gen.params().num_vertices();
+    let csr = Csr::from_edges(n as usize, &el, Directedness::Undirected);
+    let radix = dijkstra_radix_heap(&csr, root);
+    let bm = bmssp(&csr, root);
+    for v in 0..n as usize {
+        assert_eq!(
+            radix.dist[v].to_bits(),
+            bm.dist[v].to_bits(),
+            "oracles disagree at scale {scale} vertex {v}"
+        );
+    }
+    let m = gen.params().num_edges();
+    let got = Machine::new(MachineConfig::with_ranks(ranks))
+        .run(|ctx| {
+            let part = Block1D::new(n, ranks);
+            let (lo, hi) = (
+                ctx.rank() as u64 * m / ranks as u64,
+                (ctx.rank() as u64 + 1) * m / ranks as u64,
+            );
+            let g = assemble_local_graph(ctx, gen.edge_block(lo..hi).iter(), part);
+            let (sp, _) = distributed_delta_stepping(ctx, &g, root, &OptConfig::all_on());
+            sp.gather_to_all(ctx, g.part())
+        })
+        .results
+        .pop()
+        .expect("rank");
+    assert!(
+        got.distances_match(&radix, 1e-4),
+        "distributed kernel diverged from the oracles at scale {scale}"
+    );
 }
 
 /// Run `kernel` once per root on a fresh simulated machine; return the mean
@@ -79,6 +118,7 @@ fn main() {
     for scale in (12..=max_scale).step_by(2) {
         let gen = KroneckerGenerator::new(KroneckerParams::graph500(scale, 1));
         let roots = pick_roots(&gen, nroots);
+        verify_against_oracles(&gen, ranks, roots[0], scale);
 
         let (bf_t, bf_steps) = measure(&gen, ranks, &roots, |ctx, g, r| {
             distributed_bellman_ford(ctx, g, r).1

@@ -213,6 +213,50 @@ pub fn run_kernels() -> Vec<(&'static str, Stats)> {
         }),
     ));
 
+    // Sequential baselines over the same s14 CSR: the radix-heap Dijkstra
+    // and the BMSSP recursion, timed against each other and the bucket
+    // kernels above.
+    out.push((
+        "baselines/dijkstra_radix_s14",
+        measure(5, || {
+            black_box(g500_baselines::dijkstra_radix_heap(&csr, root).reached_count());
+        }),
+    ));
+    out.push((
+        "baselines/bmssp_s14",
+        measure(5, || {
+            black_box(g500_baselines::bmssp(&csr, root).reached_count());
+        }),
+    ));
+
+    // The radix-indexed bucket queue alone: a 100k-entry insert + ordered
+    // drain with a sparse far tail, the access pattern the occupancy
+    // bitmap exists for.
+    out.push((
+        "bucket/radix_drain_100k",
+        measure(10, || {
+            let mut q = g500_sssp::BucketQueue::new(0.125);
+            let mut x = 1u64;
+            for v in 0..100_000u32 {
+                x = x
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                // mostly near distances, occasional far bucket
+                let d = if x.is_multiple_of(64) {
+                    (x % 100_000) as f32 * 0.01
+                } else {
+                    (x % 512) as f32 * 0.03
+                };
+                q.insert(v, d);
+            }
+            let mut popped = 0usize;
+            while let Some(k) = q.min_bucket() {
+                popped += q.take_bucket(k).len();
+            }
+            black_box(popped);
+        }),
+    ));
+
     // Exchange encode: dedup+gap+varint coding of a 10k-update bucket,
     // the per-destination inner loop of every superstep's alltoallv.
     let updates: Vec<Update> = (0..10_000u64)

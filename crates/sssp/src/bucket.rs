@@ -5,19 +5,39 @@
 //! whose distance improves is simply inserted again into its new bucket, and
 //! stale entries are filtered at pop time by re-checking the vertex's
 //! current bucket — the standard trick that avoids a decrease-key.
+//!
+//! # Radix layout
+//!
+//! Finding the next non-empty bucket used to be a linear cursor scan —
+//! `O(#buckets)` per epoch, which dominates on long-diameter graphs where
+//! most buckets are empty (road networks, `almost_line` adversaries). The
+//! queue now keeps a multi-level occupancy bitmap over the bucket lanes:
+//! level 0 has one bit per bucket, and each level above summarizes 64 words
+//! of the level below, so `min_bucket` is a masked-word scan plus one
+//! descent — `O(64 · levels)` with `levels = ⌈log₆₄ #buckets⌉` (3 levels
+//! covers 16M buckets). The lanes themselves are unchanged `Vec<u32>`s in
+//! insertion order, so every drain returns bitwise-identical contents in
+//! the identical order as the linear-scan layout — the shared-memory
+//! delta-stepping determinism contract does not see the index at all.
 
 use g500_graph::Weight;
 
-/// A lazy bucket queue over local vertex indices.
+/// A lazy bucket queue over local vertex indices, indexed by a multi-level
+/// occupancy bitmap.
 #[derive(Clone, Debug)]
 pub struct BucketQueue {
     delta: Weight,
-    /// `buckets[k]` holds (possibly stale) vertices for bucket index `k`.
+    /// `buckets[k]` holds (possibly stale) vertices for bucket index `k`,
+    /// in insertion order. Length is kept a multiple of the bitmap fanout.
     buckets: Vec<Vec<u32>>,
+    /// Occupancy bitmaps: `levels[0]` has one bit per bucket (bit set ⇔
+    /// lane non-empty); `levels[l][w]` bit `b` is set ⇔ word
+    /// `levels[l-1][w·64 + b]` is non-zero. The top level is one word.
+    levels: Vec<Vec<u64>>,
     /// Index of the lowest bucket that may be non-empty.
     cursor: usize,
     /// Number of live entries (upper bound; staleness makes it approximate,
-    /// exact emptiness is checked by scanning from `cursor`).
+    /// exact emptiness is checked against the occupancy index).
     entries: usize,
 }
 
@@ -31,6 +51,7 @@ impl BucketQueue {
         Self {
             delta,
             buckets: Vec::new(),
+            levels: Vec::new(),
             cursor: 0,
             entries: 0,
         }
@@ -49,13 +70,107 @@ impl BucketQueue {
         (d / self.delta) as usize
     }
 
+    /// Grow the lane array (geometrically) and rebuild the bitmap pyramid
+    /// so bucket `k` is addressable. Amortized O(1) per insert; the
+    /// rebuild touches only `#buckets / 64` words.
+    fn ensure_bucket(&mut self, k: usize) {
+        if k < self.buckets.len() {
+            return;
+        }
+        let new_len = (k + 1).next_power_of_two().max(64);
+        self.buckets.resize_with(new_len, Vec::new);
+        // Rebuild the pyramid bottom-up; existing occupancy is preserved
+        // because lanes were only extended with empties.
+        let mut words = new_len.div_ceil(64);
+        let mut fresh: Vec<Vec<u64>> = Vec::new();
+        loop {
+            fresh.push(vec![0u64; words]);
+            if words <= 1 {
+                break;
+            }
+            words = words.div_ceil(64);
+        }
+        for (k, lane) in self.buckets.iter().enumerate() {
+            if !lane.is_empty() {
+                fresh[0][k >> 6] |= 1u64 << (k & 63);
+            }
+        }
+        for l in 1..fresh.len() {
+            for w in 0..fresh[l - 1].len() {
+                if fresh[l - 1][w] != 0 {
+                    fresh[l][w >> 6] |= 1u64 << (w & 63);
+                }
+            }
+        }
+        self.levels = fresh;
+    }
+
+    /// Set bucket `k`'s occupancy bit, propagating up the pyramid.
+    #[inline]
+    fn mark(&mut self, k: usize) {
+        let mut idx = k;
+        for level in &mut self.levels {
+            let bit = 1u64 << (idx & 63);
+            let word = &mut level[idx >> 6];
+            if *word & bit != 0 {
+                return; // ancestors already set
+            }
+            *word |= bit;
+            idx >>= 6;
+        }
+    }
+
+    /// Clear bucket `k`'s occupancy bit, clearing summary bits whose whole
+    /// word drained.
+    #[inline]
+    fn unmark(&mut self, k: usize) {
+        let mut idx = k;
+        for level in &mut self.levels {
+            let word = &mut level[idx >> 6];
+            *word &= !(1u64 << (idx & 63));
+            if *word != 0 {
+                return; // word still occupied: summaries stay set
+            }
+            idx >>= 6;
+        }
+    }
+
+    /// First occupied bucket `≥ from`, via masked-word ascent then descent.
+    fn first_occupied_from(&self, from: usize) -> Option<usize> {
+        if self.levels.is_empty() || from >= self.buckets.len() {
+            return None;
+        }
+        let mut level = 0;
+        let mut idx = from;
+        loop {
+            let (w, b) = (idx >> 6, idx & 63);
+            let word = self.levels[level].get(w).map_or(0, |&x| x & (!0u64 << b));
+            if word != 0 {
+                idx = (w << 6) + word.trailing_zeros() as usize;
+                while level > 0 {
+                    level -= 1;
+                    let w = self.levels[level][idx];
+                    debug_assert!(w != 0, "summary bit set over empty word");
+                    idx = (idx << 6) + w.trailing_zeros() as usize;
+                }
+                return Some(idx);
+            }
+            // this word is clear at and above `b`: resume one level up,
+            // strictly after the word we just exhausted
+            level += 1;
+            if level >= self.levels.len() {
+                return None;
+            }
+            idx = w + 1;
+        }
+    }
+
     /// Insert vertex `v` with tentative distance `d` (lazy; duplicates OK).
     pub fn insert(&mut self, v: u32, d: Weight) {
         let k = self.bucket_of(d);
-        if k >= self.buckets.len() {
-            self.buckets.resize_with(k + 1, Vec::new);
-        }
+        self.ensure_bucket(k);
         self.buckets[k].push(v);
+        self.mark(k);
         self.entries += 1;
         if k < self.cursor {
             self.cursor = k;
@@ -65,13 +180,9 @@ impl BucketQueue {
     /// Lowest bucket index that currently has entries, advancing the cursor
     /// past drained buckets. `None` when the queue is empty.
     pub fn min_bucket(&mut self) -> Option<usize> {
-        while self.cursor < self.buckets.len() {
-            if !self.buckets[self.cursor].is_empty() {
-                return Some(self.cursor);
-            }
-            self.cursor += 1;
-        }
-        None
+        let found = self.first_occupied_from(self.cursor);
+        self.cursor = found.unwrap_or(self.buckets.len());
+        found
     }
 
     /// Remove and return the raw (possibly stale) contents of bucket `k`.
@@ -81,6 +192,9 @@ impl BucketQueue {
             return Vec::new();
         }
         let v = std::mem::take(&mut self.buckets[k]);
+        if !v.is_empty() {
+            self.unmark(k);
+        }
         self.entries -= v.len();
         v
     }
@@ -91,11 +205,16 @@ impl BucketQueue {
     }
 
     /// Remove and return *all* remaining entries of *all* buckets (used by
-    /// tail fusion, which stops caring about bucket order).
+    /// tail fusion, which stops caring about bucket order). Order is
+    /// ascending bucket index, insertion order within a bucket — identical
+    /// to the pre-radix linear sweep.
     pub fn drain_all(&mut self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.entries);
-        for b in self.buckets.iter_mut().skip(self.cursor) {
-            out.append(b);
+        let mut k = self.cursor;
+        while let Some(next) = self.first_occupied_from(k) {
+            out.append(&mut self.buckets[next]);
+            self.unmark(next);
+            k = next + 1;
         }
         self.entries = 0;
         out
@@ -175,5 +294,71 @@ mod tests {
     #[should_panic(expected = "delta must be positive")]
     fn bad_delta_rejected() {
         BucketQueue::new(0.0);
+    }
+
+    #[test]
+    fn sparse_far_bucket_crosses_bitmap_words() {
+        // bucket 100_000 needs 2 pyramid levels; the scan must skip ~1.5k
+        // empty level-0 words without visiting them
+        let mut q = BucketQueue::new(0.001);
+        let k = q.bucket_of(100.0); // ~100_000 (f32 division is inexact)
+        assert!(k > 64 * 64, "must exceed one summary word of buckets");
+        q.insert(7, 100.0);
+        assert_eq!(q.min_bucket(), Some(k));
+        assert_eq!(q.take_bucket(k), vec![7]);
+        assert_eq!(q.min_bucket(), None);
+        // cursor is far right; a fresh low insert must pull it back
+        q.insert(8, 0.0);
+        assert_eq!(q.min_bucket(), Some(0));
+    }
+
+    #[test]
+    fn summary_bits_clear_only_when_word_drains() {
+        let mut q = BucketQueue::new(1.0);
+        // two occupied buckets inside the same level-0 word
+        q.insert(1, 3.0);
+        q.insert(2, 7.0);
+        assert_eq!(q.take_bucket(3), vec![1]);
+        // word still occupied through bucket 7
+        assert_eq!(q.min_bucket(), Some(7));
+        assert_eq!(q.take_bucket(7), vec![2]);
+        assert_eq!(q.min_bucket(), None);
+    }
+
+    #[test]
+    fn interleaved_ops_match_naive_model() {
+        // deterministic pseudo-random op stream checked against a plain
+        // Vec<Vec<u32>> + linear-scan model
+        let mut q = BucketQueue::new(0.5);
+        let mut model: Vec<Vec<u32>> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..2000u32 {
+            let d = (rng() % 700) as f32 * 0.07;
+            q.insert(i, d);
+            let k = (d / 0.5) as usize;
+            if k >= model.len() {
+                model.resize_with(k + 1, Vec::new);
+            }
+            model[k].push(i);
+            if rng() % 3 == 0 {
+                let got = q.min_bucket();
+                let want = model.iter().position(|b| !b.is_empty());
+                assert_eq!(got, want);
+                if let Some(k) = got {
+                    assert_eq!(q.bucket_len(k), model[k].len());
+                    assert_eq!(q.take_bucket(k), std::mem::take(&mut model[k]));
+                }
+            }
+        }
+        let drained = q.drain_all();
+        let expect: Vec<u32> = model.iter().flatten().copied().collect();
+        assert_eq!(drained, expect);
+        assert!(q.is_empty());
     }
 }

@@ -59,6 +59,178 @@ pub fn arb_graph(rng: &mut Rng) -> (u64, Vec<(u64, u64, f32)>) {
     (n, edges)
 }
 
+/// Adversarial graph families — classic constructions that break shortcuts
+/// priority-queue SSSP implementations like to take. Each is a *seeded
+/// family*: the shape is fixed, edge weights carry seeded jitter, so every
+/// seed is a fresh adversary and every failure replays from its seed.
+/// Returned as `(n, edges)` raw tuples so callers can build an `EdgeList`
+/// or a `Csr` as needed.
+pub mod adversarial {
+    use super::Rng;
+
+    /// Kills "settle on first insertion" Dijkstra variants: every vertex
+    /// of a cheap chain sprays a far target set with weights *decreasing*
+    /// along the chain, so each target's tentative distance improves on
+    /// hop after hop and the queue fills with stale entries that must be
+    /// skipped, not trusted.
+    pub fn wrong_dijkstra_killer(seed: u64) -> (u64, Vec<(u64, u64, f32)>) {
+        let mut rng = Rng::new(seed ^ 0xD1D1);
+        let chain = 48u64;
+        let targets = 16u64;
+        let n = chain + 1 + targets;
+        let mut edges = Vec::new();
+        for i in 0..chain {
+            edges.push((i, i + 1, 0.01 + rng.f32(0.0, 1e-3)));
+        }
+        for t in 0..targets {
+            let tv = chain + 1 + t;
+            for i in 0..chain {
+                if rng.next_u64().is_multiple_of(3) {
+                    // dist(i) ≈ 0.01·i, so the candidate through i is
+                    // ≈ 2 + 0.05·chain − 0.04·i: strictly improving in i
+                    let w = 2.0 + (chain - i) as f32 * 0.05 + rng.f32(0.0, 1e-3);
+                    edges.push((i, tv, w));
+                }
+            }
+        }
+        (n, edges)
+    }
+
+    /// Kills queue-order label-correcting (SPFA): a hub chain whose edge
+    /// weights shrink geometrically, each hub spraying a shared tail — a
+    /// correction wave sweeps the whole tail once per hub unless the
+    /// implementation orders work by priority.
+    pub fn spfa_killer(seed: u64) -> (u64, Vec<(u64, u64, f32)>) {
+        let mut rng = Rng::new(seed ^ 0x5FFA);
+        let hubs = 24u64;
+        let tail = 48u64;
+        let n = hubs + 1 + tail;
+        let mut edges = Vec::new();
+        let mut w = 2.0f32;
+        for i in 0..hubs {
+            edges.push((i, i + 1, w + rng.f32(0.0, 1e-3)));
+            w *= 0.7;
+        }
+        for i in 0..=hubs {
+            for t in 0..tail {
+                if rng.next_u64().is_multiple_of(4) {
+                    let tv = hubs + 1 + t;
+                    edges.push((i, tv, 8.0 - i as f32 * 0.3 + rng.f32(0.0, 1e-2)));
+                }
+            }
+        }
+        (n, edges)
+    }
+
+    /// A square grid whose weights swirl around the center in rings, so the
+    /// shortest-path tree spirals instead of radiating: delta-stepping
+    /// reinserts boundary vertices across many buckets, and 2D layouts see
+    /// maximally unaligned frontiers. Integer ring arithmetic only — no
+    /// trig, so the family is platform-exact.
+    pub fn grid_swirl(seed: u64) -> (u64, Vec<(u64, u64, f32)>) {
+        let mut rng = Rng::new(seed ^ 0x5817);
+        let side = 13i64;
+        let n = (side * side) as u64;
+        let at = |r: i64, c: i64| (r * side + c) as u64;
+        let center = side / 2;
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                let ring = (r - center).abs().max((c - center).abs());
+                let twist = (r * 5 + c * 3 + ring * 7).rem_euclid(11) as f32;
+                let w = 0.05 + twist * 0.13 + rng.f32(0.0, 1e-2);
+                if c + 1 < side {
+                    edges.push((at(r, c), at(r, c + 1), w));
+                }
+                if r + 1 < side {
+                    edges.push((at(r, c), at(r + 1, c), w * 0.9 + 0.01));
+                }
+            }
+        }
+        (n, edges)
+    }
+
+    /// A long path with a handful of random chords: diameter ≈ n, so the
+    /// bucket structure is almost entirely empty space — the adversary for
+    /// next-bucket scanning (and the showcase for the radix occupancy
+    /// index).
+    pub fn almost_line(seed: u64) -> (u64, Vec<(u64, u64, f32)>) {
+        let mut rng = Rng::new(seed ^ 0xA11E);
+        let n = 220u64;
+        let mut edges = Vec::new();
+        for i in 0..n - 1 {
+            edges.push((i, i + 1, 0.9 + rng.f32(0.0, 0.2)));
+        }
+        for _ in 0..n / 20 {
+            let a = rng.range(0, n);
+            let b = rng.range(0, n);
+            if a != b {
+                edges.push((a, b, 5.0 + rng.f32(0.0, 10.0)));
+            }
+        }
+        (n, edges)
+    }
+
+    /// Dense zero-weight plateaus: cliques of weight-0 edges bridged by
+    /// positive edges (plus a few zero bridges). Exact SSSP must flood each
+    /// plateau at one distance — the adversary for tie-breaking, bucket-0
+    /// churn, and zero-cycle handling in the BMSSP transform.
+    pub fn max_dense_zero(seed: u64) -> (u64, Vec<(u64, u64, f32)>) {
+        let mut rng = Rng::new(seed ^ 0x2E80);
+        let clusters = 6u64;
+        let size = 8u64;
+        let n = clusters * size;
+        let mut edges = Vec::new();
+        for cl in 0..clusters {
+            let base = cl * size;
+            for a in 0..size {
+                for b in (a + 1)..size {
+                    edges.push((base + a, base + b, 0.0));
+                }
+            }
+        }
+        for cl in 0..clusters - 1 {
+            // a guaranteed positive bridge keeps the family connected
+            let a = cl * size + rng.range(0, size);
+            let b = (cl + 1) * size + rng.range(0, size);
+            edges.push((a, b, 0.2 + rng.f32(0.0, 1.0)));
+            // and a few extra bridges, some of them zero: plateaus merge
+            for _ in 0..3 {
+                let a = rng.range(0, n);
+                let b = rng.range(0, n);
+                let w = if rng.next_u64().is_multiple_of(3) {
+                    0.0
+                } else {
+                    0.2 + rng.f32(0.0, 1.0)
+                };
+                if a != b {
+                    edges.push((a, b, w));
+                }
+            }
+        }
+        (n, edges)
+    }
+
+    /// One adversarial case: (family name, vertex count, edge list).
+    pub type AdversarialCase = (&'static str, u64, Vec<(u64, u64, f32)>);
+
+    /// All five families at one seed, labeled for test output.
+    pub fn all(seed: u64) -> Vec<AdversarialCase> {
+        let (n1, e1) = wrong_dijkstra_killer(seed);
+        let (n2, e2) = spfa_killer(seed);
+        let (n3, e3) = grid_swirl(seed);
+        let (n4, e4) = almost_line(seed);
+        let (n5, e5) = max_dense_zero(seed);
+        vec![
+            ("wrong_dijkstra_killer", n1, e1),
+            ("spfa_killer", n2, e2),
+            ("grid_swirl", n3, e3),
+            ("almost_line", n4, e4),
+            ("max_dense_zero", n5, e5),
+        ]
+    }
+}
+
 /// Run `f` over `cases` deterministic seeds derived from `base_seed`,
 /// reporting the failing case seed on panic so it can be replayed alone.
 pub fn for_cases(base_seed: u64, cases: usize, f: impl Fn(&mut Rng) + std::panic::RefUnwindSafe) {

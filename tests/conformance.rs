@@ -150,6 +150,94 @@ fn rank_count_does_not_change_answers() {
     }
 }
 
+/// The adversarial families from `common::adversarial`, as `EdgeList`s.
+fn adversarial_families(seed: u64) -> Vec<(&'static str, EdgeList, u64)> {
+    common::adversarial::all(seed)
+        .into_iter()
+        .map(|(name, n, edges)| {
+            let el = EdgeList::from_edges(
+                edges
+                    .iter()
+                    .map(|&(u, v, w)| graph500::graph::WEdge::new(u, v, w)),
+            );
+            (name, el, n)
+        })
+        .collect()
+}
+
+/// Adversarial families × the optimization matrix on the 1D block layout.
+/// These graphs are built to punish queue shortcuts (stale-entry trust,
+/// label-correcting order, bucket-scan laziness, zero-weight plateaus);
+/// every config must still reproduce Dijkstra exactly.
+#[test]
+fn adversarial_block_1d_conforms_across_opt_matrix() {
+    for (fam, el, n) in adversarial_families(1) {
+        let csr = Csr::from_edges(n as usize, &el, Directedness::Undirected);
+        let oracle = dijkstra(&csr, 0);
+        for (name, opts) in opt_matrix() {
+            let sp = dist_run_det(&el, |p| Block1D::new(n, p), 4, 0, &opts);
+            assert!(sp.distances_match(&oracle, 1e-4), "block/{name} on {fam}");
+        }
+    }
+}
+
+/// Same adversaries over cyclic striping: every plateau and correction
+/// wave crosses rank boundaries.
+#[test]
+fn adversarial_cyclic_1d_conforms_across_opt_matrix() {
+    for (fam, el, n) in adversarial_families(2) {
+        let csr = Csr::from_edges(n as usize, &el, Directedness::Undirected);
+        let oracle = dijkstra(&csr, 0);
+        for (name, opts) in opt_matrix() {
+            let sp = dist_run_det(&el, |p| Cyclic1D::new(n, p), 4, 0, &opts);
+            assert!(sp.distances_match(&oracle, 1e-4), "cyclic/{name} on {fam}");
+        }
+    }
+}
+
+/// Adversaries on the 2D grid kernel at two delta extremes.
+#[test]
+fn adversarial_grid_2d_conforms() {
+    for (fam, el, n) in adversarial_families(3) {
+        let csr = Csr::from_edges(n as usize, &el, Directedness::Undirected);
+        let oracle = dijkstra(&csr, 0);
+        for delta in [0.25f32, 2.0] {
+            let sp = grid_run_det(&el, n, 4, 0, delta);
+            assert!(
+                sp.distances_match(&oracle, 1e-4),
+                "2D delta={delta} on {fam}"
+            );
+        }
+    }
+}
+
+/// The new sequential baselines must be *bitwise* Dijkstra on every
+/// adversarial family, across several seeds per family.
+#[test]
+fn adversarial_new_baselines_bitwise_vs_dijkstra() {
+    use graph500::baselines::{bmssp, dijkstra_radix_heap};
+    for seed in 0..4u64 {
+        for (fam, el, n) in adversarial_families(seed) {
+            let csr = Csr::from_edges(n as usize, &el, Directedness::Undirected);
+            let oracle = dijkstra(&csr, 0);
+            let radix = dijkstra_radix_heap(&csr, 0);
+            let bm = bmssp(&csr, 0);
+            for v in 0..n as usize {
+                assert_eq!(
+                    oracle.dist[v].to_bits(),
+                    radix.dist[v].to_bits(),
+                    "radix vs dijkstra: {fam} seed {seed} vertex {v}"
+                );
+                assert_eq!(
+                    oracle.dist[v].to_bits(),
+                    bm.dist[v].to_bits(),
+                    "bmssp vs dijkstra: {fam} seed {seed} vertex {v}"
+                );
+            }
+        }
+    }
+}
+
 /// Cross-layout agreement is *bitwise*, not just within tolerance: block,
 /// cyclic, and 2D layouts relax the same paths with the same f32 adds, so
 /// the distance vectors must be identical to the bit.

@@ -5,7 +5,8 @@
 //! every graph family.
 
 use graph500::baselines::{
-    bellman_ford, bellman_ford_parallel, dijkstra, distributed_bellman_ford, near_far,
+    bellman_ford, bellman_ford_parallel, bmssp, dijkstra, dijkstra_radix_heap,
+    distributed_bellman_ford, near_far, weight_to_key, INF_KEY,
 };
 use graph500::gen::{simple, KroneckerGenerator, KroneckerParams};
 use graph500::graph::{Csr, Directedness, EdgeList, ShortestPaths};
@@ -62,6 +63,8 @@ fn sequential_implementations_agree() {
             ("bellman_ford", bellman_ford(&csr, 0)),
             ("bf_parallel", bellman_ford_parallel(&csr, 0)),
             ("near_far", near_far(&csr, 0, 0.3)),
+            ("dijkstra_radix", dijkstra_radix_heap(&csr, 0)),
+            ("bmssp", bmssp(&csr, 0)),
         ] {
             assert!(sp.distances_match(&oracle, 1e-4), "{algo} on {name}");
         }
@@ -198,6 +201,54 @@ fn distributed_validator_rejects_corrupted_kernel_output() {
         rep.results.iter().all(|&ok| !ok),
         "corruption must fail on every rank"
     );
+}
+
+#[test]
+fn shared_inf_sentinel_is_pinned_across_baselines() {
+    use graph500::graph::{ShortestPaths, INF_WEIGHT};
+
+    // the contract itself: one sentinel, u64::MAX / 4, with overflow
+    // headroom, and the key embedding maps INF_WEIGHT onto it exactly
+    assert_eq!(INF_KEY, u64::MAX / 4);
+    assert_eq!(weight_to_key(INF_WEIGHT), INF_KEY);
+    assert!(
+        INF_KEY.checked_add(INF_KEY).is_some(),
+        "sentinel addition must not wrap"
+    );
+    // every finite key sits strictly below the sentinel (monotone order)
+    assert!(weight_to_key(f32::MAX) < INF_KEY);
+    assert!(weight_to_key(0.0) < weight_to_key(f32::MAX));
+
+    // a graph with an unreachable island: every baseline must report the
+    // island with the *bitwise* shared sentinel, not some private infinity
+    let el = EdgeList::from_edges(
+        [(0u64, 1, 0.5f32), (1, 2, 0.25), (3, 4, 1.0)]
+            .iter()
+            .map(|&(u, v, w)| graph500::graph::WEdge::new(u, v, w)),
+    );
+    let csr = Csr::from_edges(5, &el, Directedness::Undirected);
+    let runs: Vec<(&str, ShortestPaths)> = vec![
+        ("dijkstra", dijkstra(&csr, 0)),
+        ("dijkstra_radix", dijkstra_radix_heap(&csr, 0)),
+        ("bmssp", bmssp(&csr, 0)),
+        ("bellman_ford", bellman_ford(&csr, 0)),
+        ("near_far", near_far(&csr, 0, 0.3)),
+        ("delta_stepping", delta_stepping(&csr, 0, 0.3)),
+    ];
+    for (algo, sp) in &runs {
+        for v in [3usize, 4] {
+            assert_eq!(
+                sp.dist[v].to_bits(),
+                INF_WEIGHT.to_bits(),
+                "{algo}: unreachable vertex {v} must carry the shared sentinel"
+            );
+            assert_eq!(
+                weight_to_key(sp.dist[v]),
+                INF_KEY,
+                "{algo}: sentinel must map onto INF_KEY"
+            );
+        }
+    }
 }
 
 #[test]

@@ -165,6 +165,123 @@ fn bucket_queue_pops_monotone_buckets() {
 }
 
 #[test]
+fn radix_heap_pops_in_monotone_key_order() {
+    // arbitrary interleavings of monotone pushes and pops match a sorted
+    // model: keys come out non-decreasing and nothing is lost
+    use graph500::baselines::RadixHeap;
+    for_cases(0x4AD1, 64, |rng| {
+        let mut heap: RadixHeap<u64> = RadixHeap::new();
+        let mut pending: Vec<u64> = Vec::new();
+        let mut popped: Vec<u64> = Vec::new();
+        let mut floor = 0u64;
+        for _ in 0..rng.usize(1, 200) {
+            if rng.range(0, 3) < 2 || heap.is_empty() {
+                // push: any key >= the monotone floor, with a bias toward
+                // keys near the floor and occasional far-away bits
+                let spread = 1u64 << rng.range(1, 50);
+                let key = floor.saturating_add(rng.range(0, spread));
+                heap.push(key, key);
+                pending.push(key);
+            } else {
+                let (k, v) = heap.pop_min().expect("non-empty");
+                assert_eq!(k, v, "payload must ride with its key");
+                floor = k;
+                popped.push(k);
+            }
+        }
+        while let Some((k, _)) = heap.pop_min() {
+            popped.push(k);
+        }
+        // monotone: the full pop sequence never decreases
+        for w in popped.windows(2) {
+            assert!(w[0] <= w[1], "pop order went backwards");
+        }
+        // conservation: the popped multiset is exactly the pushed multiset
+        pending.sort_unstable();
+        let mut sorted_popped = popped.clone();
+        sorted_popped.sort_unstable();
+        assert_eq!(sorted_popped, pending);
+    });
+}
+
+#[test]
+fn radix_dijkstra_and_bmssp_bitwise_equal_dijkstra() {
+    // the new baselines must agree with the binary-heap oracle to the bit
+    // on arbitrary random multigraphs (self-loops, duplicate edges, any
+    // root) — not just within tolerance
+    use graph500::baselines::{bmssp, dijkstra_radix_heap};
+    for_cases(0xB1D6, 64, |rng| {
+        let (n, edges) = arb_graph(rng);
+        let root = rng.range(0, n);
+        let csr = Csr::from_edges(n as usize, &to_el(&edges), Directedness::Undirected);
+        let oracle = dijkstra(&csr, root);
+        let radix = dijkstra_radix_heap(&csr, root);
+        let bm = bmssp(&csr, root);
+        for v in 0..n as usize {
+            assert_eq!(
+                oracle.dist[v].to_bits(),
+                radix.dist[v].to_bits(),
+                "radix heap at vertex {v}"
+            );
+            assert_eq!(
+                oracle.dist[v].to_bits(),
+                bm.dist[v].to_bits(),
+                "bmssp at vertex {v}"
+            );
+        }
+    });
+}
+
+#[test]
+fn bucket_queue_radix_layout_matches_naive_model() {
+    // the radix occupancy index must be observationally identical to the
+    // old linear-scan layout: same min_bucket, same bucket contents in the
+    // same order, over arbitrary op streams (including far-away sparse
+    // buckets that cross bitmap words)
+    for_cases(0xBADC, 64, |rng| {
+        let delta = rng.f32(0.05, 1.5);
+        let mut q = BucketQueue::new(delta);
+        let mut model: Vec<Vec<u32>> = Vec::new();
+        let mut scan_from = 0usize; // the old layout's cursor
+        for i in 0..rng.usize(1, 250) {
+            let d = if rng.range(0, 20) == 0 {
+                rng.f32(100.0, 5000.0) // sparse far bucket
+            } else {
+                rng.f32(0.0, 30.0)
+            };
+            q.insert(i as u32, d);
+            let k = q.bucket_of(d);
+            if k >= model.len() {
+                model.resize_with(k + 1, Vec::new);
+            }
+            model[k].push(i as u32);
+            scan_from = scan_from.min(k);
+            if rng.range(0, 3) == 0 {
+                let got = q.min_bucket();
+                let want = (scan_from..model.len()).find(|&k| !model[k].is_empty());
+                assert_eq!(got, want, "min_bucket diverged from linear scan");
+                if let Some(k) = got {
+                    scan_from = k;
+                    assert_eq!(q.bucket_len(k), model[k].len());
+                    assert_eq!(
+                        q.take_bucket(k),
+                        std::mem::take(&mut model[k]),
+                        "bucket {k} contents/order diverged"
+                    );
+                }
+            }
+        }
+        let expect: Vec<u32> = model[scan_from.min(model.len())..]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        assert_eq!(q.drain_all(), expect, "drain_all diverged");
+        assert!(q.is_empty());
+    });
+}
+
+#[test]
 fn bucket_queue_reinsert_lowers_bucket() {
     // delta-stepping relies on re-inserting a settled-lower vertex into an
     // earlier (but not-yet-passed) bucket; the queue must serve the lower

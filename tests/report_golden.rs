@@ -1,0 +1,128 @@
+//! Golden-report regression tests for the bucket-queue hot path.
+//!
+//! The radix-layout upgrade of `sssp/bucket.rs` must be *behaviorally
+//! invisible*: under the deterministic scheduler the scale-10 1D and 2D
+//! report JSON is a pure function of the configuration, so it is pinned
+//! byte-for-byte to goldens captured before the upgrade. Any change to the
+//! bucket drain order, the superstep schedule, or the distance/parent bits
+//! shows up here as a diff.
+//!
+//! The 1D runs spawn the real `g500` binary under `G500_THREADS=1` and
+//! `=4` (the pool is process-global, so thread counts only compare across
+//! processes); both must reproduce the same golden. Regenerate after an
+//! *intentional* semantic change with
+//! `G500_BLESS=1 cargo test --test report_golden`.
+
+use graph500::simnet::{Machine, MachineConfig};
+use graph500::sssp::Grid2DSssp;
+use std::process::Command;
+
+const GOLDEN_1D: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/report_1d_scale10.json"
+);
+const GOLDEN_2D: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/report_2d_scale10.txt"
+);
+
+/// Compare `actual` against the golden file at `path`; with `G500_BLESS=1`
+/// rewrite the golden instead.
+fn check_golden(path: &str, actual: &str) {
+    if std::env::var("G500_BLESS").is_ok() {
+        std::fs::write(path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e}; run with G500_BLESS=1"));
+    assert_eq!(
+        expected, actual,
+        "report drifted from {path}; if intentional, regenerate with G500_BLESS=1"
+    );
+}
+
+/// Run the `g500` binary at scale 10 under `threads` and return its JSON
+/// stdout minus the host-dependent lines (wall time, pool size).
+fn run_1d_json(threads: usize) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_g500"))
+        .args([
+            "sssp",
+            "--scale",
+            "10",
+            "--ranks",
+            "4",
+            "--roots",
+            "2",
+            "--deterministic",
+            "--json",
+        ])
+        .env("G500_THREADS", threads.to_string())
+        .output()
+        .expect("spawn g500");
+    assert!(
+        out.status.success(),
+        "g500 failed under {} threads: {}",
+        threads,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout)
+        .expect("utf8 json")
+        .lines()
+        .filter(|l| !l.contains("wall_time_s") && !l.contains("\"threads\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    json + "\n"
+}
+
+#[test]
+fn golden_1d_scale10_report_json_at_t1_and_t4() {
+    let t1 = run_1d_json(1);
+    check_golden(GOLDEN_1D, &t1);
+    let t4 = run_1d_json(4);
+    assert_eq!(
+        t1, t4,
+        "1D report JSON differs between G500_THREADS=1 and =4"
+    );
+}
+
+/// The 2D kernel has no CLI front end; serialize its deterministic run —
+/// distance bits, parents, and the full superstep/record counters — into a
+/// canonical text form and pin that.
+#[test]
+fn golden_2d_scale10_report() {
+    let gen = graph500::gen::KroneckerGenerator::new(graph500::gen::KroneckerParams::graph500(
+        10, 20220814,
+    ));
+    let el = gen.generate_all();
+    let n = 1u64 << 10;
+    let p = 4usize;
+    let rep = Machine::new(MachineConfig::with_ranks(p).deterministic(0)).run(|ctx| {
+        let m = el.len();
+        let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+        let mine = (lo..hi).map(|i| el.get(i));
+        let mut g = Grid2DSssp::build(ctx, n, mine, 0.25);
+        let stats = g.run(ctx, 1);
+        (g.gather(ctx), stats)
+    });
+    let (sp, stats) = &rep.results[0];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "supersteps {}\nrelaxations {}\nfrontier_records {}\nupdate_records {}\n",
+        stats.supersteps, stats.relaxations, stats.frontier_records, stats.update_records
+    ));
+    for v in 0..n as usize {
+        out.push_str(&format!(
+            "{v} {:08x} {}\n",
+            sp.dist[v].to_bits(),
+            sp.parent[v]
+        ));
+    }
+    // every rank gathered the same global view
+    for (other, _) in &rep.results[1..] {
+        assert_eq!(other.dist.len(), sp.dist.len());
+        for v in 0..n as usize {
+            assert_eq!(other.dist[v].to_bits(), sp.dist[v].to_bits());
+        }
+    }
+    check_golden(GOLDEN_2D, &out);
+}
