@@ -2,16 +2,17 @@
 //!
 //! The Graph500 harness runs 64 searches; run them `B` at a time and
 //! measure the superstep amortization: total supersteps, total simulated
-//! time, and the effective TEPS uplift over back-to-back single-source
-//! runs. This is the "future work" lever on the paper's superstep-
-//! reduction theme.
+//! time, and the effective uplift over back-to-back single-source runs.
+//! Since PR 8 the batching loop *is* the query engine: the roots go in as
+//! full queries and the admission window width is the batch size (caches
+//! disabled, so this measures batching alone).
 //!
 //! Overrides: `G500_SCALE` (14), `G500_RANKS` (8), `G500_NROOTS` (16).
 
 use g500_bench::{banner, param, secs, Table};
 use g500_gen::{KroneckerGenerator, KroneckerParams};
 use g500_partition::{assemble_local_graph, Block1D};
-use g500_sssp::multi_source_delta_stepping;
+use g500_sssp::{OptConfig, Query, QueryEngine, ServeConfig};
 use graph500::simnet::{Machine, MachineConfig};
 
 fn main() {
@@ -43,6 +44,7 @@ fn main() {
             roots.push(e.u);
         }
     }
+    let queries: Vec<Query> = roots.iter().map(|&r| Query::full(r)).collect();
 
     let t = Table::new(&["batch_size", "batches", "supersteps", "sim_time", "speedup"]);
     let mut base_time = 0.0f64;
@@ -59,23 +61,27 @@ fn main() {
             let mine = gen.edge_block(lo..hi);
             ctx.charge_compute(hi - lo);
             let g = assemble_local_graph(ctx, mine.iter(), part);
+            let cfg = ServeConfig {
+                batch_width: batch,
+                opts: OptConfig::all_on().with_delta(0.125),
+                num_landmarks: 0, // isolate batching from caching
+                lru_capacity: 0,
+                keep_paths: false,
+            };
             let kernel_start = ctx.now();
-            let mut steps = 0u64;
-            for chunk in roots.chunks(batch) {
-                let (_, s) = multi_source_delta_stepping(ctx, &g, chunk, 0.125);
-                steps += s.supersteps;
-            }
+            let mut engine = QueryEngine::new(ctx, &g, cfg);
+            engine.serve(ctx, &queries);
             let elapsed =
                 ctx.allreduce(ctx.now() - kernel_start, |a, b| if a > b { *a } else { *b });
-            (steps, elapsed)
+            (engine.stats().supersteps, engine.stats().batches, elapsed)
         });
-        let (steps, time) = rep.results[0];
+        let (steps, batches, time) = rep.results[0];
         if batch == 1 {
             base_time = time;
         }
         t.row(&[
             batch.to_string(),
-            roots.len().div_ceil(batch).to_string(),
+            batches.to_string(),
             steps.to_string(),
             secs(time),
             format!("{:.2}x", base_time / time),

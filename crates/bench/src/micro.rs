@@ -27,9 +27,10 @@
 use g500_gen::{KroneckerGenerator, KroneckerParams};
 use g500_graph::{Csr, Directedness};
 use g500_partition::{assemble_local_graph, Block1D};
-use g500_sssp::codec::{encode_updates, Update};
+use g500_sssp::codec::{encode_tagged, encode_updates, TaggedUpdate, Update};
 use g500_sssp::{
-    distributed_delta_stepping, parallel_delta_stepping, Direction, Grid2DSssp, OptConfig,
+    distributed_delta_stepping, parallel_delta_stepping, Direction, Grid2DSssp, OptConfig, Query,
+    QueryEngine, ServeConfig,
 };
 use rayon::prelude::*;
 use simnet::{Machine, MachineConfig};
@@ -266,6 +267,47 @@ pub fn run_kernels() -> Vec<(&'static str, Stats)> {
         "exchange/encode_10k",
         measure(20, || {
             black_box(encode_updates(&updates, true).len());
+        }),
+    ));
+
+    // Lane-tagged variant of the same bucket: 16 interleaved lanes, the
+    // wire format of every batched superstep.
+    let tagged: Vec<TaggedUpdate> = (0..10_000u64)
+        .map(|i| ((i % 16) as u32, 1_000_000 + i * 3, 0.5 + (i % 7) as f32, i))
+        .collect();
+    out.push((
+        "exchange/tagged_encode_10k",
+        measure(20, || {
+            black_box(encode_tagged(&tagged, false).len());
+        }),
+    ));
+
+    // The batched query engine end to end at scale 12 on the 4-rank
+    // machine: a 16-wide admission window of full single-source queries
+    // through the shared-superstep kernel (caches off — the micro gate
+    // times the kernel path, F16 covers the service config).
+    let serve_queries: Vec<Query> = (0..16u64)
+        .map(|i| Query::full((i * n12 / 16).min(n12 - 1)))
+        .collect();
+    out.push((
+        "serve/batch16_s12",
+        measure(5, || {
+            let reached = Machine::new(MachineConfig::with_ranks(ranks)).run(|ctx| {
+                let part = Block1D::new(n12, ranks);
+                let mine = gen12.edge_block(slice(ctx.rank()));
+                let g = assemble_local_graph(ctx, mine.iter(), part);
+                let cfg = ServeConfig {
+                    batch_width: 16,
+                    opts: OptConfig::all_on().with_delta(0.125),
+                    num_landmarks: 0,
+                    lru_capacity: 0,
+                    keep_paths: false,
+                };
+                let mut engine = QueryEngine::new(ctx, &g, cfg);
+                let outs = engine.serve(ctx, &serve_queries);
+                outs.len() as u64 + engine.stats().relaxations
+            });
+            black_box(reached.results.iter().sum::<u64>());
         }),
     ));
 

@@ -17,12 +17,13 @@ use graph500::graph::{component_stats, Csr, DegreeStats, Directedness};
 use graph500::simnet::Topology;
 use graph500::sssp::{Direction, OptConfig};
 use graph500::{
-    run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, FaultPlan, PartitionStrategy,
+    run_bfs_benchmark, run_query_serving_benchmark, run_sssp_benchmark, BenchmarkConfig, FaultPlan,
+    PartitionStrategy, ServeBenchConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N] \\\n             [--trace] [--trace-out PATH]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [--trace] [--trace-out PATH] [fault flags as above]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError.\n  --trace (or G500_TRACE=1) records a virtual-time trace: the report\n  gains a per-superstep compute/comm/wait breakdown, and --trace-out\n  PATH (default trace.json with --trace-out alone) writes Chrome\n  trace_event JSON for chrome://tracing or ui.perfetto.dev. Tracing\n  never changes results: distances, NetStats, and the untraced report\n  fields are byte-identical with tracing on or off."
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N] \\\n             [--trace] [--trace-out PATH]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [--trace] [--trace-out PATH] [fault flags as above]\n  g500 serve --scale N --ranks P [--queries Q] [--batch B] [--landmarks K] \\\n             [--lru C] [--p2p PERMILLE] [--pool S] [--seed S] [--json] \\\n             [--deterministic] [--sched-seed S] [--threads T]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  serve keeps the graph resident and answers a deterministic synthetic\n  stream of full and point-to-point SSSP queries in admission windows of\n  --batch through the batched kernel, with --landmarks triangle-bound\n  pruning and an --lru full-result cache; it reports virtual-time QPS\n  and p50/p95/p99 latency.\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError.\n  --trace (or G500_TRACE=1) records a virtual-time trace: the report\n  gains a per-superstep compute/comm/wait breakdown, and --trace-out\n  PATH (default trace.json with --trace-out alone) writes Chrome\n  trace_event JSON for chrome://tracing or ui.perfetto.dev. Tracing\n  never changes results: distances, NetStats, and the untraced report\n  fields are byte-identical with tracing on or off."
     );
     std::process::exit(2)
 }
@@ -82,6 +83,7 @@ fn main() {
     match cmd.as_str() {
         "sssp" => cmd_sssp(&args),
         "bfs" => cmd_bfs(&args),
+        "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -249,6 +251,33 @@ fn cmd_bfs(args: &Args) {
         if !rep.all_validated() {
             std::process::exit(1);
         }
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    let scale = args.num("--scale", 12) as u32;
+    let ranks = args.num("--ranks", 4) as usize;
+    let mut cfg = ServeBenchConfig::new(scale, ranks);
+    cfg.num_queries = args.num("--queries", 64) as usize;
+    cfg.batch_width = args.num("--batch", 16) as usize;
+    cfg.num_landmarks = args.num("--landmarks", 4) as usize;
+    cfg.lru_capacity = args.num("--lru", 8) as usize;
+    cfg.p2p_permille = args.num("--p2p", 500);
+    cfg.source_pool = args.num("--pool", 0) as usize;
+    cfg.seed = args.num("--seed", cfg.seed);
+    cfg.threads = args.num("--threads", 0) as usize;
+    if args.has("--deterministic") || args.has("--sched-seed") {
+        cfg = cfg.deterministic(args.num("--sched-seed", 0));
+    }
+    eprintln!(
+        "g500 serve: scale {}, {} ranks, {} queries at window {}…",
+        cfg.scale, cfg.machine.ranks, cfg.num_queries, cfg.batch_width
+    );
+    let rep = run_query_serving_benchmark(&cfg);
+    if args.has("--json") {
+        println!("{}", rep.to_json());
+    } else {
+        println!("{}", rep.render());
     }
 }
 

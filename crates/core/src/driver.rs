@@ -320,7 +320,7 @@ fn detect_hubs(gen: &KroneckerGenerator, hub_factor: f64) -> Vec<VertexId> {
 /// denominator) that wrecks the harmonic mean for reasons that would not
 /// exist at record scale. Conditioning on the giant component restores
 /// the regime being reproduced; DESIGN.md lists this under substitutions.
-fn sample_roots(el: &EdgeList, n: u64, seed: u64, count: usize) -> Vec<VertexId> {
+pub(crate) fn sample_roots(el: &EdgeList, n: u64, seed: u64, count: usize) -> Vec<VertexId> {
     let mut uf = g500_graph::UnionFind::new(n as usize);
     for e in el.iter() {
         if !e.is_loop() {
@@ -398,7 +398,7 @@ fn run_ranks<P: VertexPartition>(
 
 /// Apply the configured pool size (best-effort: the pool is process-global
 /// and fixed at first use) and return the thread count runs actually use.
-fn apply_thread_config(requested: usize) -> usize {
+pub(crate) fn apply_thread_config(requested: usize) -> usize {
     if requested > 0 {
         rayon::configure_threads(requested);
     }

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod serving;
 pub mod trace_report;
 
 pub use driver::{
     run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, BenchmarkReport, PartitionStrategy,
     RootRun,
 };
+pub use serving::{run_query_serving_benchmark, synth_queries, ServeBenchConfig, ServeReport};
 pub use simnet::{FaultPlan, Trace, TraceConfig, TraceSummary, TransportError};
 pub use trace_report::write_chrome_trace;
 

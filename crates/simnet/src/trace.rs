@@ -107,6 +107,9 @@ pub enum TraceCode {
     Exscan = 13,
     /// Reduce-scatter (collective span).
     ReduceScatter = 14,
+    /// One admission-windowed query batch through the serving engine
+    /// (span; `a` = batch ordinal, `b` = lane width).
+    QueryBatch = 15,
     /// Edge relaxations performed this superstep (counter).
     Relaxations = 100,
     /// Vertices settled so far in the current bucket (counter).
@@ -136,6 +139,12 @@ pub enum TraceCode {
     /// Virtual communication seconds accrued over a bucket (counter;
     /// `a` = f64 bits, `b` = bucket index).
     BucketComm = 110,
+    /// One query admitted into a batch (counter; `a` = query ordinal in
+    /// the stream, `b` = 0 lane run / 1 cache hit).
+    QueryAdmitted = 111,
+    /// One point-to-point lane retired early (counter; `a` = query
+    /// ordinal, `b` = bucket epoch at retirement).
+    QueryRetired = 112,
 }
 
 /// All codes, in declaration order (used by decoding and the summary).
@@ -155,6 +164,7 @@ const ALL_CODES: &[TraceCode] = &[
     TraceCode::GatherToRoot,
     TraceCode::Exscan,
     TraceCode::ReduceScatter,
+    TraceCode::QueryBatch,
     TraceCode::Relaxations,
     TraceCode::Settled,
     TraceCode::UpdatesSent,
@@ -166,6 +176,8 @@ const ALL_CODES: &[TraceCode] = &[
     TraceCode::BucketFrontier,
     TraceCode::BucketCompute,
     TraceCode::BucketComm,
+    TraceCode::QueryAdmitted,
+    TraceCode::QueryRetired,
 ];
 
 impl TraceCode {
@@ -187,6 +199,7 @@ impl TraceCode {
             TraceCode::GatherToRoot => "gather-to-root",
             TraceCode::Exscan => "exscan",
             TraceCode::ReduceScatter => "reduce-scatter",
+            TraceCode::QueryBatch => "query-batch",
             TraceCode::Relaxations => "relaxations",
             TraceCode::Settled => "settled",
             TraceCode::UpdatesSent => "updates-sent",
@@ -198,6 +211,8 @@ impl TraceCode {
             TraceCode::BucketFrontier => "bucket-frontier",
             TraceCode::BucketCompute => "bucket-compute",
             TraceCode::BucketComm => "bucket-comm",
+            TraceCode::QueryAdmitted => "query-admitted",
+            TraceCode::QueryRetired => "query-retired",
         }
     }
 

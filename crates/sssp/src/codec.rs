@@ -82,6 +82,119 @@ pub fn dedup_min(updates: &mut Vec<Update>) -> usize {
     before - updates.len()
 }
 
+/// One lane-tagged relaxation request of the batched kernel:
+/// (lane index, global target, tentative distance, global parent).
+pub type TaggedUpdate = (u32, u64, f32, u64);
+
+/// The canonical total order of tagged updates: lane, then target, then
+/// distance, then parent. Dedup and the compressed wire format both sort
+/// by this *full* key, so the bytes shipped (and the post-dedup apply
+/// order) are a pure function of the update *set* — independent of the
+/// emission interleave, which is what makes a lane inside a width-B batch
+/// bitwise identical to the same lane in a width-1 batch.
+#[inline]
+fn tagged_key(a: &TaggedUpdate, b: &TaggedUpdate) -> std::cmp::Ordering {
+    (a.0, a.1)
+        .cmp(&(b.0, b.1))
+        .then(a.2.total_cmp(&b.2))
+        .then(a.3.cmp(&b.3))
+}
+
+/// Sort by the canonical key and keep the minimum (distance, parent) per
+/// (lane, target). Returns the number of records eliminated.
+pub fn dedup_min_tagged(updates: &mut Vec<TaggedUpdate>) -> usize {
+    if updates.len() <= 1 {
+        return 0;
+    }
+    updates.sort_unstable_by(tagged_key);
+    let before = updates.len();
+    updates.dedup_by_key(|u| (u.0, u.1)); // keeps the first = min
+    before - updates.len()
+}
+
+/// Encode tagged updates: lane-grouped, each group a gap+varint target
+/// block exactly like [`encode_updates`]. If `sorted` is false the slice
+/// is copied and sorted by the canonical key first (the format requires
+/// lane-major, non-decreasing targets within a lane).
+pub fn encode_tagged(updates: &[TaggedUpdate], sorted: bool) -> Vec<u8> {
+    let mut storage;
+    let updates = if sorted
+        || updates
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1))
+    {
+        updates
+    } else {
+        storage = updates.to_vec();
+        storage.sort_unstable_by(tagged_key);
+        &storage[..]
+    };
+    let mut out = Vec::with_capacity(8 + updates.len() * 11);
+    // count the lane groups first (one linear pass over the lane column)
+    let groups = updates
+        .iter()
+        .enumerate()
+        .filter(|(i, u)| *i == 0 || updates[i - 1].0 != u.0)
+        .count();
+    write_varint(&mut out, groups as u64);
+    let mut i = 0usize;
+    while i < updates.len() {
+        let lane = updates[i].0;
+        let j = updates[i..]
+            .iter()
+            .position(|u| u.0 != lane)
+            .map_or(updates.len(), |off| i + off);
+        let group = &updates[i..j];
+        write_varint(&mut out, lane as u64);
+        write_varint(&mut out, group.len() as u64);
+        let mut prev = 0u64;
+        for &(_, t, _, _) in group {
+            write_varint(&mut out, t - prev);
+            prev = t;
+        }
+        for &(_, _, d, _) in group {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        for &(_, _, _, p) in group {
+            write_varint(&mut out, p);
+        }
+        i = j;
+    }
+    out
+}
+
+/// Decode a buffer produced by [`encode_tagged`]. `None` on malformed
+/// input.
+pub fn decode_tagged(buf: &[u8]) -> Option<Vec<TaggedUpdate>> {
+    let mut pos = 0;
+    let groups = read_varint(buf, &mut pos)?;
+    let mut out = Vec::new();
+    for _ in 0..groups {
+        let lane = u32::try_from(read_varint(buf, &mut pos)?).ok()?;
+        let n = read_varint(buf, &mut pos)? as usize;
+        let base = out.len();
+        let mut prev = 0u64;
+        for _ in 0..n {
+            prev = prev.checked_add(read_varint(buf, &mut pos)?)?;
+            out.push((lane, prev, 0.0f32, 0u64));
+        }
+        for i in 0..n {
+            let end = pos.checked_add(4)?;
+            let bytes = buf.get(pos..end)?;
+            out[base + i].2 = f32::from_le_bytes(bytes.try_into().ok()?);
+            pos = end;
+        }
+        for i in 0..n {
+            out[base + i].3 = read_varint(buf, &mut pos)?;
+        }
+    }
+    if pos == buf.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +273,74 @@ mod tests {
         let mut u = vec![(1u64, 0.1f32, 0u64), (2, 0.2, 0)];
         assert_eq!(dedup_min(&mut u), 0);
         assert_eq!(u.len(), 2);
+    }
+
+    fn tagged_sample() -> Vec<TaggedUpdate> {
+        vec![
+            (0, 5, 0.5, 100),
+            (0, 900, 1.5, 3),
+            (2, 5, 0.25, 7),
+            (2, 6, 0.75, 7),
+            (7, 0, 0.0, 0),
+        ]
+    }
+
+    #[test]
+    fn tagged_roundtrip_sorted() {
+        let u = tagged_sample();
+        let enc = encode_tagged(&u, true);
+        assert_eq!(decode_tagged(&enc), Some(u));
+    }
+
+    #[test]
+    fn tagged_roundtrip_unsorted_gets_canonical() {
+        let mut u = tagged_sample();
+        u.reverse();
+        let enc = encode_tagged(&u, false);
+        assert_eq!(decode_tagged(&enc), Some(tagged_sample()));
+    }
+
+    #[test]
+    fn tagged_empty_and_truncated() {
+        let enc = encode_tagged(&[], true);
+        assert_eq!(decode_tagged(&enc), Some(vec![]));
+        let enc = encode_tagged(&tagged_sample(), true);
+        assert_eq!(decode_tagged(&enc[..enc.len() - 1]), None);
+        let mut garbled = enc.clone();
+        garbled.push(0);
+        assert_eq!(decode_tagged(&garbled), None);
+    }
+
+    #[test]
+    fn tagged_dedup_is_input_order_independent() {
+        // same multiset, two emission orders: identical survivor list
+        let mut a = vec![
+            (1u32, 9u64, 0.5f32, 4u64),
+            (1, 9, 0.5, 2),
+            (0, 9, 0.5, 8),
+            (1, 9, 0.25, 6),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        dedup_min_tagged(&mut a);
+        dedup_min_tagged(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(0, 9, 0.5, 8), (1, 9, 0.25, 6)]);
+    }
+
+    #[test]
+    fn tagged_grouping_compresses_shared_lanes() {
+        let updates: Vec<TaggedUpdate> = (0..1000u64)
+            .map(|i| ((i % 4) as u32, 100_000 + (i / 4) * 3, 0.5, 77_000 + i))
+            .collect();
+        let mut sorted = updates.clone();
+        sorted.sort_unstable_by(tagged_key);
+        let enc = encode_tagged(&sorted, true);
+        let raw = updates.len() * 24;
+        assert!(
+            enc.len() * 3 < raw * 2,
+            "ratio only {:.2}",
+            raw as f64 / enc.len() as f64
+        );
     }
 }

@@ -12,13 +12,19 @@
 //! arrives either way (dedup drops only updates that a later min() would
 //! discard anyway).
 
-use crate::codec::{decode_updates, dedup_min, encode_updates, Update};
+use crate::codec::{
+    decode_tagged, decode_updates, dedup_min, dedup_min_tagged, encode_tagged, encode_updates,
+    TaggedUpdate, Update,
+};
 use crate::config::OptConfig;
 use rayon::prelude::*;
 use simnet::{RankCtx, TraceCode};
 
 /// Tag for non-coalesced per-update messages.
 const TAG_SINGLE_UPDATE: u64 = 0x5550;
+
+/// Tag for non-coalesced per-update messages on the lane-tagged path.
+const TAG_SINGLE_TAGGED: u64 = 0x5551;
 
 /// What one exchange did, for the run statistics.
 #[derive(Clone, Copy, Debug, Default)]
@@ -182,6 +188,145 @@ fn exchange_core(
     outcome
 }
 
+/// Reusable exchange scratch for the lane-tagged update stream of the
+/// batched multi-source kernel — the source-tagged twin of
+/// [`ExchangeBufs`], carrying `(lane, target, dist, parent)` records.
+#[derive(Debug, Default)]
+pub struct TaggedExchangeBufs {
+    out: Vec<Vec<TaggedUpdate>>,
+    incoming: Vec<TaggedUpdate>,
+}
+
+impl TaggedExchangeBufs {
+    /// Scratch for a `p`-rank exchange, with one (empty) bucket per rank.
+    pub fn new(p: usize) -> TaggedExchangeBufs {
+        TaggedExchangeBufs {
+            out: (0..p).map(|_| Vec::new()).collect(),
+            incoming: Vec::new(),
+        }
+    }
+
+    /// The outgoing bucket for destination rank `d`.
+    pub fn bucket_mut(&mut self, d: usize) -> &mut Vec<TaggedUpdate> {
+        &mut self.out[d]
+    }
+
+    /// Updates received by the last [`exchange_tagged_into`] call.
+    pub fn incoming(&self) -> &[TaggedUpdate] {
+        &self.incoming
+    }
+
+    /// Total records currently staged across all buckets.
+    pub fn staged(&self) -> u64 {
+        self.out.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// Ship the staged lane-tagged buckets to every rank, honoring the same
+/// `opts` toggles as the single-source path: dedup keeps the canonical
+/// minimum per (lane, target), coalescing aggregates per destination, and
+/// compression lane-groups the gap+varint codec. Collective: every rank
+/// must call with the same `opts`. Because dedup *and* the compressed
+/// wire format both order records by the canonical full key, the bytes a
+/// lane receives are a function of its update set only — independent of
+/// which other lanes share the batch.
+pub fn exchange_tagged_into(
+    ctx: &mut RankCtx,
+    bufs: &mut TaggedExchangeBufs,
+    opts: &OptConfig,
+) -> ExchangeOutcome {
+    let TaggedExchangeBufs { out, incoming } = bufs;
+    let p = ctx.size();
+    assert_eq!(out.len(), p);
+    let mut outcome = ExchangeOutcome {
+        records_offered: out.iter().map(|b| b.len() as u64).sum(),
+        ..Default::default()
+    };
+    ctx.trace_begin(TraceCode::Exchange, outcome.records_offered, 1);
+
+    if opts.dedup {
+        let work = outcome.records_offered;
+        ctx.trace_begin(TraceCode::TaskWave, p as u64, 2);
+        out.par_iter_mut().with_min_len(1).for_each(|b| {
+            dedup_min_tagged(b);
+        });
+        ctx.charge_compute(work);
+        ctx.trace_end(TraceCode::TaskWave, p as u64, 2);
+    }
+    outcome.records_sent = out.iter().map(|b| b.len() as u64).sum();
+
+    incoming.clear();
+    if !opts.coalescing {
+        let taken: Vec<Vec<TaggedUpdate>> = out.iter_mut().map(std::mem::take).collect();
+        exchange_one_message_per_tagged(ctx, taken, incoming);
+    } else if opts.compression {
+        ctx.trace_begin(TraceCode::TaskWave, p as u64, 3);
+        let enc: Vec<Vec<u8>> = out
+            .par_iter()
+            .with_min_len(1)
+            .map(|b| encode_tagged(b, opts.dedup))
+            .collect();
+        ctx.charge_compute(outcome.records_sent);
+        ctx.trace_end(TraceCode::TaskWave, p as u64, 3);
+        for b in out.iter_mut() {
+            b.clear();
+        }
+        let mut blocks = ctx.alltoallv(enc);
+        let order = ctx.delivery_order(blocks.len());
+        for s in order {
+            let block = std::mem::take(&mut blocks[s]);
+            let mut dec =
+                decode_tagged(&block).expect("self-produced tagged encoding is well-formed");
+            ctx.charge_compute(dec.len() as u64);
+            incoming.append(&mut dec);
+        }
+    } else {
+        let taken: Vec<Vec<TaggedUpdate>> = out.iter_mut().map(std::mem::take).collect();
+        let mut blocks = ctx.alltoallv(taken);
+        let order = ctx.delivery_order(blocks.len());
+        for s in order {
+            incoming.append(&mut blocks[s]);
+        }
+    }
+
+    outcome.records_received = incoming.len() as u64;
+    ctx.trace_count(TraceCode::UpdatesSent, outcome.records_sent, 1);
+    ctx.trace_count(TraceCode::UpdatesReceived, outcome.records_received, 1);
+    ctx.trace_end(TraceCode::Exchange, outcome.records_offered, 1);
+    outcome
+}
+
+/// The no-coalescing path for lane-tagged updates: one message per record,
+/// mirroring [`exchange_one_message_per_update`].
+fn exchange_one_message_per_tagged(
+    ctx: &mut RankCtx,
+    out: Vec<Vec<TaggedUpdate>>,
+    incoming: &mut Vec<TaggedUpdate>,
+) {
+    let me = ctx.rank();
+    let counts: Vec<Vec<u64>> = out.iter().map(|b| vec![b.len() as u64]).collect();
+    let counts_in = ctx.alltoallv(counts);
+
+    for (d, block) in out.into_iter().enumerate() {
+        if d == me {
+            incoming.extend(block);
+        } else {
+            for u in block {
+                ctx.send(d, TAG_SINGLE_TAGGED, &[u]);
+            }
+        }
+    }
+    let order = ctx.delivery_order(counts_in.len());
+    for s in order {
+        if s == me {
+            continue;
+        }
+        for _ in 0..counts_in[s][0] {
+            incoming.push(ctx.recv_one::<TaggedUpdate>(s, TAG_SINGLE_TAGGED));
+        }
+    }
+}
+
 /// The no-coalescing path: every update is its own message. Counts are
 /// agreed via a (cheap, aggregated) all-to-all first so receivers know how
 /// many singletons to expect from each peer; per-sender FIFO ordering makes
@@ -317,6 +462,81 @@ mod tests {
             compressed * 3 < raw * 2,
             "compression saved too little: {compressed} vs {raw}"
         );
+    }
+
+    #[test]
+    fn tagged_paths_deliver_same_state() {
+        let configs = [
+            OptConfig::all_on(),
+            OptConfig::all_on().without_compression(),
+            OptConfig::all_on().without_dedup(),
+            OptConfig::all_on().without_dedup().without_compression(),
+            OptConfig::all_off(),
+        ];
+        let run = |opts: OptConfig| {
+            Machine::new(MachineConfig::with_ranks(3))
+                .run(move |ctx| {
+                    let me = ctx.rank() as u64;
+                    let mut bufs = TaggedExchangeBufs::new(ctx.size());
+                    for d in 0..ctx.size() {
+                        // two lanes, duplicate targets per lane so dedup bites
+                        bufs.bucket_mut(d).extend([
+                            (0u32, d as u64 * 10, 0.5 + me as f32, me),
+                            (0, d as u64 * 10, 0.4 + me as f32, me),
+                            (1, d as u64 * 10, 0.3 + me as f32, me + 100),
+                        ]);
+                    }
+                    exchange_tagged_into(ctx, &mut bufs, &opts);
+                    bufs.incoming().to_vec()
+                })
+                .results
+        };
+        let mut reference: Option<Vec<Vec<(u32, u64, u64)>>> = None;
+        for (ci, opts) in configs.iter().enumerate() {
+            let view: Vec<Vec<(u32, u64, u64)>> = run(*opts)
+                .iter()
+                .map(|inc| {
+                    let mut best: std::collections::HashMap<(u32, u64), (f32, u64)> =
+                        std::collections::HashMap::new();
+                    for &(lane, t, d, par) in inc {
+                        let e = best.entry((lane, t)).or_insert((f32::INFINITY, u64::MAX));
+                        if (d, par) < (e.0, e.1) {
+                            *e = (d, par);
+                        }
+                    }
+                    let mut v: Vec<(u32, u64, u64)> = best
+                        .into_iter()
+                        .map(|((lane, t), (_, par))| (lane, t, par))
+                        .collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(view),
+                Some(r) => assert_eq!(r, &view, "tagged config {ci} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_dedup_keeps_min_per_lane_target() {
+        let results = Machine::new(MachineConfig::with_ranks(2))
+            .run(|ctx| {
+                let mut bufs = TaggedExchangeBufs::new(ctx.size());
+                for d in 0..ctx.size() {
+                    bufs.bucket_mut(d).extend([
+                        (0u32, 4u64, 0.9f32, 1u64),
+                        (0, 4, 0.2, 2),
+                        (1, 4, 0.1, 3),
+                    ]);
+                }
+                let outcome = exchange_tagged_into(ctx, &mut bufs, &OptConfig::all_on());
+                (outcome.records_offered, outcome.records_sent)
+            })
+            .results;
+        // lanes dedup independently: 3 offered, 2 shipped per destination
+        assert_eq!(results[0], (6, 4));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod exchange;
 pub mod multi;
 pub mod par;
 pub mod seq;
+pub mod serve;
 
 pub use bfs::{distributed_bfs, BfsStats};
 pub use bucket::BucketQueue;
@@ -46,6 +47,11 @@ pub use config::{Direction, OptConfig};
 pub use delta::suggest_delta;
 pub use dist::{distributed_delta_stepping, SsspRunStats};
 pub use dist2d::{Grid2DSssp, Sssp2DStats};
-pub use multi::{multi_source_delta_stepping, MultiDist, MultiStats};
+pub use multi::{
+    batched_delta_stepping, multi_source_delta_stepping, BatchSpec, MultiDist, MultiStats,
+};
 pub use par::{parallel_delta_stepping, parallel_delta_stepping_traced, WaveRecord};
 pub use seq::delta_stepping;
+pub use serve::{
+    triangle_bound, LandmarkSet, Lru, Query, QueryEngine, QueryOutcome, ServeConfig, ServeStats,
+};

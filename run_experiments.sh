@@ -59,4 +59,5 @@ run f12_partition_balance
 run f13_2d_fanout
 G500_MAX_SCALE=13 run f14_dist2d
 run f15_weight_dist
+G500_SCALE=14 G500_RANKS=4 run f16_query_serving
 echo "all experiments done"

@@ -373,13 +373,7 @@ fn multi_source_equals_dijkstra_per_source() {
                 let g = assemble_local_graph(ctx, mine.into_iter(), part);
                 let (md, _) = graph500::sssp::multi_source_delta_stepping(ctx, &g, &roots, 0.25);
                 (0..roots.len())
-                    .map(|s| {
-                        graph500::partition::DistShortestPaths {
-                            dist: md.dist[s].clone(),
-                            parent: md.parent[s].clone(),
-                        }
-                        .gather_to_all(ctx, g.part())
-                    })
+                    .map(|s| md.lane_paths(s).gather_to_all(ctx, g.part()))
                     .collect::<Vec<_>>()
             })
             .results
@@ -685,6 +679,93 @@ fn traced_runs_have_balanced_spans() {
             }
             for (code, d) in depth {
                 assert_eq!(d, 0, "rank {}: unbalanced span {:?}", buf.rank, code);
+            }
+        }
+    });
+}
+
+#[test]
+fn tagged_codec_roundtrips_arbitrary_updates() {
+    use graph500::sssp::codec::{decode_tagged, dedup_min_tagged, encode_tagged, TaggedUpdate};
+    for_cases(0x7A66, 128, |rng| {
+        let n = rng.usize(0, 200);
+        let mut updates: Vec<TaggedUpdate> = (0..n)
+            .map(|_| {
+                (
+                    rng.range(0, 8) as u32,
+                    rng.range(0, 1 << 20),
+                    rng.f32(0.0, 100.0),
+                    rng.next_u64() >> rng.range(0, 60),
+                )
+            })
+            .collect();
+        // the encoder canonicalizes unsorted input, and decode inverts it
+        let enc = encode_tagged(&updates, false);
+        let dec = decode_tagged(&enc).expect("well-formed buffer");
+        let mut canon = updates.clone();
+        canon.sort_unstable_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(a.2.total_cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+        assert_eq!(dec, canon);
+
+        // dedup survivors are a pure function of the update SET
+        let mut rev = updates.clone();
+        rev.reverse();
+        dedup_min_tagged(&mut updates);
+        dedup_min_tagged(&mut rev);
+        assert_eq!(updates, rev, "dedup depended on emission order");
+    });
+}
+
+#[test]
+fn landmark_bound_never_below_true_distance() {
+    use graph500::sssp::triangle_bound;
+    for_cases(0x1A4D, 48, |rng| {
+        let (n, edges) = arb_graph(rng);
+        let el = to_el(&edges);
+        let csr = Csr::from_edges(n as usize, &el, Directedness::Undirected);
+        let landmarks: Vec<u64> = (0..rng.usize(1, 5)).map(|_| rng.range(0, n)).collect();
+        let from_l: Vec<_> = landmarks.iter().map(|&l| dijkstra(&csr, l)).collect();
+        let s = rng.range(0, n);
+        let t = rng.range(0, n);
+        let ls: Vec<f32> = from_l.iter().map(|d| d.dist[s as usize]).collect();
+        let lt: Vec<f32> = from_l.iter().map(|d| d.dist[t as usize]).collect();
+        let bound = triangle_bound(&ls, &lt);
+        let true_d = dijkstra(&csr, s).dist[t as usize];
+        if bound.is_finite() {
+            assert!(
+                true_d <= bound,
+                "bound {bound} below true distance {true_d} (s={s}, t={t})"
+            );
+        }
+    });
+}
+
+#[test]
+fn lru_invariants_hold_under_random_ops() {
+    use graph500::sssp::Lru;
+    for_cases(0x14C8, 64, |rng| {
+        let cap = rng.usize(1, 6);
+        let mut lru: Lru<u64, u64> = Lru::new(cap);
+        let mut last_value: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut last_inserted = None;
+        for i in 0..rng.usize(1, 64) {
+            let k = rng.range(0, 8);
+            if rng.range(0, 2) == 0 {
+                let v = i as u64;
+                lru.insert(k, v);
+                last_value.insert(k, v);
+                last_inserted = Some(k);
+            } else if let Some(&v) = lru.get(&k) {
+                // a hit always returns the most recently inserted value
+                assert_eq!(Some(&v), last_value.get(&k));
+            }
+            assert!(lru.len() <= cap, "capacity exceeded");
+            if let Some(k) = last_inserted {
+                assert!(lru.keys().any(|&ek| ek == k), "most recent insert evicted");
             }
         }
     });
