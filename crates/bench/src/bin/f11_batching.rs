@@ -67,6 +67,7 @@ fn main() {
                 num_landmarks: 0, // isolate batching from caching
                 lru_capacity: 0,
                 keep_paths: false,
+                deadline_s: f64::INFINITY,
             };
             let kernel_start = ctx.now();
             let mut engine = QueryEngine::new(ctx, &g, cfg);

@@ -33,7 +33,7 @@ use g500_sssp::{
     QueryEngine, ServeConfig,
 };
 use rayon::prelude::*;
-use simnet::{Machine, MachineConfig};
+use simnet::{CrashPlan, Machine, MachineConfig};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -302,10 +302,32 @@ pub fn run_kernels() -> Vec<(&'static str, Stats)> {
                     num_landmarks: 0,
                     lru_capacity: 0,
                     keep_paths: false,
+                    deadline_s: f64::INFINITY,
                 };
                 let mut engine = QueryEngine::new(ctx, &g, cfg);
                 let outs = engine.serve(ctx, &serve_queries);
                 outs.len() as u64 + engine.stats().relaxations
+            });
+            black_box(reached.results.iter().sum::<u64>());
+        }),
+    ));
+
+    // The recovery subsystem under load: the 1D kernel at scale 12 with
+    // checkpoints every other superstep and one forced crash — times the
+    // Checkpoint codec, buddy replication, and a restore + replay cycle
+    // on top of the kernel itself.
+    out.push((
+        "recovery/checkpoint_s12",
+        measure(5, || {
+            let plan = CrashPlan::none()
+                .with_forced(1, 4)
+                .with_checkpoint_interval(2);
+            let reached = Machine::new(MachineConfig::with_ranks(ranks).crashes(plan)).run(|ctx| {
+                let part = Block1D::new(n12, ranks);
+                let mine = gen12.edge_block(slice(ctx.rank()));
+                let g = assemble_local_graph(ctx, mine.iter(), part);
+                let (sp, _) = distributed_delta_stepping(ctx, &g, root12, &OptConfig::all_on());
+                sp.reached_local()
             });
             black_box(reached.results.iter().sum::<u64>());
         }),

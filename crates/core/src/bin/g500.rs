@@ -17,13 +17,13 @@ use graph500::graph::{component_stats, Csr, DegreeStats, Directedness};
 use graph500::simnet::Topology;
 use graph500::sssp::{Direction, OptConfig};
 use graph500::{
-    run_bfs_benchmark, run_query_serving_benchmark, run_sssp_benchmark, BenchmarkConfig, FaultPlan,
-    PartitionStrategy, ServeBenchConfig,
+    run_bfs_benchmark, try_run_query_serving_benchmark, try_run_sssp_benchmark, BenchmarkConfig,
+    CrashPlan, FaultPlan, PartitionStrategy, ServeBenchConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N] \\\n             [--trace] [--trace-out PATH]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [--trace] [--trace-out PATH] [fault flags as above]\n  g500 serve --scale N --ranks P [--queries Q] [--batch B] [--landmarks K] \\\n             [--lru C] [--p2p PERMILLE] [--pool S] [--seed S] [--json] \\\n             [--deterministic] [--sched-seed S] [--threads T]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  serve keeps the graph resident and answers a deterministic synthetic\n  stream of full and point-to-point SSSP queries in admission windows of\n  --batch through the batched kernel, with --landmarks triangle-bound\n  pruning and an --lru full-result cache; it reports virtual-time QPS\n  and p50/p95/p99 latency.\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError.\n  --trace (or G500_TRACE=1) records a virtual-time trace: the report\n  gains a per-superstep compute/comm/wait breakdown, and --trace-out\n  PATH (default trace.json with --trace-out alone) writes Chrome\n  trace_event JSON for chrome://tracing or ui.perfetto.dev. Tracing\n  never changes results: distances, NetStats, and the untraced report\n  fields are byte-identical with tracing on or off."
+        "usage:\n  g500 sssp  --scale N --ranks P [--roots K] [--seed S] [--topology T] \\\n             [--partition block|cyclic|degree-aware] [--no-validate] [--delta D] \\\n             [--direction push|pull|hybrid] [--no-coalescing] [--no-dedup] \\\n             [--no-compression] [--no-fusion] [--deterministic] [--sched-seed S] \\\n             [--threads T] [--fault-seed S] [--drop-rate P] [--dup-rate P] \\\n             [--corrupt-rate P] [--reorder-rate P] [--retry-budget N] \\\n             [--crash-seed S] [--crash-rate P] [--checkpoint-interval K] \\\n             [--recovery-budget N] [--trace] [--trace-out PATH]\n  g500 bfs   --scale N --ranks P [--roots K] [--seed S] [--no-validate] [--json] \\\n             [--threads T] [--trace] [--trace-out PATH] [fault flags as above]\n  g500 serve --scale N --ranks P [--queries Q] [--batch B] [--landmarks K] \\\n             [--lru C] [--p2p PERMILLE] [--pool S] [--seed S] [--json] \\\n             [--deterministic] [--sched-seed S] [--threads T] [--deadline SEC] \\\n             [crash flags as above]\n  g500 stats --scale N [--seed S] [--threads T]\n\n  serve keeps the graph resident and answers a deterministic synthetic\n  stream of full and point-to-point SSSP queries in admission windows of\n  --batch through the batched kernel, with --landmarks triangle-bound\n  pruning and an --lru full-result cache; it reports virtual-time QPS\n  and p50/p95/p99 latency.\n  --deterministic runs the simulated machine under the seeded serialized\n  scheduler: the same --seed/--sched-seed pair replays byte-identical\n  results and NetStats. --sched-seed (default 0 = canonical order)\n  additionally fuzzes message delivery order and implies --deterministic.\n  --threads sizes the process-global worker pool (overrides G500_THREADS;\n  default: hardware parallelism). Results are bitwise identical at any\n  thread count — only wall time changes.\n  --drop-rate/--dup-rate/--corrupt-rate/--reorder-rate (all default 0)\n  inject seeded lossy-network faults, replayable from --fault-seed; the\n  reliable transport masks them, so distances and validation are\n  byte-identical to the fault-free run — only virtual time and the\n  retransmit counters change. --retry-budget (default 16) bounds\n  retransmissions per frame before a fail-stop TransportError.\n  --crash-rate (default 0) injects seeded whole-rank process crashes at\n  superstep boundaries, replayable from --crash-seed; the kernel takes\n  buddy-replicated checkpoints every --checkpoint-interval supersteps\n  (default 4) and rolls back on each crash, so distances stay\n  byte-identical to the fault-free run. --recovery-budget (default 64)\n  bounds restarts before the run ends with a typed error. Under serve,\n  an unrecoverable window is retried once and then its queries are shed\n  (reported, never a panic); --deadline SEC additionally sheds answers\n  whose virtual latency exceeds SEC.\n  --trace (or G500_TRACE=1) records a virtual-time trace: the report\n  gains a per-superstep compute/comm/wait breakdown, and --trace-out\n  PATH (default trace.json with --trace-out alone) writes Chrome\n  trace_event JSON for chrome://tracing or ui.perfetto.dev. Tracing\n  never changes results: distances, NetStats, and the untraced report\n  fields are byte-identical with tracing on or off."
     );
     std::process::exit(2)
 }
@@ -93,6 +93,18 @@ fn main() {
     }
 }
 
+/// Parse the crash-injection flags shared by `sssp` and `serve`.
+fn crash_plan(args: &Args) -> CrashPlan {
+    let plan = CrashPlan::random(args.num("--crash-seed", 0), args.fnum("--crash-rate", 0.0))
+        .with_checkpoint_interval(args.num("--checkpoint-interval", 4))
+        .with_recovery_budget(args.num("--recovery-budget", 64) as u32);
+    if let Err(e) = plan.validate() {
+        eprintln!("{e}");
+        usage();
+    }
+    plan
+}
+
 fn build_cfg(args: &Args) -> BenchmarkConfig {
     let scale = args.num("--scale", 12) as u32;
     let ranks = args.num("--ranks", 4) as usize;
@@ -116,6 +128,7 @@ fn build_cfg(args: &Args) -> BenchmarkConfig {
         usage();
     }
     cfg = cfg.faults(fault);
+    cfg = cfg.crashes(crash_plan(args));
     let env_trace = matches!(
         std::env::var("G500_TRACE").ok().as_deref(),
         Some("1") | Some("true")
@@ -212,7 +225,13 @@ fn cmd_sssp(args: &Args) {
         "g500 sssp: scale {}, {} ranks, {} roots…",
         cfg.scale, cfg.machine.ranks, cfg.num_roots
     );
-    let rep = run_sssp_benchmark(&cfg);
+    let rep = match try_run_sssp_benchmark(&cfg) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("g500 sssp: {e}");
+            std::process::exit(1);
+        }
+    };
     write_trace_if_requested(args, &rep);
     if args.has("--json") {
         println!("{}", rep.to_json());
@@ -266,14 +285,26 @@ fn cmd_serve(args: &Args) {
     cfg.source_pool = args.num("--pool", 0) as usize;
     cfg.seed = args.num("--seed", cfg.seed);
     cfg.threads = args.num("--threads", 0) as usize;
+    cfg.deadline_s = args.fnum("--deadline", f64::INFINITY);
+    if cfg.deadline_s <= 0.0 || cfg.deadline_s.is_nan() {
+        eprintln!("bad --deadline: must be a positive number of seconds");
+        usage();
+    }
     if args.has("--deterministic") || args.has("--sched-seed") {
         cfg = cfg.deterministic(args.num("--sched-seed", 0));
     }
+    cfg = cfg.crashes(crash_plan(args));
     eprintln!(
         "g500 serve: scale {}, {} ranks, {} queries at window {}…",
         cfg.scale, cfg.machine.ranks, cfg.num_queries, cfg.batch_width
     );
-    let rep = run_query_serving_benchmark(&cfg);
+    let rep = match try_run_query_serving_benchmark(&cfg) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("g500 serve: {e}");
+            std::process::exit(1);
+        }
+    };
     if args.has("--json") {
         println!("{}", rep.to_json());
     } else {

@@ -13,9 +13,12 @@ use g500_partition::{
     assemble_local_graph, Block1D, Cyclic1D, HybridPartition, LocalGraph, SparseHubRelabel,
     VertexPartition,
 };
-use g500_sssp::{distributed_bfs, distributed_delta_stepping, OptConfig, SsspRunStats};
+use g500_sssp::{distributed_bfs, try_distributed_delta_stepping, OptConfig, SsspRunStats};
 use g500_validate::{validate_bfs, validate_sssp, SsspResult, TepsSummary};
-use simnet::{FaultPlan, Machine, MachineConfig, NetStats, Trace, TraceCode, TraceSummary};
+use simnet::{
+    CrashPlan, FaultEscalation, FaultPlan, Machine, MachineConfig, NetStats, Trace, TraceCode,
+    TraceSummary,
+};
 
 /// How vertices are placed on ranks.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -110,6 +113,17 @@ impl BenchmarkConfig {
         self
     }
 
+    /// Inject seeded rank-crash faults (see [`simnet::CrashPlan`]). The
+    /// recovery layer must mask every in-budget crash schedule: distances,
+    /// parents, and validation stay byte-identical to the crash-free run —
+    /// only virtual time, recovery spans, and the crash counters in
+    /// [`NetStats`] move. A schedule the budget cannot absorb surfaces as
+    /// a typed error from [`try_run_sssp_benchmark`], never a panic.
+    pub fn crashes(mut self, plan: CrashPlan) -> Self {
+        self.machine = self.machine.crashes(plan);
+        self
+    }
+
     /// Record a virtual-time trace of the run (see [`simnet::Trace`]). Off
     /// by default; tracing observes virtual time and counters but never
     /// advances the clock, so distances, `NetStats`, and the rendered
@@ -167,6 +181,9 @@ pub struct BenchmarkReport {
     /// The fault plan the machine ran under (echoed so archived sweeps are
     /// attributable; [`FaultPlan::none`] for a perfect network).
     pub fault: FaultPlan,
+    /// The crash plan the machine ran under ([`CrashPlan::none`] when
+    /// process faults were off).
+    pub crash: CrashPlan,
     /// The merged virtual-time trace, present only when the run was traced
     /// (see [`BenchmarkConfig::traced`]).
     pub trace: Option<Trace>,
@@ -210,6 +227,17 @@ impl BenchmarkReport {
                 self.net.dup_frames_dropped,
                 self.net.reordered_frames,
                 self.net.stall_events,
+            ));
+        }
+        if self.crash.is_active() {
+            s.push_str(&format!(
+                "crash_seed:            {}\ncrashes_injected:      {}\ncheckpoints_taken:     {}\ncheckpoint_bytes:      {}\nrestores:              {}\nreplayed_supersteps:   {}\n",
+                self.crash.seed,
+                self.net.crashes,
+                self.net.checkpoints,
+                self.net.checkpoint_bytes,
+                self.net.restores,
+                self.net.replayed_supersteps,
             ));
         }
         if let Some(summary) = self.trace_summary() {
@@ -260,10 +288,17 @@ impl BenchmarkReport {
             Some(summary) => format!("  \"trace\": {},\n", summary.to_json()),
             None => String::new(),
         };
+        // Same pattern for the crash plan: crash-free reports don't
+        // mention process faults at all.
+        let crash_field = if self.crash.is_active() {
+            format!("  \"crash\": {},\n", self.crash.to_json())
+        } else {
+            String::new()
+        };
         format!(
             "{{\n  \"scale\": {},\n  \"n\": {},\n  \"m\": {},\n  \"ranks\": {},\n  \
              \"construction_time_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"teps\": {},\n  \
-             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"fault\": {},\n{}  \
+             \"net\": {},\n  \"per_rank_net\": [\n{}\n  ],\n  \"fault\": {},\n{}{}  \
              \"wall_time_s\": {},\n  \"threads\": {}\n}}",
             self.scale,
             self.n,
@@ -275,6 +310,7 @@ impl BenchmarkReport {
             self.net.to_json(),
             per_rank.join(",\n"),
             self.fault.to_json(),
+            crash_field,
             trace_field,
             f(self.wall_time_s),
             self.threads
@@ -355,6 +391,9 @@ pub(crate) fn sample_roots(el: &EdgeList, n: u64, seed: u64, count: usize) -> Ve
 type RankOutput = (f64, Vec<(f64, SsspRunStats, ShortestPaths)>);
 
 /// Generic per-partition kernel loop (monomorphised per partition type).
+/// A kernel-level fault escalation (recovery budget exhausted, checkpoint
+/// lost) aborts the remaining roots and propagates as the identical `Err`
+/// on every rank.
 fn run_ranks<P: VertexPartition>(
     ctx: &mut simnet::RankCtx,
     graph: &LocalGraph<P>,
@@ -362,11 +401,11 @@ fn run_ranks<P: VertexPartition>(
     relabel: Option<&SparseHubRelabel>,
     opts: &OptConfig,
     construction_end: f64,
-) -> RankOutput {
+) -> Result<RankOutput, FaultEscalation> {
     let mut per_root = Vec::with_capacity(roots_new.len());
     for (ri, &root) in roots_new.iter().enumerate() {
         ctx.trace_begin(TraceCode::RootRun, ri as u64, root);
-        let (sp, stats) = distributed_delta_stepping(ctx, graph, root, opts);
+        let (sp, stats) = try_distributed_delta_stepping(ctx, graph, root, opts)?;
         let time = ctx.allreduce(stats.sim_time_s, |a, b| if a > b { *a } else { *b });
         let gathered = sp.gather_to_all(ctx, graph.part());
         ctx.trace_end(TraceCode::RootRun, ri as u64, root);
@@ -393,7 +432,7 @@ fn run_ranks<P: VertexPartition>(
             per_root.push((time, stats, translated));
         }
     }
-    (construction_end, per_root)
+    Ok((construction_end, per_root))
 }
 
 /// Apply the configured pool size (best-effort: the pool is process-global
@@ -405,8 +444,21 @@ pub(crate) fn apply_thread_config(requested: usize) -> usize {
     rayon::current_num_threads()
 }
 
-/// Run the full SSSP benchmark (Graph500 kernels 0 + 3).
+/// Run the full SSSP benchmark (Graph500 kernels 0 + 3). Panics on fault
+/// escalation; use [`try_run_sssp_benchmark`] to handle it as a typed
+/// error.
 pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
+    match try_run_sssp_benchmark(cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_sssp_benchmark`] with typed fault escalation: a transport retry
+/// budget blown through, a crash-recovery budget exhausted, or a lost
+/// checkpoint returns `Err` instead of panicking, so drivers (the CLI,
+/// sweep harnesses) can report the failure and exit cleanly.
+pub fn try_run_sssp_benchmark(cfg: &BenchmarkConfig) -> Result<BenchmarkReport, FaultEscalation> {
     let threads = apply_thread_config(cfg.threads);
     let params = KroneckerParams {
         scale: cfg.scale,
@@ -432,7 +484,10 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let roots_ref = &roots;
 
     let machine = Machine::new(cfg.machine);
-    let report = machine.run(move |ctx| {
+    // try_run surfaces transport escalations (panic payloads from the
+    // reliable transport); recovery escalations come back as ordinary
+    // `Err` values in the per-rank results, identical on every rank.
+    let report = machine.try_run(move |ctx| {
         let rank = ctx.rank();
         let (lo, hi) = (rank as u64 * m / p as u64, (rank as u64 + 1) * m / p as u64);
         ctx.trace_begin(TraceCode::Build, hi - lo, 0);
@@ -472,7 +527,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
                 run_ranks(ctx, &g, &roots_new, Some(&relabel), &opts, built)
             }
         }
-    });
+    })?;
 
     // Host-side: validation + statistics from rank 0's gathered results.
     let wall_time_s = report.wall_time_s;
@@ -480,7 +535,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let per_rank_net = report.stats.clone();
     let trace = (!report.traces.is_empty()).then(|| Trace::merge(report.traces));
     let mut results = report.results;
-    let (construction_time_s, per_root) = results.swap_remove(0);
+    let (construction_time_s, per_root) = results.swap_remove(0)?;
 
     let mut runs = Vec::with_capacity(per_root.len());
     for (&root, (time, stats, sp)) in roots.iter().zip(per_root) {
@@ -518,7 +573,7 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
             .collect::<Vec<_>>(),
     );
 
-    BenchmarkReport {
+    Ok(BenchmarkReport {
         scale: cfg.scale,
         n,
         m,
@@ -531,14 +586,19 @@ pub fn run_sssp_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         wall_time_s,
         threads,
         fault: cfg.machine.fault,
+        crash: cfg.machine.crash,
         trace,
-    }
+    })
 }
 
 /// Run the BFS benchmark (Graph500 kernels 0 + 2) with the same harness.
 /// Uses the kernel's hybrid direction optimization; block partitioning
 /// (BFS has no bucket state to balance, and this mirrors the companion
 /// paper's setup at our simulation scale).
+///
+/// BFS carries no checkpoint/restore hooks: a configured [`CrashPlan`] is
+/// inert here (the crash lottery only draws at recovery probe points,
+/// which only the SSSP kernels install).
 pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
     let threads = apply_thread_config(cfg.threads);
     let params = KroneckerParams {
@@ -631,6 +691,7 @@ pub fn run_bfs_benchmark(cfg: &BenchmarkConfig) -> BenchmarkReport {
         wall_time_s,
         threads,
         fault: cfg.machine.fault,
+        crash: cfg.machine.crash,
         trace,
     }
 }
@@ -694,6 +755,49 @@ mod tests {
         assert!(lossy.render().contains("retransmits:"));
         assert!(lossy.to_json().contains("\"retransmits\":"));
         assert!(!clean.render().contains("retransmits:"));
+    }
+
+    #[test]
+    fn crash_run_matches_fault_free_distances() {
+        let mut clean_cfg = BenchmarkConfig::quick(8, 2);
+        clean_cfg.keep_paths = true;
+        let crash_cfg = clean_cfg
+            .clone()
+            .crashes(CrashPlan::random(0xC4A5, 0.002).with_checkpoint_interval(2));
+        let clean = run_sssp_benchmark(&clean_cfg);
+        let crashed = run_sssp_benchmark(&crash_cfg);
+        assert!(crashed.all_validated());
+        assert!(
+            crashed.net.saw_crashes(),
+            "the schedule must actually crash someone: {:?}",
+            crashed.net
+        );
+        for (a, b) in clean.runs.iter().zip(&crashed.runs) {
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.paths, b.paths, "crashes changed distances for {}", a.root);
+        }
+        assert!(crashed.render().contains("crashes_injected:"));
+        assert!(crashed.to_json().contains("\"crash\":"));
+        assert!(!clean.render().contains("crashes_injected:"));
+        assert!(!clean.to_json().contains("\"crash\":"));
+    }
+
+    #[test]
+    fn exhausted_recovery_is_a_typed_error_not_a_panic() {
+        // crash rate 1.0 kills every rank at the first probe: with every
+        // buddy dead too, no checkpoint survives — the driver must get the
+        // typed escalation back, not a panic
+        let cfg = BenchmarkConfig::quick(8, 2).crashes(
+            CrashPlan::random(0xEE, 1.0)
+                .with_recovery_budget(1)
+                .with_checkpoint_interval(2),
+        );
+        match try_run_sssp_benchmark(&cfg) {
+            Err(FaultEscalation::CheckpointLost { .. })
+            | Err(FaultEscalation::RecoveryBudgetExhausted { .. }) => {}
+            Ok(_) => panic!("a total-loss crash schedule cannot produce a report"),
+            Err(e) => panic!("unexpected escalation flavor: {e}"),
+        }
     }
 
     #[test]

@@ -24,11 +24,16 @@ pub mod serving;
 pub mod trace_report;
 
 pub use driver::{
-    run_bfs_benchmark, run_sssp_benchmark, BenchmarkConfig, BenchmarkReport, PartitionStrategy,
-    RootRun,
+    run_bfs_benchmark, run_sssp_benchmark, try_run_sssp_benchmark, BenchmarkConfig,
+    BenchmarkReport, PartitionStrategy, RootRun,
 };
-pub use serving::{run_query_serving_benchmark, synth_queries, ServeBenchConfig, ServeReport};
-pub use simnet::{FaultPlan, Trace, TraceConfig, TraceSummary, TransportError};
+pub use serving::{
+    run_query_serving_benchmark, synth_queries, try_run_query_serving_benchmark, ServeBenchConfig,
+    ServeReport,
+};
+pub use simnet::{
+    CrashPlan, FaultEscalation, FaultPlan, Trace, TraceConfig, TraceSummary, TransportError,
+};
 pub use trace_report::write_chrome_trace;
 
 // Re-export the component crates under stable names.

@@ -14,7 +14,7 @@ use g500_gen::{CounterRng, KroneckerGenerator, KroneckerParams};
 use g500_graph::EdgeList;
 use g500_partition::{assemble_local_graph, Block1D};
 use g500_sssp::{OptConfig, Query, QueryEngine, ServeConfig};
-use simnet::{Machine, MachineConfig, TraceCode};
+use simnet::{CrashPlan, FaultEscalation, Machine, MachineConfig, TraceCode};
 
 /// Everything a serving run needs.
 #[derive(Clone, Debug)]
@@ -42,6 +42,9 @@ pub struct ServeBenchConfig {
     pub source_pool: usize,
     /// Kernel optimization stack for every batch.
     pub opts: OptConfig,
+    /// Per-query latency deadline in virtual seconds (`f64::INFINITY` =
+    /// none); late answers are shed (see [`g500_sssp::serve`]).
+    pub deadline_s: f64,
     /// Worker threads (0 = inherit), as in the batch driver.
     pub threads: usize,
 }
@@ -62,6 +65,7 @@ impl ServeBenchConfig {
             p2p_permille: 500,
             source_pool: 0,
             opts: OptConfig::all_on(),
+            deadline_s: f64::INFINITY,
             threads: 0,
         }
     }
@@ -69,6 +73,15 @@ impl ServeBenchConfig {
     /// Run under the deterministic scheduler (see [`simnet::SchedMode`]).
     pub fn deterministic(mut self, sched_seed: u64) -> Self {
         self.machine = self.machine.deterministic(sched_seed);
+        self
+    }
+
+    /// Inject seeded rank-crash faults (see [`simnet::CrashPlan`]). The
+    /// serving engine degrades rather than dying: windows whose kernel
+    /// exhausts its recovery budget are retried once and then shed, and
+    /// the report counts both.
+    pub fn crashes(mut self, plan: CrashPlan) -> Self {
+        self.machine = self.machine.crashes(plan);
         self
     }
 
@@ -130,6 +143,11 @@ pub struct ServeReport {
     pub early_exits: u64,
     /// Lanes actually run through the kernel.
     pub lanes_run: u64,
+    /// Queries shed (kernel failed twice under crash faults, or the
+    /// answer blew the deadline).
+    pub queries_shed: u64,
+    /// Lane-run queries re-admitted after a crashed window.
+    pub queries_retried: u64,
     /// Kernel supersteps across all batches.
     pub supersteps: u64,
     /// Landmarks precomputed.
@@ -167,7 +185,8 @@ impl ServeReport {
         format!(
             "SCALE:                 {}\nnum_ranks:             {}\nbatch_width:           {}\n\
              queries:               {} ({} p2p)\nbatches:               {}\ncache_hits:            {}\n\
-             early_exits:           {}\nlanes_run:             {}\nsupersteps:            {}\n\
+             early_exits:           {}\nlanes_run:             {}\nqueries_shed:          {}\n\
+             queries_retried:       {}\nsupersteps:            {}\n\
              landmarks:             {}\nserve_time:            {:.6e} s (simulated)\n\
              QPS (simulated):       {:.3}\nlatency_p50:           {:.3} ms\nlatency_p95:           {:.3} ms\n\
              latency_p99:           {:.3} ms\nlatency_max:           {:.3} ms\nhost_threads:          {}\n",
@@ -180,6 +199,8 @@ impl ServeReport {
             self.cache_hits,
             self.early_exits,
             self.lanes_run,
+            self.queries_shed,
+            self.queries_retried,
             self.supersteps,
             self.landmarks,
             self.serve_time_s,
@@ -205,7 +226,8 @@ impl ServeReport {
             "{{\n  \"scale\": {},\n  \"n\": {},\n  \"m\": {},\n  \"ranks\": {},\n  \
              \"batch_width\": {},\n  \"queries\": {},\n  \"p2p_queries\": {},\n  \
              \"batches\": {},\n  \"cache_hits\": {},\n  \"early_exits\": {},\n  \
-             \"lanes_run\": {},\n  \"supersteps\": {},\n  \"landmarks\": {},\n  \
+             \"lanes_run\": {},\n  \"queries_shed\": {},\n  \"queries_retried\": {},\n  \
+             \"supersteps\": {},\n  \"landmarks\": {},\n  \
              \"serve_time_s\": {},\n  \"qps\": {},\n  \"p50_ms\": {},\n  \"p95_ms\": {},\n  \
              \"p99_ms\": {},\n  \"max_ms\": {},\n  \"wall_time_s\": {},\n  \"threads\": {}\n}}",
             self.scale,
@@ -219,6 +241,8 @@ impl ServeReport {
             self.cache_hits,
             self.early_exits,
             self.lanes_run,
+            self.queries_shed,
+            self.queries_retried,
             self.supersteps,
             self.landmarks,
             f(self.serve_time_s),
@@ -234,8 +258,25 @@ impl ServeReport {
 }
 
 /// Run the query-serving benchmark: build the resident graph, precompute
-/// landmarks, serve the synthetic stream, report latency and QPS.
+/// landmarks, serve the synthetic stream, report latency and QPS. Panics
+/// on fault escalation; use [`try_run_query_serving_benchmark`] to handle
+/// it as a typed error.
 pub fn run_query_serving_benchmark(cfg: &ServeBenchConfig) -> ServeReport {
+    match try_run_query_serving_benchmark(cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_query_serving_benchmark`] with typed fault escalation. Under
+/// crash faults the serving loop itself degrades (retry once, then shed —
+/// counted in the report); the only escalations left are a transport
+/// retry budget blown through or a landmark precompute the recovery
+/// budget cannot absorb (there is no query to shed before the stream
+/// starts).
+pub fn try_run_query_serving_benchmark(
+    cfg: &ServeBenchConfig,
+) -> Result<ServeReport, FaultEscalation> {
     let threads = crate::driver::apply_thread_config(cfg.threads);
     let params = KroneckerParams {
         scale: cfg.scale,
@@ -259,10 +300,11 @@ pub fn run_query_serving_benchmark(cfg: &ServeBenchConfig) -> ServeReport {
         num_landmarks: cfg.num_landmarks,
         lru_capacity: cfg.lru_capacity,
         keep_paths: false,
+        deadline_s: cfg.deadline_s,
     };
 
     let machine = Machine::new(cfg.machine);
-    let report = machine.run(move |ctx| {
+    let report = machine.try_run(move |ctx| {
         let rank = ctx.rank();
         let (lo, hi) = (rank as u64 * m / p as u64, (rank as u64 + 1) * m / p as u64);
         ctx.trace_begin(TraceCode::Build, hi - lo, 0);
@@ -272,16 +314,16 @@ pub fn run_query_serving_benchmark(cfg: &ServeBenchConfig) -> ServeReport {
         let g = assemble_local_graph(ctx, mine.iter(), part);
         ctx.trace_end(TraceCode::Build, hi - lo, 0);
 
-        let mut engine = QueryEngine::new(ctx, &g, serve_cfg.clone());
+        let mut engine = QueryEngine::try_new(ctx, &g, serve_cfg.clone())?;
         let t0 = ctx.allreduce(ctx.now(), |a, b| if a > b { *a } else { *b });
         let outcomes = engine.serve(ctx, queries_ref);
         let t1 = ctx.allreduce(ctx.now(), |a, b| if a > b { *a } else { *b });
         let latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_s).collect();
-        (t1 - t0, latencies, engine.stats().clone())
-    });
+        Ok((t1 - t0, latencies, engine.stats().clone()))
+    })?;
 
     let wall_time_s = report.wall_time_s;
-    let (serve_time_s, mut latencies, stats) = report.results.into_iter().next().unwrap();
+    let (serve_time_s, mut latencies, stats) = report.results.into_iter().next().unwrap()?;
     latencies.sort_by(|a, b| a.total_cmp(b));
     let qps = if serve_time_s > 0.0 {
         stats.queries as f64 / serve_time_s
@@ -289,7 +331,7 @@ pub fn run_query_serving_benchmark(cfg: &ServeBenchConfig) -> ServeReport {
         f64::INFINITY
     };
 
-    ServeReport {
+    Ok(ServeReport {
         scale: cfg.scale,
         n,
         m,
@@ -301,6 +343,8 @@ pub fn run_query_serving_benchmark(cfg: &ServeBenchConfig) -> ServeReport {
         cache_hits: stats.cache_hits,
         early_exits: stats.early_exits,
         lanes_run: stats.lanes_run,
+        queries_shed: stats.queries_shed,
+        queries_retried: stats.queries_retried,
         supersteps: stats.supersteps,
         landmarks: cfg.num_landmarks as u64,
         serve_time_s,
@@ -311,7 +355,7 @@ pub fn run_query_serving_benchmark(cfg: &ServeBenchConfig) -> ServeReport {
         max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
         wall_time_s,
         threads,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -373,6 +417,40 @@ mod tests {
             rw.qps,
             rn.qps
         );
+    }
+
+    #[test]
+    fn crashy_serving_run_sheds_and_reports() {
+        // crash rate 1.0 with landmarks off: every window fails twice, so
+        // every query is shed — the run completes with a degradation
+        // report instead of dying
+        let mut cfg = ServeBenchConfig::new(8, 2)
+            .crashes(CrashPlan::random(0xBEEF, 1.0).with_checkpoint_interval(2));
+        cfg.num_queries = 8;
+        cfg.batch_width = 4;
+        cfg.num_landmarks = 0;
+        cfg.lru_capacity = 0;
+        let rep = run_query_serving_benchmark(&cfg);
+        assert_eq!(rep.queries, 8);
+        assert_eq!(rep.queries_shed, 8, "{rep:?}");
+        assert_eq!(rep.queries_retried, 8, "{rep:?}");
+        assert!(rep.render().contains("queries_shed:"));
+        assert!(rep.to_json().contains("\"queries_shed\": 8"));
+    }
+
+    #[test]
+    fn crashed_landmark_precompute_is_a_typed_error() {
+        // with landmarks on, the precompute runs before any query exists
+        // to degrade onto — a hopeless crash schedule surfaces as the
+        // typed escalation, not a panic
+        let cfg = ServeBenchConfig::new(8, 2)
+            .crashes(CrashPlan::random(0xBEEF, 1.0).with_checkpoint_interval(2));
+        match try_run_query_serving_benchmark(&cfg) {
+            Err(FaultEscalation::CheckpointLost { .. })
+            | Err(FaultEscalation::RecoveryBudgetExhausted { .. }) => {}
+            Ok(_) => panic!("precompute cannot survive a total-loss schedule"),
+            Err(e) => panic!("unexpected escalation flavor: {e}"),
+        }
     }
 
     #[test]

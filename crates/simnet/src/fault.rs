@@ -201,6 +201,198 @@ impl Default for FaultPlan {
     }
 }
 
+/// Maximum explicitly scheduled crash windows in a [`CrashPlan`]. A fixed
+/// array keeps the plan `Copy` (it lives inside `MachineConfig`); tests use
+/// forced windows to place crashes precisely, production runs use `rate`.
+pub const MAX_FORCED_CRASHES: usize = 4;
+
+/// Sentinel for an unused forced-crash slot.
+const NO_FORCED: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// A replayable description of *process* faults: seeded rank crashes
+/// recovered through superstep-boundary checkpoints (see
+/// [`crate::recovery`]).
+///
+/// Crash decisions are drawn from a per-rank SplitMix64 stream keyed by
+/// `(seed, rank)` and advanced once per recovery probe (a collectively
+/// consistent point of the superstep loop), so a crash schedule — like the
+/// link-fault schedule — is a pure function of the plan and the program's
+/// probe sequence, independent of host threads and of
+/// [`SchedMode`](crate::sched::SchedMode). The draw counter is *never*
+/// rolled back by a restore: a crash window fires exactly once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashPlan {
+    /// Seed of the per-rank crash lottery.
+    pub seed: u64,
+    /// Probability that a rank dies at any one recovery probe.
+    pub rate: f64,
+    /// Total rank deaths the job will recover from before escalating a
+    /// typed [`FaultEscalation`](crate::recovery::FaultEscalation).
+    pub recovery_budget: u32,
+    /// Supersteps between checkpoints (≥ 1). Smaller means less replay on
+    /// restore, more checkpoint traffic.
+    pub checkpoint_interval: u64,
+    /// Virtual seconds every survivor spends detecting a death (the
+    /// timeout-at-next-collective model).
+    pub detect_timeout_s: f64,
+    /// Extra virtual seconds the respawned rank spends coming back up
+    /// before its checkpoint is re-shipped.
+    pub respawn_s: f64,
+    /// Explicit crash windows as `(rank, probe_index)` pairs; unused slots
+    /// hold `(u32::MAX, u32::MAX)`. Fires in addition to `rate`.
+    pub forced: [(u32, u32); MAX_FORCED_CRASHES],
+}
+
+impl CrashPlan {
+    /// No process faults (the default): ranks are immortal and the
+    /// recovery machinery is compiled out of the hot path.
+    pub fn none() -> Self {
+        CrashPlan {
+            seed: 0,
+            rate: 0.0,
+            recovery_budget: 8,
+            checkpoint_interval: 4,
+            detect_timeout_s: 200.0e-6,
+            respawn_s: 1.0e-3,
+            forced: [NO_FORCED; MAX_FORCED_CRASHES],
+        }
+    }
+
+    /// Seeded random crashes at `rate` per rank per probe.
+    pub fn random(seed: u64, rate: f64) -> Self {
+        CrashPlan {
+            seed,
+            rate,
+            ..Self::none()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style rate override.
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Builder-style recovery-budget override.
+    pub fn with_recovery_budget(mut self, n: u32) -> Self {
+        self.recovery_budget = n;
+        self
+    }
+
+    /// Builder-style checkpoint-interval override.
+    pub fn with_checkpoint_interval(mut self, every: u64) -> Self {
+        self.checkpoint_interval = every.max(1);
+        self
+    }
+
+    /// Schedule an explicit crash of `rank` at probe `probe_index`.
+    /// Panics when all [`MAX_FORCED_CRASHES`] slots are taken.
+    pub fn with_forced(mut self, rank: u32, probe_index: u32) -> Self {
+        let slot = self
+            .forced
+            .iter()
+            .position(|&w| w == NO_FORCED)
+            .expect("too many forced crash windows");
+        self.forced[slot] = (rank, probe_index);
+        self
+    }
+
+    /// True when any crash source is enabled.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 || self.forced.iter().any(|&w| w != NO_FORCED)
+    }
+
+    /// Validate the plan (CLI plumbing aid).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.rate) || !self.rate.is_finite() {
+            return Err(format!("crash rate {} is not in [0, 1]", self.rate));
+        }
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint interval must be >= 1".into());
+        }
+        for (name, s) in [
+            ("detect_timeout_s", self.detect_timeout_s),
+            ("respawn_s", self.respawn_s),
+        ] {
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!("{name} = {s} must be finite and >= 0"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render as a JSON object (hand-rolled, all fields numeric).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seed\":{},\"rate\":{},\"recovery_budget\":{},\"checkpoint_interval\":{},\
+             \"detect_timeout_s\":{},\"respawn_s\":{}}}",
+            self.seed,
+            crate::stats::json_f64(self.rate),
+            self.recovery_budget,
+            self.checkpoint_interval,
+            crate::stats::json_f64(self.detect_timeout_s),
+            crate::stats::json_f64(self.respawn_s),
+        )
+    }
+}
+
+impl Default for CrashPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// One rank's crash lottery: a monotone stream of Bernoulli draws, one per
+/// recovery probe. Pure function of `(plan.seed, rank, draw index)`; the
+/// draw index only ever advances (restores do not rewind it), so a crash
+/// window fires exactly once and the schedule is identical under any
+/// scheduler mode or thread count.
+#[derive(Clone, Debug)]
+pub struct CrashLottery {
+    rng: LinkRng,
+    rate: f64,
+    forced: [(u32, u32); MAX_FORCED_CRASHES],
+    rank: u32,
+    draws: u64,
+}
+
+impl CrashLottery {
+    /// Build rank `rank`'s lottery under `plan`.
+    pub fn for_rank(plan: &CrashPlan, rank: usize) -> Self {
+        CrashLottery {
+            rng: LinkRng::for_link(plan.seed ^ 0x4352_5348, rank, rank), // "CRSH"
+            rate: plan.rate,
+            forced: plan.forced,
+            rank: rank as u32,
+            draws: 0,
+        }
+    }
+
+    /// Draw the next probe: does this rank die here? Always advances the
+    /// stream, so forced windows never shift the random schedule.
+    pub fn crash_now(&mut self) -> bool {
+        let window = self.draws;
+        self.draws += 1;
+        let random = self.rng.coin(self.rate);
+        let forced = self
+            .forced
+            .iter()
+            .any(|&(r, w)| r == self.rank && w as u64 == window);
+        random || forced
+    }
+
+    /// Probes drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
 /// The per-link fault lottery: one SplitMix64 stream per ordered `(src,
 /// dst)` pair, owned and advanced exclusively by the sending rank — the
 /// property that makes fault schedules independent of execution
@@ -380,6 +572,61 @@ mod tests {
             let fb = FrameFate::draw(&mut rb, &plan_b);
             assert_eq!(fa.drop, fb.drop, "drop schedule must not shift");
             assert_eq!(fa.ack_drop, fb.ack_drop);
+        }
+    }
+
+    #[test]
+    fn crash_plan_inactive_by_default() {
+        assert!(!CrashPlan::none().is_active());
+        assert!(CrashPlan::none().validate().is_ok());
+        assert!(CrashPlan::random(1, 0.1).is_active());
+        assert!(CrashPlan::none().with_forced(2, 5).is_active());
+    }
+
+    #[test]
+    fn crash_plan_validation() {
+        assert!(CrashPlan::random(1, 1.5).validate().is_err());
+        assert!(CrashPlan::random(1, f64::NAN).validate().is_err());
+        let mut p = CrashPlan::none();
+        p.checkpoint_interval = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn crash_lottery_replays_and_is_per_rank() {
+        let plan = CrashPlan::random(42, 0.25);
+        let draw = |rank: usize| -> Vec<bool> {
+            let mut l = CrashLottery::for_rank(&plan, rank);
+            (0..64).map(|_| l.crash_now()).collect()
+        };
+        assert_eq!(draw(0), draw(0), "same rank must replay");
+        assert_ne!(draw(0), draw(1), "ranks draw independent streams");
+    }
+
+    #[test]
+    fn forced_windows_fire_exactly_once_without_shifting_randoms() {
+        let base = CrashPlan::random(7, 0.2);
+        let forced = base.with_forced(3, 10);
+        let random_only: Vec<bool> = {
+            let mut l = CrashLottery::for_rank(&base, 3);
+            (0..32).map(|_| l.crash_now()).collect()
+        };
+        let with_forced: Vec<bool> = {
+            let mut l = CrashLottery::for_rank(&forced, 3);
+            (0..32).map(|_| l.crash_now()).collect()
+        };
+        for (i, (a, b)) in random_only.iter().zip(&with_forced).enumerate() {
+            if i == 10 {
+                assert!(*b, "forced window must fire");
+            } else {
+                assert_eq!(a, b, "window {i}: forcing must not shift the stream");
+            }
+        }
+        // another rank is untouched
+        let mut l = CrashLottery::for_rank(&forced, 2);
+        let mut m = CrashLottery::for_rank(&base, 2);
+        for _ in 0..32 {
+            assert_eq!(l.crash_now(), m.crash_now());
         }
     }
 

@@ -43,6 +43,7 @@ pub mod cost;
 pub mod fault;
 pub mod machine;
 pub mod rank;
+pub mod recovery;
 pub mod sched;
 pub mod stats;
 pub mod subcomm;
@@ -51,9 +52,10 @@ pub mod transport;
 pub mod wire;
 
 pub use cost::{ComputeModel, LogGP, Topology};
-pub use fault::FaultPlan;
+pub use fault::{CrashPlan, FaultPlan};
 pub use machine::{Machine, MachineConfig, SimReport};
 pub use rank::{RankCtx, Tag};
+pub use recovery::{Checkpoint, FaultEscalation, Recovery};
 pub use sched::SchedMode;
 pub use stats::NetStats;
 pub use subcomm::SubComm;

@@ -1,8 +1,9 @@
 //! Machine construction and SPMD launch.
 
 use crate::cost::{ComputeModel, LogGP, Topology};
-use crate::fault::FaultPlan;
+use crate::fault::{CrashPlan, FaultPlan};
 use crate::rank::{Envelope, RankCtx, Tag, Transport};
+use crate::recovery::FaultEscalation;
 use crate::sched::{SchedCore, SchedMode};
 use crate::stats::NetStats;
 use crate::trace::{TraceBuf, TraceConfig};
@@ -25,6 +26,10 @@ pub struct MachineConfig {
     /// Seeded lossy-network fault injection; [`FaultPlan::none`] (the
     /// default) is a perfect network and bypasses the reliable transport.
     pub fault: FaultPlan,
+    /// Seeded process-crash injection with checkpoint/restart recovery;
+    /// [`CrashPlan::none`] (the default) takes no checkpoints and draws no
+    /// crash lotteries.
+    pub crash: CrashPlan,
     /// Virtual-time tracing; [`TraceConfig::off`] (the default) records
     /// nothing and costs a `None` branch per instrumentation site.
     pub trace: TraceConfig,
@@ -46,6 +51,7 @@ impl MachineConfig {
             compute: ComputeModel::default(),
             sched: SchedMode::Threads,
             fault: FaultPlan::none(),
+            crash: CrashPlan::none(),
             trace: TraceConfig::off(),
             debug_checks: true,
         }
@@ -90,6 +96,17 @@ impl MachineConfig {
             panic!("invalid fault plan: {e}");
         }
         self.fault = plan;
+        self
+    }
+
+    /// Builder-style crash-injection override. Panics on an invalid plan
+    /// (rate outside `[0, 1]`, zero checkpoint interval) — misconfigured
+    /// crash plumbing should fail at machine construction, not mid-run.
+    pub fn crashes(mut self, plan: CrashPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid crash plan: {e}");
+        }
+        self.crash = plan;
         self
     }
 
@@ -165,11 +182,37 @@ impl Machine {
     /// its own [`RankCtx`]. Returns when every rank's closure returns.
     ///
     /// A panic on any rank propagates out of `run` (with the rank id in the
-    /// message), mirroring a fail-stop job abort. Under
-    /// [`SchedMode::Deterministic`] a deadlocked job aborts immediately
-    /// with the wait-for list instead of hanging, and (with
+    /// message), mirroring a fail-stop job abort; a typed
+    /// [`FaultEscalation`] raised inside the simulation is re-panicked with
+    /// its `Display` text so the diagnosable message survives. Use
+    /// [`Machine::try_run`] to receive the escalation as an `Err` instead.
+    /// Under [`SchedMode::Deterministic`] a deadlocked job aborts
+    /// immediately with the wait-for list instead of hanging, and (with
     /// `debug_checks`) leftover undelivered messages fail the run.
     pub fn run<R, F>(&self, f: F) -> SimReport<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        match self.run_inner(f) {
+            Ok(report) => report,
+            Err((rank, e)) => panic!("rank {rank} panicked: {e}"),
+        }
+    }
+
+    /// Like [`Machine::run`], but a [`FaultEscalation`] raised on any rank
+    /// (transport retry-budget exhaustion, recovery-budget exhaustion, a
+    /// lost checkpoint) comes back as `Err` instead of a panic, so drivers
+    /// can degrade gracefully. Non-escalation panics still propagate.
+    pub fn try_run<R, F>(&self, f: F) -> Result<SimReport<R>, FaultEscalation>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        self.run_inner(f).map_err(|(_, e)| e)
+    }
+
+    fn run_inner<R, F>(&self, f: F) -> Result<SimReport<R>, (usize, FaultEscalation)>
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
@@ -189,7 +232,17 @@ impl Machine {
         };
         let abort = Arc::new(AtomicBool::new(false));
 
-        let outcome: Vec<RankOutcome<R>> = std::thread::scope(|scope| {
+        // Per-rank join result: the outcome, a typed escalation, or an
+        // opaque panic message. Collected (not short-circuited) because the
+        // rank carrying the typed payload is not necessarily rank 0 — its
+        // peers die with abort-flag string panics that must not shadow it.
+        enum Joined<R> {
+            Done(RankOutcome<R>),
+            Escalated(FaultEscalation),
+            Panicked(String),
+        }
+
+        let joined: Vec<Joined<R>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for rank in 0..p {
                 let transport = match &core {
@@ -238,21 +291,42 @@ impl Machine {
             }
             handles
                 .into_iter()
-                .enumerate()
-                .map(|(rank, h)| {
-                    h.join().unwrap_or_else(|payload| {
-                        // surface the original panic text so job aborts
-                        // are debuggable from the top-level message
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic payload>".into());
-                        panic!("rank {rank} panicked: {msg}")
-                    })
+                .map(|h| match h.join() {
+                    Ok(outcome) => Joined::Done(outcome),
+                    Err(payload) => match payload.downcast_ref::<FaultEscalation>() {
+                        Some(e) => Joined::Escalated(e.clone()),
+                        None => {
+                            // surface the original panic text so job aborts
+                            // are debuggable from the top-level message
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic payload>".into());
+                            Joined::Panicked(msg)
+                        }
+                    },
                 })
                 .collect()
         });
+
+        // A typed escalation wins over the collateral string panics of the
+        // peers it aborted; it also skips the orphan check — an aborted job
+        // legitimately leaves messages in flight.
+        for (rank, j) in joined.iter().enumerate() {
+            if let Joined::Escalated(e) = j {
+                return Err((rank, e.clone()));
+            }
+        }
+        let outcome: Vec<RankOutcome<R>> = joined
+            .into_iter()
+            .enumerate()
+            .map(|(rank, j)| match j {
+                Joined::Done(o) => o,
+                Joined::Panicked(msg) => panic!("rank {rank} panicked: {msg}"),
+                Joined::Escalated(_) => unreachable!("escalations returned above"),
+            })
+            .collect();
 
         if self.cfg.debug_checks {
             // Orphan detection: a finished job must have consumed every
@@ -295,13 +369,13 @@ impl Machine {
             }
             sim_time_s = sim_time_s.max(now);
         }
-        SimReport {
+        Ok(SimReport {
             results,
             stats,
             sim_time_s,
             wall_time_s: start.elapsed().as_secs_f64(),
             traces,
-        }
+        })
     }
 }
 
@@ -591,6 +665,40 @@ mod tests {
     #[should_panic(expected = "invalid fault plan")]
     fn invalid_fault_plan_rejected_at_construction() {
         let _ = MachineConfig::with_ranks(2).faults(crate::fault::FaultPlan::none().with_drop(2.0));
+    }
+
+    #[test]
+    fn try_run_returns_typed_transport_escalation() {
+        // same scenario as retry_budget_exhaustion_fails_stop, but via
+        // try_run: the escalation arrives as a typed Err, not a panic
+        let plan = crate::fault::FaultPlan::lossy(1, 1.0, 0.0, 0.0).with_retry_budget(3);
+        let res = Machine::new(MachineConfig::with_ranks(2).faults(plan)).try_run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_one(1, 5, 7u64);
+            } else {
+                let _: u64 = ctx.recv_one(0, 5);
+            }
+        });
+        match res {
+            Err(FaultEscalation::Transport(e)) => {
+                assert!(format!("{e}").contains("retry budget exhausted on link"));
+            }
+            Err(other) => panic!("wrong escalation: {other:?}"),
+            Ok(_) => panic!("a 100% drop rate cannot succeed"),
+        }
+    }
+
+    #[test]
+    fn try_run_succeeds_on_clean_network() {
+        let res = Machine::new(MachineConfig::with_ranks(2)).try_run(|ctx| ctx.rank());
+        assert_eq!(res.unwrap().results, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid crash plan")]
+    fn invalid_crash_plan_rejected_at_construction() {
+        let _ =
+            MachineConfig::with_ranks(2).crashes(crate::fault::CrashPlan::none().with_rate(1.5));
     }
 
     #[test]

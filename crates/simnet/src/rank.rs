@@ -14,7 +14,9 @@
 //! [`SchedMode::Deterministic`]: crate::sched::SchedMode::Deterministic
 
 use crate::cost::{ComputeModel, LogGP, Topology};
+use crate::fault::CrashPlan;
 use crate::machine::MachineConfig;
+use crate::recovery::{CrashState, FaultEscalation};
 use crate::sched::{splitmix64, SchedCore};
 use crate::stats::NetStats;
 use crate::trace::{TraceBuf, TraceCode, TraceKind};
@@ -93,6 +95,13 @@ pub struct RankCtx {
     /// machine pays zero overhead and keeps the historical lossless byte
     /// accounting bit-for-bit.
     reliable: Option<Box<SenderTransport>>,
+    /// Crash-fault state (lottery, restore budget, recovery tag space);
+    /// `Some` only when the machine's [`CrashPlan`] is active. It lives
+    /// here rather than in [`crate::recovery::Recovery`] because it must
+    /// outlive individual kernel runs: the lottery's draw stream and the
+    /// job-wide restore budget are monotone across every kernel a rank
+    /// executes.
+    crash: Option<Box<CrashState>>,
     /// Trace buffer; `Some` only when the machine's
     /// [`TraceConfig`](crate::trace::TraceConfig) is enabled, so an
     /// untraced run pays a `None` branch per instrumentation site and
@@ -128,6 +137,10 @@ impl RankCtx {
                 .fault
                 .is_active()
                 .then(|| Box::new(SenderTransport::new(cfg.fault, rank, size))),
+            crash: cfg
+                .crash
+                .is_active()
+                .then(|| Box::new(CrashState::new(cfg.crash, rank))),
             trace: cfg.trace.enabled.then(|| Box::new(TraceBuf::new(rank))),
         }
     }
@@ -177,6 +190,18 @@ impl RankCtx {
     /// Snapshot of the traffic counters so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Record `n` queries shed by a serving layer (degraded answers after
+    /// recovery failure or a blown deadline) into this rank's counters.
+    pub fn count_queries_shed(&mut self, n: u64) {
+        self.stats.queries_shed += n;
+    }
+
+    /// Record `n` queries retried after a crashed admission window was
+    /// re-run from its last checkpoint.
+    pub fn count_queries_retried(&mut self, n: u64) {
+        self.stats.queries_retried += n;
     }
 
     /// True when this run records trace events. Instrumentation sites that
@@ -271,6 +296,58 @@ impl RankCtx {
         self.stats.compute_s += dt;
     }
 
+    /// Charge simulated seconds of *waiting* (failure-detection timeouts,
+    /// respawn delays): advances the clock against the communication
+    /// bucket, like a blocked receive.
+    pub(crate) fn charge_wait(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.now += dt;
+        self.stats.comm_s += dt;
+    }
+
+    /// Mutable counter access for the recovery machinery.
+    pub(crate) fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// The machine's checkpoint interval, `None` when crash faults are off
+    /// (the recovery layer's activation switch).
+    pub(crate) fn crash_interval(&self) -> Option<u64> {
+        self.crash.as_ref().map(|c| c.plan.checkpoint_interval)
+    }
+
+    /// The active crash plan (call only when crash faults are on).
+    pub(crate) fn crash_plan(&self) -> CrashPlan {
+        self.crash.as_ref().expect("crash plan active").plan
+    }
+
+    /// Draw this rank's crash lottery for one recovery probe.
+    pub(crate) fn crash_draw(&mut self) -> bool {
+        self.crash
+            .as_mut()
+            .expect("crash plan active")
+            .lottery
+            .crash_now()
+    }
+
+    /// Account `n` freshly agreed crashes against the job-wide restore
+    /// budget; returns the new total. Called with the identical `n` at the
+    /// identical point on every rank, so the total agrees globally.
+    pub(crate) fn add_restores(&mut self, n: u32) -> u32 {
+        let c = self.crash.as_mut().expect("crash plan active");
+        c.restores_used += n;
+        c.restores_used
+    }
+
+    /// Allocate the next recovery-traffic tag sequence number (globally
+    /// agreed: bumped only at collectively consistent points).
+    pub(crate) fn next_recovery_seq(&mut self) -> u64 {
+        let c = self.crash.as_mut().expect("crash plan active");
+        let s = c.recovery_seq;
+        c.recovery_seq += 1;
+        s
+    }
+
     pub(crate) fn send_bytes_class(
         &mut self,
         dest: usize,
@@ -320,9 +397,16 @@ impl RankCtx {
                     stats: &mut self.stats,
                     trace: self.trace.as_deref_mut(),
                 };
-                rel.deliver(dest, tag, &payload, &mut io, |frame_len| {
+                match rel.deliver(dest, tag, &payload, &mut io, |frame_len| {
                     loggp.transit(frame_len, hops)
-                })
+                }) {
+                    Ok(arrive) => arrive,
+                    // Typed escalation: carried out of arbitrarily deep
+                    // send paths (collectives, subcomms, exchanges) as a
+                    // panic payload, caught and downcast by
+                    // `Machine::try_run` into a structured `Err`.
+                    Err(e) => std::panic::panic_any(FaultEscalation::Transport(e)),
+                }
             }
         };
         let env = Envelope {

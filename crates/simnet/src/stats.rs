@@ -41,6 +41,22 @@ pub struct NetStats {
     pub stall_events: u64,
     /// Virtual seconds lost to injected rank stalls.
     pub stall_s: f64,
+    /// Injected process crashes this rank suffered (crash injection).
+    pub crashes: u64,
+    /// Superstep-boundary checkpoints this rank took.
+    pub checkpoints: u64,
+    /// Bytes of checkpoint state written (local snapshot, before buddy
+    /// replication doubles the traffic).
+    pub checkpoint_bytes: u64,
+    /// Rollbacks to the last checkpoint this rank performed.
+    pub restores: u64,
+    /// Supersteps re-executed during restore-and-replay.
+    pub replayed_supersteps: u64,
+    /// Queries the serving layer shed after failed recovery or a blown
+    /// deadline.
+    pub queries_shed: u64,
+    /// Query admission windows the serving layer retried from checkpoint.
+    pub queries_retried: u64,
 }
 
 impl NetStats {
@@ -62,7 +78,9 @@ impl NetStats {
              \"barriers\":{},\"collectives\":{},\"compute_s\":{},\"comm_s\":{},\
              \"retransmits\":{},\"timeouts\":{},\"dup_frames_dropped\":{},\
              \"corrupt_frames\":{},\"reordered_frames\":{},\"stall_events\":{},\
-             \"stall_s\":{}}}",
+             \"stall_s\":{},\"crashes\":{},\"checkpoints\":{},\
+             \"checkpoint_bytes\":{},\"restores\":{},\"replayed_supersteps\":{},\
+             \"queries_shed\":{},\"queries_retried\":{}}}",
             self.user_msgs,
             self.user_bytes,
             self.coll_msgs,
@@ -78,6 +96,13 @@ impl NetStats {
             self.reordered_frames,
             self.stall_events,
             crate::stats::json_f64(self.stall_s),
+            self.crashes,
+            self.checkpoints,
+            self.checkpoint_bytes,
+            self.restores,
+            self.replayed_supersteps,
+            self.queries_shed,
+            self.queries_retried,
         )
     }
 
@@ -98,6 +123,13 @@ impl NetStats {
         self.reordered_frames += other.reordered_frames;
         self.stall_events += other.stall_events;
         self.stall_s += other.stall_s;
+        self.crashes += other.crashes;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.restores += other.restores;
+        self.replayed_supersteps += other.replayed_supersteps;
+        self.queries_shed += other.queries_shed;
+        self.queries_retried += other.queries_retried;
     }
 
     /// True when any fault-injection / reliable-transport counter is
@@ -109,6 +141,16 @@ impl NetStats {
             || self.corrupt_frames != 0
             || self.reordered_frames != 0
             || self.stall_events != 0
+    }
+
+    /// True when any crash-injection / recovery counter is nonzero — i.e.
+    /// the run actually exercised checkpoint/restart.
+    pub fn saw_crashes(&self) -> bool {
+        self.crashes != 0
+            || self.restores != 0
+            || self.replayed_supersteps != 0
+            || self.queries_shed != 0
+            || self.queries_retried != 0
     }
 }
 
@@ -153,6 +195,13 @@ mod tests {
             reordered_frames: 9,
             stall_events: 2,
             stall_s: 0.125,
+            crashes: 1,
+            checkpoints: 11,
+            checkpoint_bytes: 1024,
+            restores: 2,
+            replayed_supersteps: 13,
+            queries_shed: 3,
+            queries_retried: 4,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -167,8 +216,17 @@ mod tests {
         assert_eq!(b.reordered_frames, 18);
         assert_eq!(b.stall_events, 4);
         assert!((b.stall_s - 0.25).abs() < 1e-12);
+        assert_eq!(b.crashes, 2);
+        assert_eq!(b.checkpoints, 22);
+        assert_eq!(b.checkpoint_bytes, 2048);
+        assert_eq!(b.restores, 4);
+        assert_eq!(b.replayed_supersteps, 26);
+        assert_eq!(b.queries_shed, 6);
+        assert_eq!(b.queries_retried, 8);
         assert!(b.saw_faults());
+        assert!(b.saw_crashes());
         assert!(!NetStats::default().saw_faults());
+        assert!(!NetStats::default().saw_crashes());
     }
 
     #[test]
@@ -182,6 +240,9 @@ mod tests {
         assert!(j.contains("\"retransmits\":3"), "{j}");
         assert!(j.contains("\"corrupt_frames\":1"), "{j}");
         assert!(j.contains("\"stall_s\":0"), "{j}");
+        assert!(j.contains("\"crashes\":0"), "{j}");
+        assert!(j.contains("\"checkpoint_bytes\":0"), "{j}");
+        assert!(j.contains("\"queries_shed\":0"), "{j}");
     }
 
     #[test]

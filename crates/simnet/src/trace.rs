@@ -110,6 +110,16 @@ pub enum TraceCode {
     /// One admission-windowed query batch through the serving engine
     /// (span; `a` = batch ordinal, `b` = lane width).
     QueryBatch = 15,
+    /// One superstep-boundary checkpoint write (span; `a` = snapshot bytes,
+    /// `b` = checkpoint epoch).
+    CheckpointWrite = 16,
+    /// One rollback to the last checkpoint after an agreed crash verdict
+    /// (span; `a` = crashed-rank count, `b` = checkpoint epoch restored to).
+    Restore = 17,
+    /// Re-execution of supersteps lost to a rollback, from the restored
+    /// epoch until the pre-crash epoch is re-reached (span; `a` = restored
+    /// epoch, `b` = epoch being replayed toward).
+    Replay = 18,
     /// Edge relaxations performed this superstep (counter).
     Relaxations = 100,
     /// Vertices settled so far in the current bucket (counter).
@@ -145,6 +155,10 @@ pub enum TraceCode {
     /// One point-to-point lane retired early (counter; `a` = query
     /// ordinal, `b` = bucket epoch at retirement).
     QueryRetired = 112,
+    /// One query shed by the serving engine after recovery failed or a
+    /// deadline blew (counter; `a` = query ordinal, `b` = 0 kernel
+    /// failure / 1 deadline).
+    QueryShed = 113,
 }
 
 /// All codes, in declaration order (used by decoding and the summary).
@@ -165,6 +179,9 @@ const ALL_CODES: &[TraceCode] = &[
     TraceCode::Exscan,
     TraceCode::ReduceScatter,
     TraceCode::QueryBatch,
+    TraceCode::CheckpointWrite,
+    TraceCode::Restore,
+    TraceCode::Replay,
     TraceCode::Relaxations,
     TraceCode::Settled,
     TraceCode::UpdatesSent,
@@ -178,6 +195,7 @@ const ALL_CODES: &[TraceCode] = &[
     TraceCode::BucketComm,
     TraceCode::QueryAdmitted,
     TraceCode::QueryRetired,
+    TraceCode::QueryShed,
 ];
 
 impl TraceCode {
@@ -200,6 +218,9 @@ impl TraceCode {
             TraceCode::Exscan => "exscan",
             TraceCode::ReduceScatter => "reduce-scatter",
             TraceCode::QueryBatch => "query-batch",
+            TraceCode::CheckpointWrite => "checkpoint-write",
+            TraceCode::Restore => "restore",
+            TraceCode::Replay => "replay",
             TraceCode::Relaxations => "relaxations",
             TraceCode::Settled => "settled",
             TraceCode::UpdatesSent => "updates-sent",
@@ -213,6 +234,7 @@ impl TraceCode {
             TraceCode::BucketComm => "bucket-comm",
             TraceCode::QueryAdmitted => "query-admitted",
             TraceCode::QueryRetired => "query-retired",
+            TraceCode::QueryShed => "query-shed",
         }
     }
 

@@ -30,10 +30,13 @@
 //! lossy networks.
 //!
 //! When the budget of [`FaultPlan::retry_budget`] retransmissions is
-//! exhausted the transport escalates to a diagnosable fail-stop: a panic
-//! carrying [`TransportError::RetryBudgetExhausted`] naming the link,
-//! frame sequence number, and retry count, which `Machine::run` propagates
-//! as a job abort (no hang, under either scheduler).
+//! exhausted the transport escalates a typed
+//! [`TransportError::RetryBudgetExhausted`] naming the link, frame
+//! sequence number, and retry count. The send path wraps it in a
+//! [`FaultEscalation`](crate::recovery::FaultEscalation) panic payload
+//! that `Machine::try_run` surfaces as a structured `Err` (and
+//! `Machine::run` re-raises with the historical diagnosable message), so
+//! the job fail-stops without a hang under either scheduler.
 //!
 //! [`RankCtx::send_bytes`]: crate::rank::RankCtx::send_bytes
 //! [`SchedMode`]: crate::sched::SchedMode
@@ -271,9 +274,11 @@ impl Reassembler {
 
 // ---- structured failure ----
 
-/// A structured, diagnosable transport failure. Escalated as a rank panic
-/// (the runtime's fail-stop discipline), so the `Display` text is what
-/// surfaces in the job-abort message and in `should_panic` tests.
+/// A structured, diagnosable transport failure. Escalated as a
+/// [`FaultEscalation`](crate::recovery::FaultEscalation) through
+/// `Machine::try_run`; `Machine::run` re-raises it as a job-abort panic
+/// whose message embeds the `Display` text (what `should_panic` tests and
+/// operators see).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransportError {
     /// A frame could not be delivered within the retry budget.
@@ -390,8 +395,10 @@ impl SenderTransport {
     /// and (when tracing) records a timeout/retransmit event per counter
     /// bump. `transit(frame_bytes)` prices one frame's flight.
     ///
-    /// Panics with a [`TransportError::RetryBudgetExhausted`] fail-stop
-    /// once any single frame fails `retry_budget + 1` attempts.
+    /// Returns a typed [`TransportError::RetryBudgetExhausted`] once any
+    /// single frame fails `retry_budget + 1` attempts; the caller decides
+    /// how to escalate (the rank send path raises it as a
+    /// [`FaultEscalation`](crate::recovery::FaultEscalation) panic payload).
     pub(crate) fn deliver(
         &mut self,
         dst: usize,
@@ -399,7 +406,7 @@ impl SenderTransport {
         payload: &[u8],
         io: &mut TransportIo<'_>,
         transit: impl Fn(usize) -> f64,
-    ) -> f64 {
+    ) -> Result<f64, TransportError> {
         let now = &mut *io.now;
         let stats = &mut *io.stats;
         let mut trace = io.trace.as_deref_mut();
@@ -485,16 +492,13 @@ impl SenderTransport {
                     );
                 }
                 if attempt > plan.retry_budget {
-                    panic!(
-                        "{}",
-                        TransportError::RetryBudgetExhausted {
-                            src,
-                            dst,
-                            tag,
-                            seq: start_seq + i,
-                            retries: attempt - 1,
-                        }
-                    );
+                    return Err(TransportError::RetryBudgetExhausted {
+                        src,
+                        dst,
+                        tag,
+                        seq: start_seq + i,
+                        retries: attempt - 1,
+                    });
                 }
                 stats.retransmits += 1;
                 *now += rto;
@@ -520,7 +524,7 @@ impl SenderTransport {
         );
         self.seqs.insert((dst, tag), start_seq + nframes);
         // arrival can never precede the send completing
-        arrive_msg.max(*now)
+        Ok(arrive_msg.max(*now))
     }
 }
 

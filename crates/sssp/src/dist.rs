@@ -28,6 +28,7 @@ use crate::exchange::{exchange_into, ExchangeBufs};
 use g500_graph::{VertexId, Weight};
 use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
 use rayon::prelude::*;
+use simnet::recovery::{codec, Checkpoint, FaultEscalation, Recovery};
 use simnet::{RankCtx, TraceCode};
 use std::collections::HashMap;
 
@@ -133,6 +134,94 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// Append a length-prefixed `Weight` slice as raw bit patterns (exact:
+/// infinities and the bitwise identity of every distance survive).
+pub(crate) fn put_weight_slice(out: &mut Vec<u8>, xs: &[Weight]) {
+    codec::put_u64(out, xs.len() as u64);
+    for &x in xs {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+/// Read a length-prefixed `Weight` vector written by [`put_weight_slice`].
+pub(crate) fn get_weight_vec(buf: &[u8], pos: &mut usize) -> Vec<Weight> {
+    let n = codec::get_u64(buf, pos) as usize;
+    (0..n)
+        .map(|_| {
+            let x = u32::from_le_bytes(
+                buf[*pos..*pos + 4]
+                    .try_into()
+                    .expect("checkpoint truncated"),
+            );
+            *pos += 4;
+            Weight::from_bits(x)
+        })
+        .collect()
+}
+
+/// Append a distance/parent pair to a checkpoint.
+pub(crate) fn save_paths(sp: &DistShortestPaths, out: &mut Vec<u8>) {
+    put_weight_slice(out, &sp.dist);
+    codec::put_u64_slice(out, &sp.parent);
+}
+
+/// Restore a distance/parent pair from a checkpoint.
+pub(crate) fn load_paths(sp: &mut DistShortestPaths, buf: &[u8], pos: &mut usize) {
+    sp.dist = get_weight_vec(buf, pos);
+    sp.parent = codec::get_u64_vec(buf, pos);
+}
+
+impl SsspRunStats {
+    /// Append to a checkpoint. Time fields are included so rollback is
+    /// exact, even though crash runs legitimately report different virtual
+    /// times than fault-free runs.
+    pub(crate) fn save_ckpt(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.supersteps);
+        codec::put_u64(out, self.buckets);
+        codec::put_u64(out, self.relaxations);
+        codec::put_u64(out, self.updates_sent);
+        codec::put_u64(out, self.updates_offered);
+        codec::put_u64(out, self.push_iterations);
+        codec::put_u64(out, self.pull_iterations);
+        codec::put_u64(out, self.tail_fused as u64);
+        codec::put_f64(out, self.sim_time_s);
+        codec::put_f64(out, self.compute_s);
+        codec::put_f64(out, self.comm_s);
+        codec::put_u64(out, self.phases.len() as u64);
+        for p in &self.phases {
+            codec::put_u64(out, p.bucket);
+            codec::put_u64(out, p.frontier);
+            codec::put_f64(out, p.compute_s);
+            codec::put_f64(out, p.comm_s);
+        }
+    }
+
+    /// Restore from a checkpoint written by
+    /// [`save_ckpt`](SsspRunStats::save_ckpt).
+    pub(crate) fn load_ckpt(&mut self, buf: &[u8], pos: &mut usize) {
+        self.supersteps = codec::get_u64(buf, pos);
+        self.buckets = codec::get_u64(buf, pos);
+        self.relaxations = codec::get_u64(buf, pos);
+        self.updates_sent = codec::get_u64(buf, pos);
+        self.updates_offered = codec::get_u64(buf, pos);
+        self.push_iterations = codec::get_u64(buf, pos);
+        self.pull_iterations = codec::get_u64(buf, pos);
+        self.tail_fused = codec::get_u64(buf, pos) != 0;
+        self.sim_time_s = codec::get_f64(buf, pos);
+        self.compute_s = codec::get_f64(buf, pos);
+        self.comm_s = codec::get_f64(buf, pos);
+        let n = codec::get_u64(buf, pos) as usize;
+        self.phases = (0..n)
+            .map(|_| PhaseRecord {
+                bucket: codec::get_u64(buf, pos),
+                frontier: codec::get_u64(buf, pos),
+                compute_s: codec::get_f64(buf, pos),
+                comm_s: codec::get_f64(buf, pos),
+            })
+            .collect();
+    }
+}
+
 /// Working state threaded through the phases.
 struct Kernel<'a, P: VertexPartition> {
     graph: &'a LocalGraph<P>,
@@ -162,15 +251,72 @@ struct Kernel<'a, P: VertexPartition> {
     heavy_scratch: Vec<HeavyScan>,
 }
 
+/// Borrow of the kernel's mutable state for checkpoint/restore. Everything
+/// live across a superstep boundary is here; the scratch arenas (`xbufs`,
+/// `pull_scratch`, `heavy_scratch`) are excluded on purpose — they are
+/// fully overwritten before being read in every superstep.
+struct KernelState<'a, 'g, P: VertexPartition>(&'a mut Kernel<'g, P>);
+
+impl<P: VertexPartition> Checkpoint for KernelState<'_, '_, P> {
+    fn save(&self, out: &mut Vec<u8>) {
+        let k = &*self.0;
+        save_paths(&k.sp, out);
+        k.buckets.save(out);
+        codec::put_u64_slice(out, &k.frontier_seen);
+        codec::put_u64(out, k.frontier_epoch);
+        codec::put_u64_slice(out, &k.settled_seen);
+        codec::put_u64(out, k.settled_epoch);
+        codec::put_u64(out, k.unsettled_arcs);
+        codec::put_bool_slice(out, &k.unsettled_mark);
+        k.stats.save_ckpt(out);
+    }
+
+    fn load(&mut self, buf: &[u8]) {
+        let k = &mut *self.0;
+        let mut pos = 0;
+        load_paths(&mut k.sp, buf, &mut pos);
+        k.buckets.load(buf, &mut pos);
+        k.frontier_seen = codec::get_u64_vec(buf, &mut pos);
+        k.frontier_epoch = codec::get_u64(buf, &mut pos);
+        k.settled_seen = codec::get_u64_vec(buf, &mut pos);
+        k.settled_epoch = codec::get_u64(buf, &mut pos);
+        k.unsettled_arcs = codec::get_u64(buf, &mut pos);
+        k.unsettled_mark = codec::get_bool_vec(buf, &mut pos);
+        k.stats.load_ckpt(buf, &mut pos);
+        assert_eq!(pos, buf.len(), "trailing bytes in kernel checkpoint");
+    }
+}
+
 /// Run the distributed kernel from `root`. Collective: all ranks call with
 /// identical `opts`. Returns this rank's slice of the result and the run
 /// statistics.
+///
+/// Panics on an unmasked fault; [`try_distributed_delta_stepping`] is the
+/// typed-error variant for crash-injected machines.
 pub fn distributed_delta_stepping<P: VertexPartition>(
     ctx: &mut RankCtx,
     graph: &LocalGraph<P>,
     root: VertexId,
     opts: &OptConfig,
 ) -> (DistShortestPaths, SsspRunStats) {
+    match try_distributed_delta_stepping(ctx, graph, root, opts) {
+        Ok(out) => out,
+        Err(e) => panic!("rank {}: {e}", ctx.rank()),
+    }
+}
+
+/// [`distributed_delta_stepping`] with crash recovery surfaced as a typed
+/// error: under a [`simnet::CrashPlan`] the kernel checkpoints at bucket
+/// boundaries, probes for crashes every superstep, and rolls back and
+/// replays on an agreed verdict; a crash schedule the budget cannot absorb
+/// comes back as `Err` — identically on every rank, from the same
+/// collective point.
+pub fn try_distributed_delta_stepping<P: VertexPartition>(
+    ctx: &mut RankCtx,
+    graph: &LocalGraph<P>,
+    root: VertexId,
+    opts: &OptConfig,
+) -> Result<(DistShortestPaths, SsspRunStats), FaultEscalation> {
     let n_local = graph.local_vertices();
     let start_now = ctx.now();
     let start_stats = ctx.stats().clone();
@@ -216,12 +362,12 @@ pub fn distributed_delta_stepping<P: VertexPartition>(
         k.buckets.insert(l as u32, 0.0);
     }
 
-    k.main_loop(ctx);
+    k.main_loop(ctx)?;
 
     k.stats.sim_time_s = ctx.now() - start_now;
     k.stats.compute_s = ctx.stats().compute_s - start_stats.compute_s;
     k.stats.comm_s = ctx.stats().comm_s - start_stats.comm_s;
-    (k.sp, k.stats)
+    Ok((k.sp, k.stats))
 }
 
 impl<P: VertexPartition> Kernel<'_, P> {
@@ -251,8 +397,19 @@ impl<P: VertexPartition> Kernel<'_, P> {
         }
     }
 
-    fn main_loop(&mut self, ctx: &mut RankCtx) {
-        loop {
+    fn main_loop(&mut self, ctx: &mut RankCtx) -> Result<(), FaultEscalation> {
+        // Crash recovery (None on fault-free machines): the epoch-0
+        // checkpoint captures the root insertion above, so a rollback all
+        // the way back restarts the search rather than losing it.
+        let mut rec = Recovery::begin(ctx, &KernelState(self));
+        'outer: loop {
+            if let Some(r) = rec.as_mut() {
+                // Bucket boundary: crash probe + periodic checkpoint. On a
+                // restore the rolled-back state re-enters the loop here.
+                if r.bucket_boundary(ctx, &mut KernelState(self))? {
+                    continue 'outer;
+                }
+            }
             let k_local = self.buckets.min_bucket().map_or(u64::MAX, |k| k as u64);
             let k = ctx.allreduce_min(k_local);
             if k == u64::MAX {
@@ -268,6 +425,15 @@ impl<P: VertexPartition> Kernel<'_, P> {
 
             // ---- light-edge inner loop ----
             loop {
+                if let Some(r) = rec.as_mut() {
+                    // Inner superstep probe: a mid-bucket crash rolls back
+                    // to the last bucket-boundary checkpoint, so close the
+                    // open bucket span and restart the outer loop.
+                    if r.probe(ctx, &mut KernelState(self))? {
+                        ctx.trace_end(TraceCode::Bucket, k, 0);
+                        continue 'outer;
+                    }
+                }
                 let frontier = self.collect_frontier(k as usize);
                 let f_arcs_local: u64 = frontier
                     .iter()
@@ -352,6 +518,10 @@ impl<P: VertexPartition> Kernel<'_, P> {
                 }
             }
         }
+        if let Some(r) = rec {
+            r.finish(ctx);
+        }
+        Ok(())
     }
 
     /// Drain the live, deduplicated frontier of bucket `k`.
@@ -845,5 +1015,56 @@ mod tests {
         let oracle = exact(&el, 15, 14);
         let (sp, _) = run_dist(&el, 15, 4, 14, OptConfig::all_on());
         assert!(sp.distances_match(&oracle, 1e-4));
+    }
+
+    #[test]
+    fn crash_recovery_is_byte_identical_to_fault_free() {
+        let el = g500_gen::simple::erdos_renyi(64, 320, 13);
+        let run = |crash: Option<simnet::CrashPlan>| {
+            let mut cfg = MachineConfig::with_ranks(4);
+            if let Some(plan) = crash {
+                cfg = cfg.crashes(plan);
+            }
+            let el = &el;
+            Machine::new(cfg).run(move |ctx| {
+                let part = Block1D::new(64, 4);
+                let m = el.len();
+                let (lo, hi) = (ctx.rank() * m / 4, (ctx.rank() + 1) * m / 4);
+                let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+                let g = assemble_local_graph(ctx, mine.into_iter(), part);
+                let (sp, stats) = try_distributed_delta_stepping(ctx, &g, 3, &OptConfig::all_on())
+                    .expect("in-budget crashes must be recovered");
+                (sp.gather_to_all(ctx, g.part()), stats)
+            })
+        };
+        let clean = run(None);
+        let plan = simnet::CrashPlan::random(0xD1E, 0.01).with_checkpoint_interval(2);
+        let crashed = run(Some(plan));
+        assert!(
+            crashed.total_stats().saw_crashes(),
+            "the schedule must actually crash someone: {:?}",
+            crashed.total_stats()
+        );
+        for (c, f) in clean.results.iter().zip(crashed.results.iter()) {
+            let (csp, cst) = c;
+            let (fsp, fst) = f;
+            let cbits: Vec<u32> = csp.dist.iter().map(|d| d.to_bits()).collect();
+            let fbits: Vec<u32> = fsp.dist.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(cbits, fbits, "distances must be byte-identical");
+            assert_eq!(csp.parent, fsp.parent, "parents must be byte-identical");
+            // structural counters are identical; only virtual time moves
+            let strip = |s: &SsspRunStats| {
+                let mut s = s.clone();
+                s.sim_time_s = 0.0;
+                s.compute_s = 0.0;
+                s.comm_s = 0.0;
+                s.phases.iter_mut().for_each(|p| {
+                    p.compute_s = 0.0;
+                    p.comm_s = 0.0;
+                });
+                s
+            };
+            assert_eq!(strip(cst), strip(fst));
+        }
     }
 }

@@ -26,9 +26,11 @@
 //! results are directly comparable and equally validatable.
 
 use crate::bucket::BucketQueue;
+use crate::dist::{get_weight_vec, put_weight_slice};
 use g500_graph::{Csr, EdgeList, ShortestPaths, VertexId, WEdge, Weight};
 use g500_partition::{Block1D, VertexPartition};
 use rayon::prelude::*;
+use simnet::recovery::{codec, Checkpoint, FaultEscalation, Recovery};
 use simnet::{RankCtx, SubComm, TraceCode};
 use std::collections::HashMap;
 
@@ -38,7 +40,7 @@ use std::collections::HashMap;
 type RelaxScan = (u64, Vec<(u64, f32, u64)>);
 
 /// Counters from one 2D run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Sssp2DStats {
     /// Communication rounds (row broadcast + column reduce pairs).
     pub supersteps: u64,
@@ -48,6 +50,40 @@ pub struct Sssp2DStats {
     pub frontier_records: u64,
     /// Candidate records reduced down columns (post-dedup).
     pub update_records: u64,
+}
+
+/// Borrow of the 2D kernel's mutable per-run state for checkpoint/restore:
+/// diagonal vertex state plus the run counters (the scratch arenas are
+/// overwritten before every read and stay out).
+struct GridState<'a> {
+    dist: &'a mut Vec<Weight>,
+    parent: &'a mut Vec<u64>,
+    buckets: &'a mut BucketQueue,
+    stats: &'a mut Sssp2DStats,
+}
+
+impl Checkpoint for GridState<'_> {
+    fn save(&self, out: &mut Vec<u8>) {
+        put_weight_slice(out, self.dist);
+        codec::put_u64_slice(out, self.parent);
+        self.buckets.save(out);
+        codec::put_u64(out, self.stats.supersteps);
+        codec::put_u64(out, self.stats.relaxations);
+        codec::put_u64(out, self.stats.frontier_records);
+        codec::put_u64(out, self.stats.update_records);
+    }
+
+    fn load(&mut self, buf: &[u8]) {
+        let mut pos = 0;
+        *self.dist = get_weight_vec(buf, &mut pos);
+        *self.parent = codec::get_u64_vec(buf, &mut pos);
+        self.buckets.load(buf, &mut pos);
+        self.stats.supersteps = codec::get_u64(buf, &mut pos);
+        self.stats.relaxations = codec::get_u64(buf, &mut pos);
+        self.stats.frontier_records = codec::get_u64(buf, &mut pos);
+        self.stats.update_records = codec::get_u64(buf, &mut pos);
+        assert_eq!(pos, buf.len(), "trailing bytes in 2D kernel checkpoint");
+    }
 }
 
 /// The per-rank state of the 2D kernel.
@@ -152,7 +188,25 @@ impl Grid2DSssp {
 
     /// Run SSSP from `root`; returns the stats. Distances stay distributed;
     /// use [`Self::gather`] afterwards.
+    ///
+    /// Panics on an unmasked fault; [`Grid2DSssp::try_run`] is the
+    /// typed-error variant for crash-injected machines.
     pub fn run(&mut self, ctx: &mut RankCtx, root: VertexId) -> Sssp2DStats {
+        match self.try_run(ctx, root) {
+            Ok(stats) => stats,
+            Err(e) => panic!("rank {}: {e}", ctx.rank()),
+        }
+    }
+
+    /// [`Grid2DSssp::run`] with crash recovery surfaced as a typed error:
+    /// checkpoints at bucket boundaries, probes every superstep, rolls
+    /// back and replays on an agreed verdict. Off-diagonal ranks snapshot
+    /// their (empty) state too, keeping every collective aligned.
+    pub fn try_run(
+        &mut self,
+        ctx: &mut RankCtx,
+        root: VertexId,
+    ) -> Result<Sssp2DStats, FaultEscalation> {
         let delta = self.buckets.delta();
         let mut stats = Sssp2DStats::default();
         // reset state between runs
@@ -170,7 +224,27 @@ impl Grid2DSssp {
             self.buckets.insert(l as u32, 0.0);
         }
 
-        loop {
+        let mut rec = Recovery::begin(
+            ctx,
+            &GridState {
+                dist: &mut self.dist,
+                parent: &mut self.parent,
+                buckets: &mut self.buckets,
+                stats: &mut stats,
+            },
+        );
+        'outer: loop {
+            if let Some(r) = rec.as_mut() {
+                let mut st = GridState {
+                    dist: &mut self.dist,
+                    parent: &mut self.parent,
+                    buckets: &mut self.buckets,
+                    stats: &mut stats,
+                };
+                if r.bucket_boundary(ctx, &mut st)? {
+                    continue 'outer;
+                }
+            }
             let k_local = if self.is_diag() {
                 self.buckets.min_bucket().map_or(u64::MAX, |k| k as u64)
             } else {
@@ -188,6 +262,20 @@ impl Grid2DSssp {
             let mut settled: Vec<u32> = Vec::new();
             // light inner loop
             loop {
+                if let Some(r) = rec.as_mut() {
+                    let mut st = GridState {
+                        dist: &mut self.dist,
+                        parent: &mut self.parent,
+                        buckets: &mut self.buckets,
+                        stats: &mut stats,
+                    };
+                    if r.probe(ctx, &mut st)? {
+                        // mid-bucket rollback: close the open span and
+                        // restart the outer loop from the restored state
+                        ctx.trace_end(TraceCode::Bucket, k, 0);
+                        continue 'outer;
+                    }
+                }
                 let frontier = self.collect_frontier(k as usize);
                 let total = ctx.allreduce(frontier.len() as u64, |a, b| a + b);
                 if total == 0 {
@@ -211,7 +299,10 @@ impl Grid2DSssp {
             }
             ctx.trace_end(TraceCode::Bucket, k, 0);
         }
-        stats
+        if let Some(r) = rec {
+            r.finish(ctx);
+        }
+        Ok(stats)
     }
 
     fn collect_frontier(&mut self, k: usize) -> Vec<u32> {
@@ -462,5 +553,36 @@ mod tests {
     fn non_square_grid_rejected() {
         let el = g500_gen::simple::path(4, 1.0);
         run_2d(&el, 4, 3, 0, 0.5);
+    }
+
+    #[test]
+    fn crash_recovery_is_byte_identical_to_fault_free() {
+        let el = g500_gen::simple::erdos_renyi(50, 220, 9);
+        let run = |crash: Option<simnet::CrashPlan>| {
+            let mut cfg = MachineConfig::with_ranks(4);
+            if let Some(plan) = crash {
+                cfg = cfg.crashes(plan);
+            }
+            let el = &el;
+            Machine::new(cfg).run(move |ctx| {
+                let m = el.len();
+                let (lo, hi) = (ctx.rank() * m / 4, (ctx.rank() + 1) * m / 4);
+                let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+                let mut g = Grid2DSssp::build(ctx, 50, mine.into_iter(), 0.2);
+                let stats = g.try_run(ctx, 3).expect("in-budget crashes recover");
+                (g.gather(ctx), stats)
+            })
+        };
+        let clean = run(None);
+        let plan = simnet::CrashPlan::random(0x2D, 0.01).with_checkpoint_interval(2);
+        let crashed = run(Some(plan));
+        assert!(crashed.total_stats().saw_crashes(), "schedule must crash");
+        for (c, f) in clean.results.iter().zip(crashed.results.iter()) {
+            let cbits: Vec<u32> = c.0.dist.iter().map(|d| d.to_bits()).collect();
+            let fbits: Vec<u32> = f.0.dist.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(cbits, fbits);
+            assert_eq!(c.0.parent, f.0.parent);
+            assert_eq!(c.1, f.1, "2D run counters have no time fields");
+        }
     }
 }

@@ -45,10 +45,11 @@ pub use bfs::{distributed_bfs, BfsStats};
 pub use bucket::BucketQueue;
 pub use config::{Direction, OptConfig};
 pub use delta::suggest_delta;
-pub use dist::{distributed_delta_stepping, SsspRunStats};
+pub use dist::{distributed_delta_stepping, try_distributed_delta_stepping, SsspRunStats};
 pub use dist2d::{Grid2DSssp, Sssp2DStats};
 pub use multi::{
-    batched_delta_stepping, multi_source_delta_stepping, BatchSpec, MultiDist, MultiStats,
+    batched_delta_stepping, multi_source_delta_stepping, try_batched_delta_stepping, BatchSpec,
+    MultiDist, MultiStats,
 };
 pub use par::{parallel_delta_stepping, parallel_delta_stepping_traced, WaveRecord};
 pub use seq::delta_stepping;

@@ -45,10 +45,12 @@
 use crate::bucket::BucketQueue;
 use crate::codec::TaggedUpdate;
 use crate::config::OptConfig;
+use crate::dist::{get_weight_vec, put_weight_slice};
 use crate::exchange::{exchange_tagged_into, TaggedExchangeBufs};
 use g500_graph::{VertexId, Weight, INF_WEIGHT, NO_PARENT};
 use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
 use rayon::prelude::*;
+use simnet::recovery::{codec, Checkpoint, FaultEscalation, Recovery};
 use simnet::{RankCtx, TraceCode};
 
 /// One lane of a batch: a source, an optional point-to-point target, and
@@ -138,7 +140,7 @@ impl MultiDist {
 }
 
 /// Counters from one batched run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MultiStats {
     /// Global communication rounds for the whole batch.
     pub supersteps: u64,
@@ -175,18 +177,95 @@ pub fn multi_source_delta_stepping<P: VertexPartition + Sync>(
     batched_delta_stepping(ctx, graph, &specs, &OptConfig::all_on().with_delta(delta))
 }
 
+/// The batch's complete mutable kernel state, snapshotted at bucket
+/// boundaries when a [`CrashPlan`](simnet::CrashPlan) is active. Scratch
+/// buffers (`bufs`, `frontier`, `settled`, `candidates`, `raw`) are
+/// excluded: each is fully overwritten before it is read in every
+/// superstep. `finished_at` carries virtual timestamps and is checkpointed
+/// so rollback restores the exact pre-crash record, but it legitimately
+/// differs from a fault-free run (recovery stretches virtual time).
+struct BatchState<'a> {
+    dist: &'a mut Vec<Weight>,
+    parent: &'a mut Vec<u64>,
+    finished_at: &'a mut Vec<f64>,
+    early_exit: &'a mut Vec<bool>,
+    target_dist: &'a mut Vec<Weight>,
+    target_parent: &'a mut Vec<u64>,
+    live: &'a mut Vec<bool>,
+    live_p2p: &'a mut usize,
+    buckets: &'a mut BucketQueue,
+    stats: &'a mut MultiStats,
+}
+
+impl Checkpoint for BatchState<'_> {
+    fn save(&self, out: &mut Vec<u8>) {
+        put_weight_slice(out, self.dist);
+        codec::put_u64_slice(out, self.parent);
+        codec::put_f64_slice(out, self.finished_at);
+        codec::put_bool_slice(out, self.early_exit);
+        put_weight_slice(out, self.target_dist);
+        codec::put_u64_slice(out, self.target_parent);
+        codec::put_bool_slice(out, self.live);
+        codec::put_u64(out, *self.live_p2p as u64);
+        self.buckets.save(out);
+        codec::put_u64(out, self.stats.supersteps);
+        codec::put_u64(out, self.stats.relaxations);
+        codec::put_u64(out, self.stats.updates_sent);
+        codec::put_u64(out, self.stats.pruned);
+        codec::put_u64(out, self.stats.retired);
+    }
+
+    fn load(&mut self, buf: &[u8]) {
+        let mut pos = 0usize;
+        *self.dist = get_weight_vec(buf, &mut pos);
+        *self.parent = codec::get_u64_vec(buf, &mut pos);
+        *self.finished_at = codec::get_f64_vec(buf, &mut pos);
+        *self.early_exit = codec::get_bool_vec(buf, &mut pos);
+        *self.target_dist = get_weight_vec(buf, &mut pos);
+        *self.target_parent = codec::get_u64_vec(buf, &mut pos);
+        *self.live = codec::get_bool_vec(buf, &mut pos);
+        *self.live_p2p = codec::get_u64(buf, &mut pos) as usize;
+        self.buckets.load(buf, &mut pos);
+        self.stats.supersteps = codec::get_u64(buf, &mut pos);
+        self.stats.relaxations = codec::get_u64(buf, &mut pos);
+        self.stats.updates_sent = codec::get_u64(buf, &mut pos);
+        self.stats.pruned = codec::get_u64(buf, &mut pos);
+        self.stats.retired = codec::get_u64(buf, &mut pos);
+        assert_eq!(pos, buf.len(), "trailing bytes in batch checkpoint");
+    }
+}
+
 /// Run one batch of lanes through shared delta-stepping supersteps.
 /// Collective: every rank must call with identical `specs` and `opts`.
 /// Honors `opts.coalescing`, `opts.dedup`, `opts.compression`, and
 /// `opts.delta`; the batched kernel always pushes (multi-source pull
 /// would broadcast one frontier per lane, defeating the amortization) and
 /// never fuses the tail (retirement needs the per-bucket epoch boundary).
+///
+/// Panics on fault escalation; use [`try_batched_delta_stepping`] to
+/// handle crash-recovery exhaustion as a typed error.
 pub fn batched_delta_stepping<P: VertexPartition + Sync>(
     ctx: &mut RankCtx,
     graph: &LocalGraph<P>,
     specs: &[BatchSpec],
     opts: &OptConfig,
 ) -> (MultiDist, MultiStats) {
+    match try_batched_delta_stepping(ctx, graph, specs, opts) {
+        Ok(out) => out,
+        Err(e) => panic!("rank {}: {e}", ctx.rank()),
+    }
+}
+
+/// [`batched_delta_stepping`] with typed fault escalation: when a crash
+/// plan is active and recovery cannot complete (budget exhausted,
+/// checkpoint lost), every rank returns the identical `Err` from the same
+/// collective point instead of panicking.
+pub fn try_batched_delta_stepping<P: VertexPartition + Sync>(
+    ctx: &mut RankCtx,
+    graph: &LocalGraph<P>,
+    specs: &[BatchSpec],
+    opts: &OptConfig,
+) -> Result<(MultiDist, MultiStats), FaultEscalation> {
     let part = graph.part();
     let p = ctx.size();
     let me = ctx.rank();
@@ -238,7 +317,36 @@ pub fn batched_delta_stepping<P: VertexPartition + Sync>(
     let mut candidates: Vec<TaggedUpdate> = Vec::new();
     let mut raw: Vec<u32> = Vec::new();
 
-    loop {
+    // Borrow the full mutable batch state as one Checkpoint view; built
+    // fresh at each recovery hook so the borrows end before the kernel
+    // body touches the fields again.
+    macro_rules! batch_state {
+        () => {
+            BatchState {
+                dist: &mut dist,
+                parent: &mut parent,
+                finished_at: &mut finished_at,
+                early_exit: &mut early_exit,
+                target_dist: &mut target_dist,
+                target_parent: &mut target_parent,
+                live: &mut live,
+                live_p2p: &mut live_p2p,
+                buckets: &mut buckets,
+                stats: &mut stats,
+            }
+        };
+    }
+
+    // Epoch-0 checkpoint is taken after source insertion, so a restore can
+    // always rewind to a state that already holds the roots.
+    let mut rec = Recovery::begin(ctx, &batch_state!());
+
+    'outer: loop {
+        if let Some(r) = rec.as_mut() {
+            if r.bucket_boundary(ctx, &mut batch_state!())? {
+                continue 'outer;
+            }
+        }
         let k_local = buckets.min_bucket().map_or(u64::MAX, |k| k as u64);
         let k = ctx.allreduce_min(k_local);
         if k == u64::MAX {
@@ -282,6 +390,14 @@ pub fn batched_delta_stepping<P: VertexPartition + Sync>(
         settled.clear();
         // light inner loop
         loop {
+            if let Some(r) = rec.as_mut() {
+                if r.probe(ctx, &mut batch_state!())? {
+                    // restored mid-bucket: the epoch counter rewound, so
+                    // re-enter the outer loop from the boundary hook (this
+                    // kernel opens no Bucket span, so nothing to close)
+                    continue 'outer;
+                }
+            }
             frontier.clear();
             raw.clear();
             buckets.drain_bucket_into(k, &mut raw);
@@ -347,6 +463,9 @@ pub fn batched_delta_stepping<P: VertexPartition + Sync>(
             &mut stats,
         );
     }
+    if let Some(r) = rec {
+        r.finish(ctx);
+    }
 
     // Lanes still live at batch end: full lanes, unreachable targets, and
     // targets that settled in the final bucket. Resolve remaining p2p
@@ -375,7 +494,7 @@ pub fn batched_delta_stepping<P: VertexPartition + Sync>(
         }
     }
 
-    (
+    Ok((
         MultiDist {
             lanes,
             n_local,
@@ -387,7 +506,7 @@ pub fn batched_delta_stepping<P: VertexPartition + Sync>(
             target_parent,
         },
         stats,
-    )
+    ))
 }
 
 /// Scan the out-arcs of one packed frontier element against the frozen
@@ -662,6 +781,65 @@ mod tests {
         assert_eq!(retired, 1);
         assert_eq!(d.to_bits(), oracle.dist[5].to_bits());
         assert_eq!(par, oracle.parent[5]);
+    }
+
+    #[test]
+    fn crash_recovery_is_byte_identical_to_fault_free() {
+        // mixed batch (full + p2p + bounded) under a random crash
+        // schedule: distances, parents, target results, retirement flags,
+        // and all structural counters must match the fault-free run
+        // bitwise; only `finished_at` (virtual time) may move.
+        let el = g500_gen::simple::erdos_renyi(56, 260, 17);
+        let run = |crash: Option<simnet::CrashPlan>| {
+            let mut cfg = MachineConfig::with_ranks(4);
+            if let Some(plan) = crash {
+                cfg = cfg.crashes(plan);
+            }
+            let el = &el;
+            Machine::new(cfg).run(move |ctx| {
+                let part = Block1D::new(56, 4);
+                let m = el.len();
+                let (lo, hi) = (ctx.rank() * m / 4, (ctx.rank() + 1) * m / 4);
+                let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+                let g = assemble_local_graph(ctx, mine.into_iter(), part);
+                let specs = [
+                    BatchSpec::full(0),
+                    BatchSpec::p2p(3, 40),
+                    BatchSpec::p2p(7, 9).with_bound(4.0),
+                    BatchSpec::full(21),
+                ];
+                let (md, stats) = try_batched_delta_stepping(
+                    ctx,
+                    &g,
+                    &specs,
+                    &OptConfig::all_on().with_delta(0.2),
+                )
+                .expect("in-budget crashes must be recovered");
+                (md, stats)
+            })
+        };
+        let clean = run(None);
+        let plan = simnet::CrashPlan::random(0xBA7C, 0.01).with_checkpoint_interval(2);
+        let crashed = run(Some(plan));
+        assert!(
+            crashed.total_stats().saw_crashes(),
+            "the schedule must actually crash someone: {:?}",
+            crashed.total_stats()
+        );
+        for (c, f) in clean.results.iter().zip(crashed.results.iter()) {
+            let (cmd, cst) = c;
+            let (fmd, fst) = f;
+            let cbits: Vec<u32> = cmd.dist.iter().map(|d| d.to_bits()).collect();
+            let fbits: Vec<u32> = fmd.dist.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(cbits, fbits, "distances must be byte-identical");
+            assert_eq!(cmd.parent, fmd.parent, "parents must be byte-identical");
+            let ctb: Vec<u32> = cmd.target_dist.iter().map(|d| d.to_bits()).collect();
+            let ftb: Vec<u32> = fmd.target_dist.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(ctb, ftb, "target distances must be byte-identical");
+            assert_eq!(cmd.target_parent, fmd.target_parent);
+            assert_eq!(cmd.early_exit, fmd.early_exit);
+            assert_eq!(cst, fst, "structural counters must be identical");
+        }
     }
 
     #[test]

@@ -30,9 +30,10 @@
 //! `G500_THREADS` (see [`crate::multi`]).
 
 use crate::config::OptConfig;
-use crate::multi::{batched_delta_stepping, BatchSpec, MultiDist};
+use crate::multi::{try_batched_delta_stepping, BatchSpec, MultiDist};
 use g500_graph::{VertexId, Weight, INF_WEIGHT, NO_PARENT};
 use g500_partition::{DistShortestPaths, LocalGraph, VertexPartition};
+use simnet::recovery::FaultEscalation;
 use simnet::{RankCtx, TraceCode};
 
 /// One query against the resident graph.
@@ -75,6 +76,11 @@ pub struct ServeConfig {
     pub lru_capacity: usize,
     /// Attach the local distance/parent slices to full-query outcomes.
     pub keep_paths: bool,
+    /// Per-query latency deadline in virtual seconds; lane-run queries
+    /// whose answer arrives later are marked [`QueryOutcome::shed`]
+    /// (`f64::INFINITY` = no deadline). The answer itself is still exact —
+    /// shedding is an SLO verdict, not a correctness one.
+    pub deadline_s: f64,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +91,7 @@ impl Default for ServeConfig {
             num_landmarks: 4,
             lru_capacity: 8,
             keep_paths: false,
+            deadline_s: f64::INFINITY,
         }
     }
 }
@@ -107,6 +114,10 @@ pub struct QueryOutcome {
     pub bound: Weight,
     /// Virtual seconds from window admission to answer.
     pub latency_s: f64,
+    /// The query was shed: its window's kernel failed twice under crash
+    /// faults (no answer: `dist`/`paths` empty) or its answer blew the
+    /// configured deadline (answer present but late).
+    pub shed: bool,
     /// Local result slice for full queries when `keep_paths` is set.
     pub paths: Option<DistShortestPaths>,
 }
@@ -135,6 +146,12 @@ pub struct ServeStats {
     pub pruned: u64,
     /// Supersteps spent precomputing landmarks.
     pub precompute_supersteps: u64,
+    /// Queries shed (kernel failed twice under crash faults, or the
+    /// answer blew the deadline).
+    pub queries_shed: u64,
+    /// Lane-run queries re-admitted after their window's kernel crashed
+    /// beyond its recovery budget once.
+    pub queries_retried: u64,
 }
 
 /// Precomputed landmark distances: `k` high-degree vertices and this
@@ -251,23 +268,39 @@ pub struct QueryEngine<'g, P: VertexPartition + Sync> {
 
 impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
     /// Build an engine, precomputing landmarks with the batched kernel.
-    /// Collective.
+    /// Collective. Panics on fault escalation; use
+    /// [`QueryEngine::try_new`] to handle it as a typed error.
     pub fn new(ctx: &mut RankCtx, graph: &'g LocalGraph<P>, cfg: ServeConfig) -> Self {
+        match Self::try_new(ctx, graph, cfg) {
+            Ok(engine) => engine,
+            Err(e) => panic!("rank {}: {e}", ctx.rank()),
+        }
+    }
+
+    /// [`QueryEngine::new`] with typed fault escalation: landmark
+    /// precompute runs before any query exists to degrade onto, so a
+    /// crash it cannot recover from surfaces as the kernel's `Err` —
+    /// identical on every rank.
+    pub fn try_new(
+        ctx: &mut RankCtx,
+        graph: &'g LocalGraph<P>,
+        cfg: ServeConfig,
+    ) -> Result<Self, FaultEscalation> {
         let mut stats = ServeStats::default();
         let landmarks = if cfg.num_landmarks > 0 {
-            let set = precompute_landmarks(ctx, graph, cfg.num_landmarks, &cfg.opts, &mut stats);
+            let set = precompute_landmarks(ctx, graph, cfg.num_landmarks, &cfg.opts, &mut stats)?;
             (!set.ids.is_empty()).then_some(set)
         } else {
             None
         };
         let lru = Lru::new(cfg.lru_capacity);
-        QueryEngine {
+        Ok(QueryEngine {
             graph,
             cfg,
             landmarks,
             lru,
             stats,
-        }
+        })
     }
 
     /// Serving counters so far.
@@ -283,6 +316,15 @@ impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
     /// Answer a query stream: admit in windows of `batch_width`, run each
     /// window as one shared batch. Returns outcomes in stream order.
     /// Collective.
+    ///
+    /// Under crash faults the engine degrades instead of failing: a
+    /// window whose kernel exhausts its recovery budget is retried once
+    /// (the crash lottery has moved on, so the retry draws fresh
+    /// windows), and if the retry fails too, the window's lane-run
+    /// queries are shed — answered with [`QueryOutcome::shed`] set and no
+    /// result — while cache hits are still served. This never panics and
+    /// never returns an error: the degradation policy absorbs every
+    /// recovery failure.
     pub fn serve(&mut self, ctx: &mut RankCtx, queries: &[Query]) -> Vec<QueryOutcome> {
         let mut out = Vec::with_capacity(queries.len());
         let width = self.cfg.batch_width.max(1);
@@ -302,6 +344,7 @@ impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
         // owner; key = query index * slots + slot
         let slots = (2 * k + 1) as u32;
         let batch_ord = self.stats.batches;
+        let ord0 = self.stats.queries;
         ctx.trace_begin(TraceCode::QueryBatch, batch_ord, window.len() as u64);
         let t0 = ctx.now();
 
@@ -393,17 +436,36 @@ impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
         }
         let t_admit = ctx.now();
 
+        // Run the window batch. A kernel `Err` is agreement-backed —
+        // identical on every rank from the same collective point — so the
+        // retry and shed decisions below stay in lockstep without any
+        // extra coordination.
+        let lane_queries = plans.iter().filter(|p| matches!(p, Plan::Lane(_))).count() as u64;
         let batch = if specs.is_empty() {
             None
         } else {
-            let (md, st) = batched_delta_stepping(ctx, self.graph, &specs, &self.cfg.opts);
-            self.stats.lanes_run += specs.len() as u64;
-            self.stats.supersteps += st.supersteps;
-            self.stats.relaxations += st.relaxations;
-            self.stats.updates_sent += st.updates_sent;
-            self.stats.pruned += st.pruned;
-            Some(md)
+            let mut attempt = try_batched_delta_stepping(ctx, self.graph, &specs, &self.cfg.opts);
+            if attempt.is_err() {
+                // one re-admission: the crash lottery's draw counter is
+                // monotone, so the retry faces fresh crash windows rather
+                // than replaying the fatal schedule
+                self.stats.queries_retried += lane_queries;
+                ctx.count_queries_retried(lane_queries);
+                attempt = try_batched_delta_stepping(ctx, self.graph, &specs, &self.cfg.opts);
+            }
+            match attempt {
+                Ok((md, st)) => {
+                    self.stats.lanes_run += specs.len() as u64;
+                    self.stats.supersteps += st.supersteps;
+                    self.stats.relaxations += st.relaxations;
+                    self.stats.updates_sent += st.updates_sent;
+                    self.stats.pruned += st.pruned;
+                    Some(md)
+                }
+                Err(_) => None, // twice unrecoverable: shed the window's lanes
+            }
         };
+        let batch_failed = batch.is_none() && !specs.is_empty();
 
         for (qi, (q, plan)) in window.iter().zip(&plans).enumerate() {
             out.push(match plan {
@@ -415,6 +477,7 @@ impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
                     early_exit: false,
                     bound: INF_WEIGHT,
                     latency_s: t_admit - t0,
+                    shed: false,
                     paths: self
                         .cfg
                         .keep_paths
@@ -428,13 +491,39 @@ impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
                     early_exit: false,
                     bound: INF_WEIGHT,
                     latency_s: t_admit - t0,
+                    shed: false,
                     paths: None,
                 },
+                Plan::Lane(_) if batch_failed => {
+                    // the window's kernel failed twice: no answer exists,
+                    // hand back a counted shed verdict instead of dying
+                    self.stats.queries_shed += 1;
+                    ctx.count_queries_shed(1);
+                    ctx.trace_count(TraceCode::QueryShed, ord0 + qi as u64, 0);
+                    QueryOutcome {
+                        query: *q,
+                        dist: None,
+                        parent: None,
+                        cache_hit: false,
+                        early_exit: false,
+                        bound: INF_WEIGHT,
+                        latency_s: ctx.now() - t0,
+                        shed: true,
+                        paths: None,
+                    }
+                }
                 Plan::Lane(lane) => {
                     let md = batch.as_ref().expect("lane implies batch");
                     let early = md.early_exit[*lane];
                     if early {
                         self.stats.early_exits += 1;
+                    }
+                    let latency_s = md.finished_at[*lane] - t0;
+                    let shed = latency_s > self.cfg.deadline_s;
+                    if shed {
+                        self.stats.queries_shed += 1;
+                        ctx.count_queries_shed(1);
+                        ctx.trace_count(TraceCode::QueryShed, ord0 + qi as u64, 1);
                     }
                     QueryOutcome {
                         query: *q,
@@ -443,7 +532,8 @@ impl<'g, P: VertexPartition + Sync> QueryEngine<'g, P> {
                         cache_hit: false,
                         early_exit: early,
                         bound: specs[*lane].bound,
-                        latency_s: md.finished_at[*lane] - t0,
+                        latency_s,
+                        shed,
                         paths: (self.cfg.keep_paths && q.target.is_none())
                             .then(|| md.lane_paths(*lane)),
                     }
@@ -472,7 +562,7 @@ fn precompute_landmarks<P: VertexPartition + Sync>(
     k: usize,
     opts: &OptConfig,
     stats: &mut ServeStats,
-) -> LandmarkSet {
+) -> Result<LandmarkSet, FaultEscalation> {
     let part = graph.part();
     let me = ctx.rank();
     let n_local = graph.local_vertices();
@@ -486,25 +576,25 @@ fn precompute_landmarks<P: VertexPartition + Sync>(
     merged.truncate(k);
     let ids: Vec<VertexId> = merged.into_iter().map(|(_, v)| v).collect();
     if ids.is_empty() {
-        return LandmarkSet {
+        return Ok(LandmarkSet {
             ids,
             local: Vec::new(),
             n_local,
-        };
+        });
     }
 
     let specs: Vec<BatchSpec> = ids.iter().map(|&v| BatchSpec::full(v)).collect();
-    let (md, st): (MultiDist, _) = batched_delta_stepping(ctx, graph, &specs, opts);
+    let (md, st): (MultiDist, _) = try_batched_delta_stepping(ctx, graph, &specs, opts)?;
     stats.precompute_supersteps += st.supersteps;
     let mut local = vec![INF_WEIGHT; ids.len() * n_local];
     for j in 0..ids.len() {
         local[j * n_local..(j + 1) * n_local].copy_from_slice(md.lane_dist(j));
     }
-    LandmarkSet {
+    Ok(LandmarkSet {
         ids,
         local,
         n_local,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -590,6 +680,128 @@ mod tests {
         for o in outcomes {
             assert!(o.latency_s >= 0.0);
         }
+    }
+
+    #[test]
+    fn serving_survives_crashes_with_exact_answers() {
+        // in-budget crashes are recovered inside the kernel: the serving
+        // layer sees successful batches, answers stay exact, nothing is
+        // shed or retried
+        let el = g500_gen::simple::erdos_renyi(64, 300, 77);
+        let csr = Csr::from_edges(64, &el, Directedness::Undirected);
+        let p = 3;
+        let queries = vec![
+            Query::full(3),
+            Query::p2p(3, 40),
+            Query::p2p(11, 62),
+            Query::full(21),
+        ];
+        let plan = simnet::CrashPlan::random(0x5E12, 0.01).with_checkpoint_interval(2);
+        let rep = Machine::new(MachineConfig::with_ranks(p).crashes(plan)).run(|ctx| {
+            let part = Block1D::new(64, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let cfg = ServeConfig {
+                batch_width: 2,
+                num_landmarks: 3,
+                lru_capacity: 4,
+                ..ServeConfig::default()
+            };
+            let mut engine = QueryEngine::new(ctx, &g, cfg);
+            let outcomes = engine.serve(ctx, &queries);
+            (outcomes, engine.stats().clone())
+        });
+        assert!(
+            rep.total_stats().saw_crashes(),
+            "the schedule must actually crash someone: {:?}",
+            rep.total_stats()
+        );
+        let (outcomes, stats) = &rep.results[0];
+        let d3 = dijkstra(&csr, 3);
+        let d11 = dijkstra(&csr, 11);
+        assert_eq!(outcomes[1].dist.unwrap().to_bits(), d3.dist[40].to_bits());
+        assert_eq!(outcomes[2].dist.unwrap().to_bits(), d11.dist[62].to_bits());
+        assert!(outcomes.iter().all(|o| !o.shed));
+        assert_eq!(stats.queries_shed, 0);
+        assert_eq!(stats.queries_retried, 0);
+    }
+
+    #[test]
+    fn unrecoverable_windows_shed_instead_of_failing() {
+        // crash rate 1.0: every rank dies at every probe, so every window
+        // batch loses its checkpoints twice — the engine must retry once,
+        // then shed the window's lane queries without panicking
+        let el = g500_gen::simple::erdos_renyi(48, 220, 31);
+        let p = 2;
+        let queries = vec![
+            Query::full(3),
+            Query::p2p(3, 40),
+            Query::full(7),
+            Query::p2p(11, 20),
+        ];
+        let plan = simnet::CrashPlan::random(0xDEAD, 1.0).with_checkpoint_interval(2);
+        let rep = Machine::new(MachineConfig::with_ranks(p).crashes(plan)).run(|ctx| {
+            let part = Block1D::new(48, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let cfg = ServeConfig {
+                batch_width: 2,
+                num_landmarks: 0, // precompute has no stream to degrade onto
+                lru_capacity: 0,
+                ..ServeConfig::default()
+            };
+            let mut engine = QueryEngine::new(ctx, &g, cfg);
+            let outcomes = engine.serve(ctx, &queries);
+            (outcomes, engine.stats().clone())
+        });
+        let (outcomes, stats) = &rep.results[0];
+        assert_eq!(outcomes.len(), 4);
+        for o in outcomes {
+            assert!(o.shed, "query {:?} must be shed", o.query);
+            assert!(o.dist.is_none() && o.paths.is_none());
+        }
+        assert_eq!(stats.queries_shed, 4);
+        assert_eq!(stats.queries_retried, 4);
+        assert!(rep.total_stats().queries_shed > 0);
+        assert!(rep.total_stats().queries_retried > 0);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_late_answers_but_keeps_them_exact() {
+        let el = g500_gen::simple::erdos_renyi(48, 220, 31);
+        let csr = Csr::from_edges(48, &el, Directedness::Undirected);
+        let p = 2;
+        let queries = vec![Query::p2p(3, 40), Query::p2p(3, 40)];
+        let rep = Machine::new(MachineConfig::with_ranks(p)).run(|ctx| {
+            let part = Block1D::new(48, p);
+            let m = el.len();
+            let (lo, hi) = (ctx.rank() * m / p, (ctx.rank() + 1) * m / p);
+            let mine: Vec<_> = (lo..hi).map(|i| el.get(i)).collect();
+            let g = assemble_local_graph(ctx, mine.into_iter(), part);
+            let cfg = ServeConfig {
+                batch_width: 2,
+                num_landmarks: 0,
+                lru_capacity: 0,
+                deadline_s: 0.0,
+                ..ServeConfig::default()
+            };
+            let mut engine = QueryEngine::new(ctx, &g, cfg);
+            let outcomes = engine.serve(ctx, &queries);
+            (outcomes, engine.stats().clone())
+        });
+        let (outcomes, stats) = &rep.results[0];
+        let d3 = dijkstra(&csr, 3);
+        // a deadline shed is an SLO verdict: the answer is still exact
+        for o in outcomes {
+            assert!(o.shed);
+            assert_eq!(o.dist.unwrap().to_bits(), d3.dist[40].to_bits());
+        }
+        assert_eq!(stats.queries_shed, 2);
+        assert_eq!(stats.queries_retried, 0);
     }
 
     #[test]

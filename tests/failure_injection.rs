@@ -514,3 +514,63 @@ fn retry_budget_exhaustion_names_link_deterministic() {
         }
     });
 }
+
+// ---------- process crashes compose with the lossy network ----------
+
+use graph500::CrashPlan;
+
+/// Link faults and rank crashes drawn together: the reliable transport
+/// masks the former, checkpoint/rollback masks the latter, and the results
+/// are still byte-identical to the fully fault-free run — under both
+/// schedulers.
+#[test]
+fn crashes_compose_with_lossy_network() {
+    let crash = CrashPlan::random(2, 0.004)
+        .with_checkpoint_interval(3)
+        .with_recovery_budget(64);
+    for sched in [None, Some(0)] {
+        let clean = run_1d(10, 8, sched, FaultPlan::none());
+        let mut cfg = BenchmarkConfig::quick(10, 8)
+            .faults(lossy_profile(0xFA17))
+            .crashes(crash);
+        if let Some(seed) = sched {
+            cfg = cfg.deterministic(seed);
+        }
+        cfg.keep_paths = true;
+        let faulty = run_sssp_benchmark(&cfg);
+        assert_same_outputs(&clean, &faulty);
+        assert!(
+            faulty.net.retransmits > 0,
+            "lossy profile never fired: {:?}",
+            faulty.net
+        );
+        assert!(
+            faulty.net.crashes > 0 && faulty.net.restores > 0,
+            "crash schedule never fired ({sched:?}): {:?}",
+            faulty.net
+        );
+    }
+}
+
+/// Same crash seed ⇒ byte-identical crash/recovery counters in every
+/// rank's NetStats, independent of scheduler mode (the crash lottery is
+/// keyed to probe indices, not to execution interleaving).
+#[test]
+fn crash_counters_are_scheduler_invariant() {
+    let crash = CrashPlan::random(2, 0.004)
+        .with_checkpoint_interval(3)
+        .with_recovery_budget(64);
+    let run = |sched: Option<u64>| {
+        let mut cfg = BenchmarkConfig::quick(9, 4).crashes(crash);
+        if let Some(seed) = sched {
+            cfg = cfg.deterministic(seed);
+        }
+        cfg.keep_paths = true;
+        run_sssp_benchmark(&cfg)
+    };
+    let threads = run(None);
+    let det = run(Some(0));
+    assert_eq!(threads.per_rank_net, det.per_rank_net);
+    assert_same_outputs(&threads, &det);
+    assert!(threads.net.checkpoints > 0);
+}

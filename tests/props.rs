@@ -770,3 +770,109 @@ fn lru_invariants_hold_under_random_ops() {
         }
     });
 }
+
+#[test]
+fn checkpoint_codec_roundtrips_arbitrary_state() {
+    // The recovery codec must round-trip any state a kernel checkpoint can
+    // hold — including NaN/∞ payloads in the f64 lanes (times), empty
+    // slices, and interleavings of every primitive — and consume the
+    // buffer exactly (a length mismatch is how `Checkpoint::load` detects
+    // a codec drift).
+    use graph500::simnet::recovery::codec;
+    for_cases(0xC8EC, 96, |rng| {
+        let mut u64s = Vec::new();
+        let mut f64s = Vec::new();
+        let mut u64_slices = Vec::new();
+        let mut u32_slices = Vec::new();
+        let mut f64_slices = Vec::new();
+        let mut bool_slices = Vec::new();
+        let mut ops = Vec::new();
+        let mut buf = Vec::new();
+        for _ in 0..rng.usize(1, 24) {
+            match rng.range(0, 6) {
+                0 => {
+                    let x = rng.next_u64();
+                    codec::put_u64(&mut buf, x);
+                    u64s.push(x);
+                    ops.push(0);
+                }
+                1 => {
+                    let x = match rng.range(0, 8) {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => 0.0,
+                        _ => rng.f64_unit() * 1e9 - 5e8,
+                    };
+                    codec::put_f64(&mut buf, x);
+                    f64s.push(x);
+                    ops.push(1);
+                }
+                2 => {
+                    let xs: Vec<u64> = (0..rng.usize(0, 40)).map(|_| rng.next_u64()).collect();
+                    codec::put_u64_slice(&mut buf, &xs);
+                    u64_slices.push(xs);
+                    ops.push(2);
+                }
+                3 => {
+                    let xs: Vec<u32> = (0..rng.usize(0, 40))
+                        .map(|_| rng.next_u64() as u32)
+                        .collect();
+                    codec::put_u32_slice(&mut buf, &xs);
+                    u32_slices.push(xs);
+                    ops.push(3);
+                }
+                4 => {
+                    let xs: Vec<f64> = (0..rng.usize(0, 40)).map(|_| rng.f64_unit()).collect();
+                    codec::put_f64_slice(&mut buf, &xs);
+                    f64_slices.push(xs);
+                    ops.push(4);
+                }
+                _ => {
+                    let xs: Vec<bool> = (0..rng.usize(0, 40))
+                        .map(|_| rng.range(0, 2) == 0)
+                        .collect();
+                    codec::put_bool_slice(&mut buf, &xs);
+                    bool_slices.push(xs);
+                    ops.push(5);
+                }
+            }
+        }
+        let mut pos = 0usize;
+        let (mut iu, mut ifl, mut ius, mut i32s, mut ifs, mut ibs) = (0, 0, 0, 0, 0, 0);
+        for op in &ops {
+            match op {
+                0 => {
+                    assert_eq!(codec::get_u64(&buf, &mut pos), u64s[iu]);
+                    iu += 1;
+                }
+                1 => {
+                    let got = codec::get_f64(&buf, &mut pos);
+                    assert_eq!(got.to_bits(), f64s[ifl].to_bits(), "f64 not bitwise");
+                    ifl += 1;
+                }
+                2 => {
+                    assert_eq!(codec::get_u64_vec(&buf, &mut pos), u64_slices[ius]);
+                    ius += 1;
+                }
+                3 => {
+                    assert_eq!(codec::get_u32_vec(&buf, &mut pos), u32_slices[i32s]);
+                    i32s += 1;
+                }
+                4 => {
+                    let got = codec::get_f64_vec(&buf, &mut pos);
+                    let want = &f64_slices[ifs];
+                    assert_eq!(got.len(), want.len());
+                    for (a, b) in got.iter().zip(want) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    ifs += 1;
+                }
+                _ => {
+                    assert_eq!(codec::get_bool_vec(&buf, &mut pos), bool_slices[ibs]);
+                    ibs += 1;
+                }
+            }
+        }
+        assert_eq!(pos, buf.len(), "codec under- or over-consumed the buffer");
+    });
+}

@@ -204,6 +204,7 @@ fn cache_hit_equals_recompute_bitwise() {
                     num_landmarks: 0,
                     lru_capacity: 2,
                     keep_paths: false,
+                    deadline_s: f64::INFINITY,
                 };
                 let mut engine = QueryEngine::new(ctx, &g, cfg);
                 engine

@@ -225,3 +225,36 @@ fn chrome_export_is_structurally_valid_json() {
     // the report JSON (with the embedded trace summary) must stay valid too
     assert_valid_json(&rep.to_json());
 }
+
+/// A crashed, traced run records the recovery machinery as first-class
+/// spans: checkpoint-write at every interval boundary, restore and replay
+/// after each crash. With crashes off, none of the three names may appear
+/// — the goldens above double as the proof that crash-free trace output
+/// is untouched by the recovery subsystem.
+#[test]
+fn crashed_run_traces_recovery_spans() {
+    use graph500::CrashPlan;
+    let mut cfg = traced_1d_cfg();
+    cfg = cfg.crashes(
+        CrashPlan::none()
+            .with_forced(1, 2)
+            .with_checkpoint_interval(2),
+    );
+    let rep = run_sssp_benchmark(&cfg);
+    let summary = rep.trace_summary().expect("run was traced");
+    let rendered = summary.render();
+    for span in ["checkpoint-write", "restore", "replay"] {
+        assert!(
+            rendered.contains(span),
+            "crashed trace summary is missing the {span} span:\n{rendered}"
+        );
+    }
+    let clean = run_sssp_benchmark(&traced_1d_cfg());
+    let clean_rendered = clean.trace_summary().expect("traced").render();
+    for span in ["checkpoint-write", "restore", "replay"] {
+        assert!(
+            !clean_rendered.contains(span),
+            "crash-free trace summary mentions {span}:\n{clean_rendered}"
+        );
+    }
+}
